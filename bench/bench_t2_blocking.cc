@@ -1,0 +1,124 @@
+// Experiment T2 — blocking effectiveness: highly vs somehow similar.
+//
+// The poster claims token-style blocking handles "highly similar"
+// descriptions (LOD center) but "may miss highly heterogeneous matching
+// descriptions featuring few common tokens" (periphery). This harness
+// measures PC / PQ / RR / comparisons for each blocking method on the three
+// cloud profiles, plus the effect of block cleaning.
+// Expected shape: token blocking PC ~ 1.0 on center, visibly lower on
+// periphery; composite (token+PIS) recovers part of the gap; cleaning cuts
+// comparisons at marginal PC cost.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "blocking/block_cleaning.h"
+#include "blocking/char_blocking.h"
+#include "eval/metrics.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace minoan;        // NOLINT
+using namespace minoan::bench; // NOLINT
+
+namespace {
+
+std::unique_ptr<BlockingMethod> MakeMethod(const std::string& name) {
+  if (name == "token") return std::make_unique<TokenBlocking>();
+  if (name == "pis") return std::make_unique<PisBlocking>();
+  if (name == "attr-cluster") {
+    return std::make_unique<AttributeClusteringBlocking>();
+  }
+  std::vector<std::unique_ptr<BlockingMethod>> methods;
+  methods.push_back(std::make_unique<TokenBlocking>());
+  methods.push_back(std::make_unique<PisBlocking>());
+  return std::make_unique<CompositeBlocking>(std::move(methods));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint32_t scale = ParseScale(argc, argv);
+  std::printf("== T2: blocking on highly vs somehow similar descriptions "
+              "(scale %u) ==\n\n", scale);
+
+  Table table({"cloud", "method", "blocks", "comparisons", "PC", "PQ", "RR",
+               "build_ms"});
+  for (CloudProfile profile :
+       {CloudProfile::kCenter, CloudProfile::kPeriphery,
+        CloudProfile::kMixed}) {
+    World w = World::Make(MakeConfig(profile, scale));
+    for (const std::string method_name :
+         {"token", "pis", "attr-cluster", "token+pis"}) {
+      auto method = MakeMethod(method_name);
+      Stopwatch watch;
+      BlockCollection blocks = method->Build(*w.collection);
+      const double build_ms = watch.ElapsedMillis();
+      const BlockingMetrics m = EvaluateBlocks(
+          blocks, *w.collection, ResolutionMode::kCleanClean, *w.truth);
+      table.AddRow()
+          .Cell(CloudProfileName(profile))
+          .Cell(method_name)
+          .Cell(static_cast<uint64_t>(blocks.num_blocks()))
+          .Cell(m.comparisons)
+          .Cell(m.pair_completeness, 4)
+          .Cell(m.pair_quality, 4)
+          .Cell(m.reduction_ratio, 4)
+          .Cell(build_ms, 1);
+    }
+  }
+  table.Print(std::cout);
+
+  // Cleaning ablation on the mixed cloud: purge + filter.
+  std::printf("\nblock cleaning (token blocking, mixed cloud):\n");
+  World w = World::Make(MakeConfig(CloudProfile::kMixed, scale));
+  Table cleaning({"stage", "blocks", "aggregate_cmp", "PC"});
+  BlockCollection blocks = TokenBlocking().Build(*w.collection);
+  auto report = [&](const char* stage) {
+    const BlockingMetrics m = EvaluateBlocks(
+        blocks, *w.collection, ResolutionMode::kCleanClean, *w.truth);
+    cleaning.AddRow()
+        .Cell(stage)
+        .Cell(static_cast<uint64_t>(blocks.num_blocks()))
+        .Cell(blocks.AggregateComparisons(*w.collection,
+                                          ResolutionMode::kCleanClean))
+        .Cell(m.pair_completeness, 4);
+  };
+  report("raw");
+  AutoPurge(blocks, *w.collection, ResolutionMode::kCleanClean);
+  report("+auto-purge");
+  FilterBlocks(blocks, 0.8, *w.collection, ResolutionMode::kCleanClean);
+  report("+filter(0.8)");
+  cleaning.Print(std::cout);
+
+  // Character noise: typos break exact token keys. On token-rich center
+  // descriptions redundancy hides this; on the sparse periphery every lost
+  // token costs recall, and q-grams absorb the damage.
+  std::printf("\ntypo robustness (periphery cloud, typo rate sweep):\n");
+  Table typo({"typo_rate", "token_PC", "qgram_PC", "sorted_nbhd_PC"});
+  for (double rate : {0.0, 0.2, 0.4}) {
+    datagen::LodCloudConfig cfg = MakeConfig(CloudProfile::kPeriphery, scale);
+    cfg.typo_rate = rate;
+    World noisy = World::Make(cfg);
+    auto pc = [&](const BlockingMethod& method) {
+      return EvaluateBlocks(method.Build(*noisy.collection),
+                            *noisy.collection, ResolutionMode::kCleanClean,
+                            *noisy.truth)
+          .pair_completeness;
+    };
+    TokenBlocking token;
+    QGramBlocking::Options gopts;
+    gopts.max_df_fraction = 0.2;
+    QGramBlocking qgram(gopts);
+    SortedNeighborhoodBlocking nbhd;
+    typo.AddRow()
+        .Cell(rate, 1)
+        .Cell(pc(token), 4)
+        .Cell(pc(qgram), 4)
+        .Cell(pc(nbhd), 4);
+  }
+  typo.Print(std::cout);
+  return 0;
+}

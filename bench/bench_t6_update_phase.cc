@@ -1,0 +1,93 @@
+// Experiment T6 — the update phase: neighbor evidence for "somehow similar"
+// descriptions.
+//
+// The poster: "blocking approaches … may miss highly heterogeneous matching
+// descriptions featuring few common tokens. To overcome that, we focus on
+// exploiting the partial matching results as a similarity evidence for
+// their neighbor descriptions." This harness runs the resolver on a
+// periphery-heavy cloud with the update phase ON vs OFF at equal budgets,
+// reporting recall, blocking-missed pairs discovered, and matches that only
+// cleared the threshold thanks to neighbor evidence.
+// Expected shape: ON strictly dominates OFF; a visible share of ON's extra
+// recall comes from discovered (blocking-missed) pairs.
+
+#include <cstdio>
+#include <iostream>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "eval/progressive_metrics.h"
+#include "progressive/resolver.h"
+#include "util/hash.h"
+#include "util/table.h"
+
+using namespace minoan;        // NOLINT
+using namespace minoan::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  const uint32_t scale = ParseScale(argc, argv);
+  std::printf("== T6: update-phase ablation on the periphery (scale %u) "
+              "==\n\n", scale);
+  datagen::LodCloudConfig cfg = MakeConfig(CloudProfile::kPeriphery, scale);
+  cfg.periphery_token_overlap = 0.22;  // few common tokens
+  World w = World::Make(cfg);
+  const auto candidates = w.DefaultCandidates();
+
+  // How many truth pairs does blocking+meta-blocking even reach?
+  std::unordered_set<uint64_t> candidate_keys;
+  uint64_t reachable = 0;
+  for (const auto& c : candidates) {
+    candidate_keys.insert(PairKey(c.a, c.b));
+    if (w.truth->Matches(c.a, c.b)) ++reachable;
+  }
+  std::printf("truth pairs: %llu; reachable via blocking: %llu (%.1f%%)\n\n",
+              static_cast<unsigned long long>(w.truth->num_pairs()),
+              static_cast<unsigned long long>(reachable),
+              100.0 * static_cast<double>(reachable) /
+                  static_cast<double>(w.truth->num_pairs()));
+
+  Table table({"budget", "update", "recall", "precision",
+               "discovered_pairs", "discovered_matches",
+               "evidence_assisted", "recall_gain"});
+  for (double fraction : {0.25, 0.5, 1.0}) {
+    const uint64_t budget =
+        static_cast<uint64_t>(fraction * candidates.size());
+    double recall_off = 0.0;
+    for (bool update : {false, true}) {
+      ProgressiveOptions opts;
+      opts.enable_update_phase = update;
+      opts.matcher.threshold = 0.3;
+      // Periphery-tuned evidence: a double-confirmed neighbor pair may
+      // clear the threshold even with near-zero profile similarity.
+      opts.evidence_weight = 0.4;
+      opts.matcher.budget = budget;
+      ProgressiveResolver resolver(*w.collection, *w.graph, *w.evaluator,
+                                   opts);
+      const ProgressiveResult result = resolver.Resolve(candidates);
+      const MatchingMetrics m =
+          EvaluateMatches(result.run.matches, *w.truth);
+      if (!update) recall_off = m.recall;
+      char budget_label[32];
+      std::snprintf(budget_label, sizeof(budget_label), "%.1fx", fraction);
+      char gain[32];
+      std::snprintf(gain, sizeof(gain), "%+.1f%%",
+                    100.0 * (m.recall - recall_off));
+      table.AddRow()
+          .Cell(budget_label)
+          .Cell(update ? "on" : "off")
+          .Cell(m.recall, 4)
+          .Cell(m.precision, 4)
+          .Cell(result.discovered_pairs)
+          .Cell(result.discovered_matches)
+          .Cell(result.evidence_assisted_matches)
+          .Cell(update ? gain : "-");
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\n(budget in multiples of the candidate count; discovered = "
+              "pairs blocking never produced,\n surfaced via matched "
+              "neighbors — the poster's \"new candidate description "
+              "pairs\")\n");
+  return 0;
+}

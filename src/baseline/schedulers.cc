@@ -1,0 +1,104 @@
+#include "baseline/schedulers.h"
+
+#include <algorithm>
+
+#include "matching/union_find.h"
+#include "metablocking/meta_blocking.h"
+#include "util/hash.h"
+
+namespace minoan {
+namespace baseline {
+
+std::vector<Comparison> RandomOrder(
+    const std::vector<WeightedComparison>& candidates, uint64_t seed) {
+  std::vector<Comparison> order;
+  order.reserve(candidates.size());
+  for (const WeightedComparison& c : candidates) {
+    order.emplace_back(c.a, c.b);
+  }
+  Rng rng(seed);
+  rng.Shuffle(order);
+  return order;
+}
+
+std::vector<Comparison> OracleOrder(
+    const std::vector<WeightedComparison>& candidates,
+    const std::function<bool(EntityId, EntityId)>& is_match) {
+  std::vector<Comparison> matches, rest;
+  matches.reserve(candidates.size());
+  for (const WeightedComparison& c : candidates) {
+    (is_match(c.a, c.b) ? matches : rest).emplace_back(c.a, c.b);
+  }
+  matches.insert(matches.end(), rest.begin(), rest.end());
+  return matches;
+}
+
+std::vector<Comparison> WeightDescendingOrder(
+    std::vector<WeightedComparison> candidates) {
+  SortByWeightDescending(candidates);
+  std::vector<Comparison> order;
+  order.reserve(candidates.size());
+  for (const WeightedComparison& c : candidates) {
+    order.emplace_back(c.a, c.b);
+  }
+  return order;
+}
+
+ResolutionRun AltowimResolver::Run(
+    const std::vector<WeightedComparison>& candidates) const {
+  ResolutionRun run;
+  UnionFind clusters(collection_->num_entities());
+
+  struct Pending {
+    EntityId a;
+    EntityId b;
+    double weight;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(candidates.size());
+  double max_weight = 0.0;
+  for (const WeightedComparison& c : candidates) {
+    pending.push_back({c.a, c.b, c.weight});
+    max_weight = std::max(max_weight, c.weight);
+  }
+  const double scale = max_weight > 0.0 ? 1.0 / max_weight : 1.0;
+
+  auto score = [&](const Pending& p) {
+    // Quantity benefit: likelihood, boosted when both endpoints are still
+    // unresolved singletons (a hit would resolve a brand-new pair set).
+    const bool unresolved =
+        clusters.SetSize(p.a) == 1 && clusters.SetSize(p.b) == 1;
+    return p.weight * scale *
+           (unresolved ? 1.0 + options_.unresolved_bonus : 1.0);
+  };
+
+  const uint64_t budget = options_.matcher.budget;
+  while (!pending.empty() &&
+         (budget == 0 || run.comparisons_executed < budget)) {
+    // Re-rank the remaining candidates for this window.
+    const size_t window =
+        std::min<size_t>(options_.window_size, pending.size());
+    std::partial_sort(pending.begin(), pending.begin() + window,
+                      pending.end(), [&](const Pending& x, const Pending& y) {
+                        const double sx = score(x), sy = score(y);
+                        if (sx != sy) return sx > sy;
+                        return PairKey(x.a, x.b) < PairKey(y.a, y.b);
+                      });
+    for (size_t i = 0; i < window; ++i) {
+      if (budget > 0 && run.comparisons_executed >= budget) break;
+      const Pending& p = pending[i];
+      ++run.comparisons_executed;
+      const double sim = evaluator_->Similarity(p.a, p.b);
+      if (sim >= options_.matcher.threshold) {
+        run.matches.push_back(
+            MatchEvent{run.comparisons_executed, p.a, p.b, sim});
+        clusters.Union(p.a, p.b);
+      }
+    }
+    pending.erase(pending.begin(), pending.begin() + window);
+  }
+  return run;
+}
+
+}  // namespace baseline
+}  // namespace minoan

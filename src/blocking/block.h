@@ -1,0 +1,117 @@
+// Copyright 2026 The MinoanER Authors.
+// Blocks and block collections.
+//
+// Blocking places likely-matching descriptions into (overlapping) blocks; the
+// matcher then compares only descriptions sharing a block. MinoanER's
+// blocking is schema-agnostic: keys are tokens (or URI parts), never
+// hand-picked attributes — the poster's "minimal number of assumptions about
+// how entities match".
+
+#ifndef MINOAN_BLOCKING_BLOCK_H_
+#define MINOAN_BLOCKING_BLOCK_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kb/collection.h"
+#include "kb/entity.h"
+#include "util/interner.h"
+
+namespace minoan {
+
+/// Whether resolution is clean-clean (each KB internally duplicate-free, so
+/// only cross-KB pairs are candidate matches) or dirty (any pair may match).
+enum class ResolutionMode {
+  kDirty = 0,
+  kCleanClean = 1,
+};
+
+/// One candidate comparison (unordered entity pair, a < b).
+struct Comparison {
+  EntityId a;
+  EntityId b;
+
+  Comparison() : a(kInvalidEntity), b(kInvalidEntity) {}
+  Comparison(EntityId x, EntityId y) : a(x < y ? x : y), b(x < y ? y : x) {}
+
+  bool operator==(const Comparison& other) const {
+    return a == other.a && b == other.b;
+  }
+  bool operator<(const Comparison& other) const {
+    return a != other.a ? a < other.a : b < other.b;
+  }
+};
+
+/// One block: a key and the (sorted) entities that share it.
+struct Block {
+  uint32_t key = 0;  // id in BlockCollection::keys()
+  std::vector<EntityId> entities;
+
+  size_t size() const { return entities.size(); }
+
+  /// Number of comparisons this block induces under `mode` (cross-KB pairs
+  /// only for clean-clean), ignoring cross-block redundancy.
+  uint64_t NumComparisons(const EntityCollection& collection,
+                          ResolutionMode mode) const;
+};
+
+/// An immutable set of blocks plus the inverted entity→blocks index that
+/// meta-blocking traverses.
+class BlockCollection {
+ public:
+  BlockCollection() = default;
+
+  /// Appends a block with the given key string and entity list. Entities are
+  /// sorted and deduplicated; blocks of fewer than 2 entities are dropped.
+  void AddBlock(std::string_view key, std::vector<EntityId> entities);
+
+  size_t num_blocks() const { return blocks_.size(); }
+  const Block& block(size_t i) const { return blocks_[i]; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  std::string_view KeyString(uint32_t key_id) const {
+    return keys_.View(key_id);
+  }
+
+  /// Aggregate comparisons over all blocks (with cross-block redundancy).
+  uint64_t AggregateComparisons(const EntityCollection& collection,
+                                ResolutionMode mode) const;
+
+  /// Enumerates the *distinct* comparisons (each unordered pair once, even
+  /// when it co-occurs in many blocks), restricted by `mode`.
+  std::vector<Comparison> DistinctComparisons(
+      const EntityCollection& collection, ResolutionMode mode) const;
+
+  /// Number of distinct entities placed in at least one block.
+  uint32_t NumPlacedEntities() const;
+
+  /// Builds the entity→block-indices CSR over `num_entities` entities.
+  /// Lists are sorted by block index.
+  void BuildEntityIndex(uint32_t num_entities);
+  bool has_entity_index() const { return !index_offsets_.empty(); }
+
+  /// Block indices containing `e` (requires BuildEntityIndex).
+  std::span<const uint32_t> BlocksOf(EntityId e) const {
+    return std::span<const uint32_t>(
+        index_blocks_.data() + index_offsets_[e],
+        index_offsets_[e + 1] - index_offsets_[e]);
+  }
+
+  /// Replaces the block set (used by purging/filtering); invalidates the
+  /// entity index.
+  void ReplaceBlocks(std::vector<Block> blocks);
+
+  const StringInterner& keys() const { return keys_; }
+
+ private:
+  std::vector<Block> blocks_;
+  StringInterner keys_;
+  std::vector<uint64_t> index_offsets_;
+  std::vector<uint32_t> index_blocks_;
+};
+
+}  // namespace minoan
+
+#endif  // MINOAN_BLOCKING_BLOCK_H_

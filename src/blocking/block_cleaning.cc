@@ -1,0 +1,135 @@
+#include "blocking/block_cleaning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace minoan {
+
+namespace {
+
+CleaningStats MakeStats(const BlockCollection& before_blocks,
+                        uint64_t comparisons_before,
+                        const BlockCollection& after_blocks,
+                        const EntityCollection& collection,
+                        ResolutionMode mode, uint64_t blocks_before) {
+  (void)before_blocks;
+  CleaningStats stats;
+  stats.blocks_before = blocks_before;
+  stats.blocks_after = after_blocks.num_blocks();
+  stats.comparisons_before = comparisons_before;
+  stats.comparisons_after = after_blocks.AggregateComparisons(collection, mode);
+  return stats;
+}
+
+}  // namespace
+
+CleaningStats PurgeBySize(BlockCollection& blocks, uint32_t max_block_size,
+                          const EntityCollection& collection,
+                          ResolutionMode mode) {
+  const uint64_t blocks_before = blocks.num_blocks();
+  const uint64_t comparisons_before =
+      blocks.AggregateComparisons(collection, mode);
+  std::vector<Block> kept;
+  for (const Block& b : blocks.blocks()) {
+    if (b.size() <= max_block_size) kept.push_back(b);
+  }
+  blocks.ReplaceBlocks(std::move(kept));
+  return MakeStats(blocks, comparisons_before, blocks, collection, mode,
+                   blocks_before);
+}
+
+CleaningStats AutoPurge(BlockCollection& blocks,
+                        const EntityCollection& collection,
+                        ResolutionMode mode, double smoothing) {
+  const uint64_t blocks_before = blocks.num_blocks();
+  const uint64_t comparisons_before =
+      blocks.AggregateComparisons(collection, mode);
+
+  // Per distinct block size: total comparisons and total block assignments.
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> by_size;  // size -> (cmp, assign)
+  for (const Block& b : blocks.blocks()) {
+    auto& [cmp, assign] = by_size[b.size()];
+    cmp += b.NumComparisons(collection, mode);
+    assign += b.size();
+  }
+  // Ascending scan of the cumulative comparisons-per-assignment ratio. The
+  // threshold is set below the LAST size at which the ratio jumps by more
+  // than `smoothing` — the oversized blocks dominate cumulative comparisons,
+  // so the last jump marks where they begin. (Papadakis et al.; only the
+  // few giant blocks are purged, small blocks always survive.)
+  uint64_t max_keep_size = by_size.empty() ? 0 : by_size.rbegin()->first;
+  uint64_t cum_cmp = 0, cum_assign = 0;
+  double prev_ratio = -1.0;
+  uint64_t prev_size = 0;
+  for (const auto& [size, totals] : by_size) {
+    cum_cmp += totals.first;
+    cum_assign += totals.second;
+    if (cum_assign == 0) continue;
+    const double ratio =
+        static_cast<double>(cum_cmp) / static_cast<double>(cum_assign);
+    if (prev_ratio >= 0.0 && ratio > smoothing * prev_ratio) {
+      max_keep_size = prev_size;  // last jump wins
+    }
+    prev_ratio = ratio;
+    prev_size = size;
+  }
+  if (max_keep_size == 0 && !by_size.empty()) {
+    max_keep_size = by_size.begin()->first;
+  }
+  std::vector<Block> kept;
+  for (const Block& b : blocks.blocks()) {
+    if (b.size() <= max_keep_size) kept.push_back(b);
+  }
+  blocks.ReplaceBlocks(std::move(kept));
+  return MakeStats(blocks, comparisons_before, blocks, collection, mode,
+                   blocks_before);
+}
+
+CleaningStats FilterBlocks(BlockCollection& blocks, double ratio,
+                           const EntityCollection& collection,
+                           ResolutionMode mode) {
+  const uint64_t blocks_before = blocks.num_blocks();
+  const uint64_t comparisons_before =
+      blocks.AggregateComparisons(collection, mode);
+  if (ratio <= 0.0 || ratio > 1.0) ratio = 1.0;
+
+  // entity -> indices of its blocks, sorted by block size ascending.
+  const uint32_t n = collection.num_entities();
+  std::vector<std::vector<uint32_t>> memberships(n);
+  for (uint32_t bi = 0; bi < blocks.num_blocks(); ++bi) {
+    for (EntityId e : blocks.block(bi).entities) {
+      memberships[e].push_back(bi);
+    }
+  }
+  std::vector<std::vector<EntityId>> retained(blocks.num_blocks());
+  for (uint32_t e = 0; e < n; ++e) {
+    auto& mine = memberships[e];
+    if (mine.empty()) continue;
+    std::sort(mine.begin(), mine.end(), [&](uint32_t x, uint32_t y) {
+      const size_t sx = blocks.block(x).size(), sy = blocks.block(y).size();
+      return sx != sy ? sx < sy : x < y;
+    });
+    const size_t keep = static_cast<size_t>(
+        std::max(1.0, std::ceil(ratio * static_cast<double>(mine.size()))));
+    for (size_t i = 0; i < std::min(keep, mine.size()); ++i) {
+      retained[mine[i]].push_back(e);
+    }
+  }
+  std::vector<Block> kept;
+  for (uint32_t bi = 0; bi < retained.size(); ++bi) {
+    if (retained[bi].size() < 2) continue;
+    Block b;
+    b.key = blocks.block(bi).key;
+    std::sort(retained[bi].begin(), retained[bi].end());
+    b.entities = std::move(retained[bi]);
+    kept.push_back(std::move(b));
+  }
+  // Rebuild against the same key table: ReplaceBlocks keeps the interner.
+  blocks.ReplaceBlocks(std::move(kept));
+  return MakeStats(blocks, comparisons_before, blocks, collection, mode,
+                   blocks_before);
+}
+
+}  // namespace minoan

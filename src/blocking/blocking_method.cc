@@ -1,0 +1,196 @@
+#include "blocking/blocking_method.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "rdf/iri.h"
+#include "text/similarity.h"
+#include "util/logging.h"
+
+namespace minoan {
+
+namespace {
+
+/// Union-find over predicate ids (small, path-halving).
+class DisjointSets {
+ public:
+  explicit DisjointSets(uint32_t n) : parent_(n) {
+    for (uint32_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+BlockCollection TokenBlocking::Build(
+    const EntityCollection& collection) const {
+  // Inverted index: token -> entities containing it (unique per entity).
+  std::vector<std::vector<EntityId>> postings(collection.tokens().size());
+  for (const EntityDescription& desc : collection.entities()) {
+    for (uint32_t tok : desc.tokens) postings[tok].push_back(desc.id);
+  }
+  const uint64_t df_cap = static_cast<uint64_t>(
+      options_.max_df_fraction * collection.num_entities());
+  BlockCollection out;
+  for (uint32_t tok = 0; tok < postings.size(); ++tok) {
+    auto& list = postings[tok];
+    if (list.size() < options_.min_df) continue;
+    if (df_cap > 0 && list.size() > df_cap) continue;
+    out.AddBlock(collection.tokens().View(tok), std::move(list));
+  }
+  return out;
+}
+
+BlockCollection PisBlocking::Build(const EntityCollection& collection) const {
+  std::unordered_map<std::string, std::vector<EntityId>> keyed;
+  std::vector<std::string> scratch;
+  for (const EntityDescription& desc : collection.entities()) {
+    const std::string_view iri = collection.iris().View(desc.iri);
+    const rdf::IriParts parts = rdf::SplitIri(iri);
+    if (options_.use_suffix && !parts.suffix.empty()) {
+      keyed["sfx:" + parts.suffix].push_back(desc.id);
+      if (options_.tokenize_suffix) {
+        scratch.clear();
+        collection.tokenizer().Tokenize(parts.suffix, scratch);
+        for (const std::string& tok : scratch) {
+          keyed["sfxtok:" + tok].push_back(desc.id);
+        }
+      }
+    }
+    if (options_.use_infix && !parts.infix.empty()) {
+      keyed["ifx:" + parts.infix].push_back(desc.id);
+    }
+  }
+  BlockCollection out;
+  for (auto& [key, entities] : keyed) {
+    if (entities.size() < options_.min_block_size) continue;
+    if (entities.size() > options_.max_block_size) continue;
+    out.AddBlock(key, std::move(entities));
+  }
+  return out;
+}
+
+std::vector<uint32_t> AttributeClusteringBlocking::ClusterPredicates(
+    const EntityCollection& collection) const {
+  const uint32_t num_preds = collection.predicates().size();
+  // Profile each predicate by the (sorted unique, capped) token ids of its
+  // values across all entities.
+  std::vector<std::vector<uint32_t>> profile(num_preds);
+  std::vector<std::string> scratch;
+  for (const EntityDescription& desc : collection.entities()) {
+    for (const Attribute& attr : desc.attributes) {
+      auto& prof = profile[attr.predicate];
+      if (prof.size() >= options_.max_profile_tokens) continue;
+      scratch.clear();
+      collection.tokenizer().Tokenize(collection.values().View(attr.value),
+                                      scratch);
+      for (const std::string& tok : scratch) {
+        const uint32_t id = collection.tokens().Find(tok);
+        if (id != kInternNotFound) prof.push_back(id);
+      }
+    }
+  }
+  for (auto& prof : profile) SortUnique(prof);
+
+  // Link predicates whose vocabularies overlap; transitive closure via
+  // union-find. Unprofiled (relation-only) predicates join the glue cluster.
+  DisjointSets sets(num_preds);
+  for (uint32_t p = 0; p < num_preds; ++p) {
+    if (profile[p].empty()) continue;
+    for (uint32_t q = p + 1; q < num_preds; ++q) {
+      if (profile[q].empty()) continue;
+      if (JaccardSimilarity(profile[p], profile[q]) >=
+          options_.link_threshold) {
+        sets.Union(p, q);
+      }
+    }
+  }
+  // Densify cluster ids: cluster 0 is the glue cluster for predicates whose
+  // singleton vocabulary linked to nothing (they still deserve blocks —
+  // dropping them would silently lose recall).
+  std::vector<uint32_t> cluster(num_preds, 0);
+  std::vector<uint32_t> root_size(num_preds, 0);
+  for (uint32_t p = 0; p < num_preds; ++p) ++root_size[sets.Find(p)];
+  std::unordered_map<uint32_t, uint32_t> dense;
+  for (uint32_t p = 0; p < num_preds; ++p) {
+    const uint32_t root = sets.Find(p);
+    if (root_size[root] < 2) {
+      cluster[p] = 0;  // singleton → glue cluster
+      continue;
+    }
+    auto [it, inserted] = dense.emplace(root, dense.size() + 1);
+    cluster[p] = it->second;
+  }
+  return cluster;
+}
+
+BlockCollection AttributeClusteringBlocking::Build(
+    const EntityCollection& collection) const {
+  const std::vector<uint32_t> cluster = ClusterPredicates(collection);
+  // Token blocking keyed by (cluster, token).
+  std::unordered_map<uint64_t, std::vector<EntityId>> keyed;
+  std::vector<std::string> scratch;
+  std::vector<uint64_t> entity_keys;
+  for (const EntityDescription& desc : collection.entities()) {
+    entity_keys.clear();
+    for (const Attribute& attr : desc.attributes) {
+      const uint64_t c = cluster[attr.predicate];
+      scratch.clear();
+      collection.tokenizer().Tokenize(collection.values().View(attr.value),
+                                      scratch);
+      for (const std::string& tok : scratch) {
+        const uint32_t id = collection.tokens().Find(tok);
+        if (id != kInternNotFound) {
+          entity_keys.push_back((c << 32) | id);
+        }
+      }
+    }
+    std::sort(entity_keys.begin(), entity_keys.end());
+    entity_keys.erase(std::unique(entity_keys.begin(), entity_keys.end()),
+                      entity_keys.end());
+    for (uint64_t key : entity_keys) keyed[key].push_back(desc.id);
+  }
+  const uint64_t df_cap = static_cast<uint64_t>(
+      options_.max_df_fraction * collection.num_entities());
+  BlockCollection out;
+  for (auto& [key, entities] : keyed) {
+    if (entities.size() < options_.min_df) continue;
+    if (df_cap > 0 && entities.size() > df_cap) continue;
+    const uint32_t c = static_cast<uint32_t>(key >> 32);
+    const uint32_t tok = static_cast<uint32_t>(key & 0xffffffffULL);
+    std::string key_str = "c" + std::to_string(c) + ":" +
+                          std::string(collection.tokens().View(tok));
+    out.AddBlock(key_str, std::move(entities));
+  }
+  return out;
+}
+
+BlockCollection CompositeBlocking::Build(
+    const EntityCollection& collection) const {
+  BlockCollection out;
+  for (const auto& method : methods_) {
+    BlockCollection part = method->Build(collection);
+    for (const Block& b : part.blocks()) {
+      std::string key = std::string(method->name()) + ":" +
+                        std::string(part.KeyString(b.key));
+      out.AddBlock(key, b.entities);
+    }
+  }
+  return out;
+}
+
+}  // namespace minoan

@@ -1,0 +1,121 @@
+#include "blocking/char_blocking.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace minoan {
+
+BlockCollection QGramBlocking::Build(
+    const EntityCollection& collection) const {
+  const uint32_t q = std::max<uint32_t>(1, options_.q);
+  // Pass 1: per-entity q-gram key strings with global frequencies.
+  std::unordered_map<std::string, std::vector<EntityId>> postings;
+  std::unordered_map<std::string, uint32_t> df;
+  std::vector<std::string> entity_grams;
+  for (const EntityDescription& desc : collection.entities()) {
+    entity_grams.clear();
+    for (uint32_t tok : desc.tokens) {
+      const std::string_view token = collection.tokens().View(tok);
+      if (token.size() <= q) {
+        entity_grams.emplace_back(token);
+        continue;
+      }
+      for (size_t i = 0; i + q <= token.size(); ++i) {
+        entity_grams.emplace_back(token.substr(i, q));
+      }
+    }
+    std::sort(entity_grams.begin(), entity_grams.end());
+    entity_grams.erase(
+        std::unique(entity_grams.begin(), entity_grams.end()),
+        entity_grams.end());
+    for (const std::string& gram : entity_grams) ++df[gram];
+  }
+
+  // Pass 2: keep the rarest grams per entity (they carry the signal), build
+  // postings.
+  for (const EntityDescription& desc : collection.entities()) {
+    entity_grams.clear();
+    for (uint32_t tok : desc.tokens) {
+      const std::string_view token = collection.tokens().View(tok);
+      if (token.size() <= q) {
+        entity_grams.emplace_back(token);
+        continue;
+      }
+      for (size_t i = 0; i + q <= token.size(); ++i) {
+        entity_grams.emplace_back(token.substr(i, q));
+      }
+    }
+    std::sort(entity_grams.begin(), entity_grams.end());
+    entity_grams.erase(
+        std::unique(entity_grams.begin(), entity_grams.end()),
+        entity_grams.end());
+    if (options_.max_grams_per_entity > 0 &&
+        entity_grams.size() > options_.max_grams_per_entity) {
+      std::partial_sort(
+          entity_grams.begin(),
+          entity_grams.begin() + options_.max_grams_per_entity,
+          entity_grams.end(), [&](const std::string& a, const std::string& b) {
+            const uint32_t da = df[a], db = df[b];
+            return da != db ? da < db : a < b;  // rarest first
+          });
+      entity_grams.resize(options_.max_grams_per_entity);
+    }
+    for (const std::string& gram : entity_grams) {
+      postings[gram].push_back(desc.id);
+    }
+  }
+
+  const uint64_t df_cap = static_cast<uint64_t>(options_.max_df_fraction *
+                                                collection.num_entities());
+  BlockCollection out;
+  // Deterministic order: sorted keys.
+  std::vector<std::string> keys;
+  keys.reserve(postings.size());
+  for (const auto& [key, list] : postings) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::string& key : keys) {
+    auto& list = postings[key];
+    if (list.size() < options_.min_df) continue;
+    if (df_cap > 0 && list.size() > df_cap) continue;
+    out.AddBlock("g:" + key, std::move(list));
+  }
+  return out;
+}
+
+BlockCollection SortedNeighborhoodBlocking::Build(
+    const EntityCollection& collection) const {
+  // Build (key, entity) pairs: each entity contributes its rarest tokens.
+  std::vector<std::pair<std::string, EntityId>> keyed;
+  for (const EntityDescription& desc : collection.entities()) {
+    // Tokens sorted by (df, id): rarest first.
+    std::vector<uint32_t> toks = desc.tokens;
+    std::sort(toks.begin(), toks.end(), [&](uint32_t a, uint32_t b) {
+      const uint32_t da = collection.TokenDf(a), db = collection.TokenDf(b);
+      return da != db ? da < db : a < b;
+    });
+    const size_t take =
+        std::min<size_t>(options_.keys_per_entity, toks.size());
+    for (size_t i = 0; i < take; ++i) {
+      keyed.emplace_back(std::string(collection.tokens().View(toks[i])),
+                         desc.id);
+    }
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  BlockCollection out;
+  const size_t w = std::max<uint32_t>(2, options_.window_size);
+  // Slide a window over the sorted key list; each window is one block.
+  std::vector<EntityId> window;
+  for (size_t start = 0; start + 1 < keyed.size(); start += w / 2) {
+    const size_t end = std::min(keyed.size(), start + w);
+    window.clear();
+    for (size_t i = start; i < end; ++i) window.push_back(keyed[i].second);
+    std::string key = "w:" + keyed[start].first + ":" +
+                      std::to_string(start);
+    out.AddBlock(key, window);
+    if (end == keyed.size()) break;
+  }
+  return out;
+}
+
+}  // namespace minoan

@@ -1,0 +1,149 @@
+#include "core/minoan_er.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace minoan {
+
+std::string_view BlockerChoiceName(BlockerChoice choice) {
+  switch (choice) {
+    case BlockerChoice::kToken:
+      return "token";
+    case BlockerChoice::kPis:
+      return "pis";
+    case BlockerChoice::kAttributeClustering:
+      return "attr-cluster";
+    case BlockerChoice::kTokenPlusPis:
+      return "token+pis";
+  }
+  return "?";
+}
+
+std::unique_ptr<BlockingMethod> MinoanEr::MakeBlocker() const {
+  switch (options_.blocker) {
+    case BlockerChoice::kToken:
+      return std::make_unique<TokenBlocking>(options_.token_options);
+    case BlockerChoice::kPis:
+      return std::make_unique<PisBlocking>(options_.pis_options);
+    case BlockerChoice::kAttributeClustering:
+      return std::make_unique<AttributeClusteringBlocking>(
+          options_.attr_options);
+    case BlockerChoice::kTokenPlusPis: {
+      std::vector<std::unique_ptr<BlockingMethod>> methods;
+      methods.push_back(std::make_unique<TokenBlocking>(options_.token_options));
+      methods.push_back(std::make_unique<PisBlocking>(options_.pis_options));
+      return std::make_unique<CompositeBlocking>(std::move(methods));
+    }
+  }
+  return std::make_unique<TokenBlocking>(options_.token_options);
+}
+
+BlockCollection MinoanEr::BuildBlocks(
+    const EntityCollection& collection) const {
+  BlockCollection blocks = MakeBlocker()->Build(collection);
+  if (options_.auto_purge) {
+    AutoPurge(blocks, collection, options_.meta.mode);
+  }
+  if (options_.filter_ratio > 0.0 && options_.filter_ratio < 1.0) {
+    FilterBlocks(blocks, options_.filter_ratio, collection,
+                 options_.meta.mode);
+  }
+  return blocks;
+}
+
+Result<ResolutionReport> MinoanEr::Run(
+    const EntityCollection& collection) const {
+  if (!collection.finalized()) {
+    return Status::FailedPrecondition("collection not finalized");
+  }
+  ResolutionReport report;
+  Stopwatch watch;
+
+  // ---- Blocking + cleaning ----------------------------------------------
+  watch.Restart();
+  BlockCollection raw = MakeBlocker()->Build(collection);
+  report.blocks_built = raw.num_blocks();
+  report.phases.push_back(
+      {"blocking", watch.ElapsedMillis(), report.blocks_built});
+
+  watch.Restart();
+  if (options_.auto_purge) {
+    AutoPurge(raw, collection, options_.meta.mode);
+  }
+  if (options_.filter_ratio > 0.0 && options_.filter_ratio < 1.0) {
+    FilterBlocks(raw, options_.filter_ratio, collection, options_.meta.mode);
+  }
+  report.blocks_after_cleaning = raw.num_blocks();
+  report.comparisons_before_meta =
+      raw.AggregateComparisons(collection, options_.meta.mode);
+  report.phases.push_back(
+      {"block-cleaning", watch.ElapsedMillis(), report.blocks_after_cleaning});
+
+  // ---- Meta-blocking ------------------------------------------------------
+  watch.Restart();
+  std::vector<WeightedComparison> candidates;
+  if (options_.enable_meta_blocking) {
+    MetaBlocking meta(options_.meta);
+    candidates = meta.Prune(raw, collection, &report.meta_stats);
+  } else {
+    // Distinct comparisons with CBS weights (no pruning).
+    raw.BuildEntityIndex(collection.num_entities());
+    for (const Comparison& c :
+         raw.DistinctComparisons(collection, options_.meta.mode)) {
+      candidates.push_back({c.a, c.b, 1.0});
+    }
+  }
+  report.comparisons_after_meta = candidates.size();
+  report.phases.push_back(
+      {"meta-blocking", watch.ElapsedMillis(), candidates.size()});
+
+  // ---- Scheduling / Matching / Update loop -------------------------------
+  watch.Restart();
+  const NeighborGraph graph(collection);
+  const SimilarityEvaluator evaluator(collection, options_.similarity);
+  report.phases.push_back(
+      {"graph+evaluator", watch.ElapsedMillis(), graph.num_edges()});
+
+  watch.Restart();
+  ProgressiveResolver resolver(collection, graph, evaluator,
+                               options_.progressive);
+  if (options_.use_same_as_seeds && !collection.same_as_links().empty()) {
+    std::vector<Comparison> seeds;
+    seeds.reserve(collection.same_as_links().size());
+    for (const SameAsLink& link : collection.same_as_links()) {
+      seeds.emplace_back(link.a, link.b);
+    }
+    report.progressive = resolver.ResolveWithSeeds(candidates, seeds);
+  } else {
+    report.progressive = resolver.Resolve(candidates);
+  }
+  report.phases.push_back({"progressive-resolution", watch.ElapsedMillis(),
+                           report.progressive.run.matches.size()});
+
+  MINOAN_LOG(kInfo) << "MinoanER run: " << report.progressive.run.matches.size()
+                    << " matches in "
+                    << report.progressive.run.comparisons_executed
+                    << " comparisons";
+  return report;
+}
+
+std::string ResolutionReport::Summary() const {
+  Table table({"phase", "ms", "output"});
+  for (const PhaseStats& p : phases) {
+    table.AddRow().Cell(p.name).Cell(p.millis, 2).Cell(p.output_cardinality);
+  }
+  std::ostringstream os;
+  table.Print(os);
+  os << "comparisons: " << comparisons_before_meta << " (aggregate) -> "
+     << comparisons_after_meta << " (retained)\n"
+     << "matches: " << progressive.run.matches.size()
+     << ", discovered-by-update: " << progressive.discovered_matches
+     << ", evidence-assisted: " << progressive.evidence_assisted_matches
+     << "\n";
+  return os.str();
+}
+
+}  // namespace minoan

@@ -1,0 +1,107 @@
+// Copyright 2026 The MinoanER Authors.
+// The MinoanER facade: the end-to-end pipeline of Figure 1.
+//
+//   Blocking → (block cleaning) → Meta-blocking → Scheduling → Entity
+//   Matching → Update → … until the cost budget is consumed.
+//
+// One call to MinoanEr::Run executes the whole workflow over a finalized
+// EntityCollection and returns a ResolutionReport with per-phase counters,
+// timings, and the full progressive run (for evaluation).
+
+#ifndef MINOAN_CORE_MINOAN_ER_H_
+#define MINOAN_CORE_MINOAN_ER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocking/block.h"
+#include "blocking/block_cleaning.h"
+#include "blocking/blocking_method.h"
+#include "kb/collection.h"
+#include "kb/neighbor_graph.h"
+#include "matching/similarity_evaluator.h"
+#include "metablocking/meta_blocking.h"
+#include "progressive/resolver.h"
+#include "util/status.h"
+
+namespace minoan {
+
+/// Which blocking method(s) the workflow starts from.
+enum class BlockerChoice {
+  kToken = 0,
+  kPis = 1,
+  kAttributeClustering = 2,
+  kTokenPlusPis = 3,  ///< MinoanER's Web-of-Data default
+};
+
+std::string_view BlockerChoiceName(BlockerChoice choice);
+
+/// Full workflow configuration with Web-of-Data defaults.
+struct WorkflowOptions {
+  BlockerChoice blocker = BlockerChoice::kTokenPlusPis;
+  TokenBlocking::Options token_options;
+  PisBlocking::Options pis_options;
+  AttributeClusteringBlocking::Options attr_options;
+
+  /// Block cleaning between blocking and meta-blocking.
+  bool auto_purge = true;
+  /// Block-filtering ratio in (0,1]; >= 1 disables.
+  double filter_ratio = 0.8;
+
+  bool enable_meta_blocking = true;
+  MetaBlockingOptions meta;
+
+  SimilarityOptions similarity;
+  ProgressiveOptions progressive;
+
+  /// Treat the collection's existing owl:sameAs interlinks as trusted
+  /// warm-start seeds: they enter the resolution state at zero budget cost
+  /// and their neighborhoods gain evidence before matching starts.
+  bool use_same_as_seeds = false;
+};
+
+/// Wall-time and cardinality accounting per pipeline phase.
+struct PhaseStats {
+  std::string name;
+  double millis = 0.0;
+  uint64_t output_cardinality = 0;  // blocks / comparisons / matches
+};
+
+/// Everything one run produces.
+struct ResolutionReport {
+  std::vector<PhaseStats> phases;
+  uint64_t blocks_built = 0;
+  uint64_t blocks_after_cleaning = 0;
+  uint64_t comparisons_before_meta = 0;  // aggregate cardinality
+  uint64_t comparisons_after_meta = 0;   // retained distinct pairs
+  MetaBlockingStats meta_stats;
+  ProgressiveResult progressive;
+
+  /// Pretty-prints the per-phase summary.
+  std::string Summary() const;
+};
+
+/// The pipeline driver. Reusable across collections; stateless between runs.
+class MinoanEr {
+ public:
+  explicit MinoanEr(WorkflowOptions options) : options_(options) {}
+  MinoanEr() : options_{} {}
+
+  /// Runs the full workflow. The collection must be finalized.
+  Result<ResolutionReport> Run(const EntityCollection& collection) const;
+
+  /// Phase 1 only: build + clean blocks (exposed for tooling and tests).
+  BlockCollection BuildBlocks(const EntityCollection& collection) const;
+
+  const WorkflowOptions& options() const { return options_; }
+
+ private:
+  std::unique_ptr<BlockingMethod> MakeBlocker() const;
+  WorkflowOptions options_;
+};
+
+}  // namespace minoan
+
+#endif  // MINOAN_CORE_MINOAN_ER_H_

@@ -1,0 +1,63 @@
+#include "datagen/corpus.h"
+
+#include <unordered_set>
+
+namespace minoan {
+namespace datagen {
+
+namespace {
+constexpr const char* kConsonants[] = {"b", "d", "f", "g", "k", "l", "m",
+                                       "n", "p", "r", "s", "t", "v", "z",
+                                       "ch", "st", "th", "br", "kr"};
+constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ou", "ea"};
+}  // namespace
+
+std::string MakePseudoWord(Rng& rng, uint32_t syllables) {
+  std::string word;
+  for (uint32_t s = 0; s < syllables; ++s) {
+    word += kConsonants[rng.Below(std::size(kConsonants))];
+    word += kVowels[rng.Below(std::size(kVowels))];
+  }
+  return word;
+}
+
+WordPool::WordPool(Rng& rng, uint32_t size, uint32_t min_syl,
+                   uint32_t max_syl) {
+  std::unordered_set<std::string> seen;
+  words_.reserve(size);
+  while (words_.size() < size) {
+    const uint32_t syl =
+        static_cast<uint32_t>(rng.Uniform(min_syl, max_syl));
+    std::string w = MakePseudoWord(rng, syl);
+    if (seen.insert(w).second) {
+      words_.push_back(std::move(w));
+    } else if (seen.size() > size * 4) {
+      // Pool space exhausted for these syllable counts; disambiguate with a
+      // numeric suffix rather than looping forever.
+      w += std::to_string(words_.size());
+      if (seen.insert(w).second) words_.push_back(std::move(w));
+    }
+  }
+}
+
+const char* EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kPerson:
+      return "person";
+    case EntityType::kPlace:
+      return "place";
+    case EntityType::kProduct:
+      return "product";
+    case EntityType::kEvent:
+      return "event";
+  }
+  return "entity";
+}
+
+std::string EntityTypeClassIri(EntityType type) {
+  return std::string("http://schema.minoan.org/class/") +
+         EntityTypeName(type);
+}
+
+}  // namespace datagen
+}  // namespace minoan

@@ -1,0 +1,61 @@
+// Copyright 2026 The MinoanER Authors.
+// Synthetic vocabulary: deterministic pseudo-word pools for the generator.
+//
+// Tokens are pronounceable syllable strings ("velora", "kantir") drawn from
+// pools of configurable size, so that token collisions across entities occur
+// at realistic rates (shared first names, shared domain terms) without any
+// external word list.
+
+#ifndef MINOAN_DATAGEN_CORPUS_H_
+#define MINOAN_DATAGEN_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace minoan {
+namespace datagen {
+
+/// Generates one pseudo-word of `syllables` consonant-vowel syllables.
+std::string MakePseudoWord(Rng& rng, uint32_t syllables);
+
+/// A fixed pool of distinct pseudo-words, addressable by index.
+class WordPool {
+ public:
+  /// Builds `size` distinct words with syllable counts in [min_syl, max_syl].
+  WordPool(Rng& rng, uint32_t size, uint32_t min_syl, uint32_t max_syl);
+
+  const std::string& word(uint32_t i) const { return words_[i]; }
+  uint32_t size() const { return static_cast<uint32_t>(words_.size()); }
+
+  /// Uniform draw.
+  const std::string& Sample(Rng& rng) const {
+    return words_[rng.Below(words_.size())];
+  }
+
+ private:
+  std::vector<std::string> words_;
+};
+
+/// The entity-type taxonomy used by the generator; mirrors the poster's
+/// examples of real-world entity kinds.
+enum class EntityType : uint32_t {
+  kPerson = 0,
+  kPlace = 1,
+  kProduct = 2,
+  kEvent = 3,
+};
+inline constexpr uint32_t kNumEntityTypes = 4;
+
+/// Short lowercase name of the type ("person"...).
+const char* EntityTypeName(EntityType type);
+
+/// Class IRI for the type in the shared schema namespace.
+std::string EntityTypeClassIri(EntityType type);
+
+}  // namespace datagen
+}  // namespace minoan
+
+#endif  // MINOAN_DATAGEN_CORPUS_H_

@@ -1,0 +1,154 @@
+// Copyright 2026 The MinoanER Authors.
+// Synthetic LOD-cloud generator (the paper's data substrate).
+//
+// The poster evaluates MinoanER on the Web of Data: many autonomous KBs whose
+// descriptions of the same real-world entities range from *highly similar*
+// (many common tokens, aligned properties — the LOD center, e.g. DBpedia vs
+// Freebase) to *somehow similar* (few or no common tokens, proprietary
+// vocabularies — the LOD periphery). No public frozen corpus with complete
+// ground truth is shipped with the paper, so this generator synthesizes a
+// cloud with exactly those structural knobs:
+//
+//   * a universe of typed real-world entities with a relation graph
+//     (preferential attachment → skewed degrees);
+//   * center KBs: broad coverage, high token overlap between duplicate
+//     descriptions, shared vocabularies, name-derived IRIs;
+//   * periphery KBs: narrow type-biased coverage, low token overlap,
+//     proprietary vocabularies, opaque IRIs;
+//   * owl:sameAs interlinks emitted preferentially toward popular (center)
+//     KBs — reproducing the skewed interlinking the poster cites;
+//   * exhaustive ground truth (every cross-KB duplicate pair).
+//
+// Determinism: the entire cloud is a pure function of LodCloudConfig::seed.
+
+#ifndef MINOAN_DATAGEN_LOD_GENERATOR_H_
+#define MINOAN_DATAGEN_LOD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "kb/collection.h"
+#include "rdf/term.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace minoan {
+namespace datagen {
+
+/// All generator knobs. Defaults produce a small mixed cloud suitable for
+/// tests; benches scale the counts up.
+struct LodCloudConfig {
+  uint64_t seed = 42;
+
+  // --- Universe -----------------------------------------------------------
+  uint32_t num_real_entities = 2000;
+  /// Mean degree of the real-world relation graph.
+  double real_mean_degree = 3.0;
+  /// Preferential-attachment strength (0 = uniform endpoints).
+  double attachment_bias = 1.0;
+
+  // --- Cloud shape --------------------------------------------------------
+  uint32_t num_kbs = 6;
+  uint32_t center_kbs = 2;
+  /// Fraction of the universe described by each center / periphery KB.
+  double center_coverage = 0.55;
+  double periphery_coverage = 0.12;
+  /// Periphery KBs restrict themselves to one entity type with this
+  /// probability (domain-specific KBs: food facts, bio data, ...).
+  double periphery_domain_bias = 0.75;
+
+  // --- Description similarity ---------------------------------------------
+  /// Fraction of an entity's canonical tokens kept by a center / periphery
+  /// description. Center descriptions of the same entity are "highly
+  /// similar"; periphery ones are "somehow similar".
+  double center_token_overlap = 0.85;
+  double periphery_token_overlap = 0.30;
+  /// Number of extra noise tokens per description (uniform 0..2x mean).
+  double mean_noise_tokens = 3.0;
+  /// Probability that a kept token is corrupted by one character edit
+  /// (substitution, deletion, or transposition) — simulates the typos and
+  /// transliteration noise of autonomous KBs. Breaks exact token keys;
+  /// q-gram blocking and character similarities still see the signal.
+  double typo_rate = 0.0;
+  /// Canonical fact tokens per real entity (besides the 2-3 name tokens).
+  uint32_t min_fact_tokens = 5;
+  uint32_t max_fact_tokens = 12;
+
+  // --- Vocabulary ---------------------------------------------------------
+  /// Probability that a KB uses its own proprietary predicate namespace for
+  /// non-core predicates (poster: 58.24% of LOD vocabularies proprietary).
+  double proprietary_vocab_rate = 0.6;
+  /// Number of distinct fact predicates per KB.
+  uint32_t predicates_per_kb = 6;
+
+  // --- IRIs ---------------------------------------------------------------
+  /// Probability that a KB mints name-derived IRI suffixes (vs opaque ids),
+  /// for center / periphery KBs respectively.
+  double center_named_iri_rate = 0.9;
+  double periphery_named_iri_rate = 0.25;
+
+  // --- Relations & interlinking -------------------------------------------
+  /// Probability that a real-world relation edge is asserted by a KB that
+  /// describes both endpoints.
+  double relation_keep_rate = 0.8;
+  /// Probability that a true cross-KB duplicate pair is already linked by an
+  /// explicit owl:sameAs triple in the data.
+  double same_as_rate = 0.25;
+  /// Zipf skew of sameAs target popularity across KBs.
+  double link_zipf_skew = 1.1;
+
+  // --- Pools --------------------------------------------------------------
+  uint32_t name_pool_size = 1200;
+  uint32_t fact_pool_size = 6000;
+  uint32_t noise_pool_size = 4000;
+
+  /// Validates ranges; returned status explains the first violation.
+  Status Validate() const;
+};
+
+/// One generated knowledge base.
+struct GeneratedKb {
+  std::string name;                  // e.g. "kb03-center"
+  bool is_center = false;
+  std::vector<rdf::Triple> triples;
+};
+
+/// A matching pair of descriptions in ground truth, by IRI.
+struct TruthPair {
+  std::string iri_a;
+  std::string iri_b;
+};
+
+/// The full generated cloud.
+struct LodCloud {
+  std::vector<GeneratedKb> kbs;
+  /// Exhaustive clean-clean ground truth: one entry per unordered pair of
+  /// cross-KB descriptions of the same real-world entity.
+  std::vector<TruthPair> truth;
+  /// Real-entity cluster id per description IRI, for cluster-level metrics.
+  std::vector<std::pair<std::string, uint32_t>> iri_to_cluster;
+
+  /// Ingests every KB into a finalized EntityCollection.
+  Result<EntityCollection> BuildCollection(
+      CollectionOptions options = CollectionOptions()) const;
+
+  /// Writes one .nt file per KB plus ground-truth TSVs into `directory`.
+  Status WriteTo(const std::string& directory) const;
+
+  uint64_t total_triples() const {
+    uint64_t n = 0;
+    for (const auto& kb : kbs) n += kb.triples.size();
+    return n;
+  }
+};
+
+/// Generates a cloud from `config`. Fails on invalid configuration.
+Result<LodCloud> GenerateLodCloud(const LodCloudConfig& config);
+
+}  // namespace datagen
+}  // namespace minoan
+
+#endif  // MINOAN_DATAGEN_LOD_GENERATOR_H_

@@ -1,0 +1,66 @@
+#include "eval/cluster_metrics.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace minoan {
+
+ClusterMetrics EvaluateClusters(const ResolutionRun& run,
+                                const GroundTruth& truth) {
+  ClusterMetrics out;
+  const uint32_t n = truth.num_entities();
+  UnionFind closure = run.BuildClosure(n);
+
+  // Resolved cluster membership lists, keyed by root.
+  std::unordered_map<uint32_t, std::vector<EntityId>> resolved;
+  for (EntityId e = 0; e < n; ++e) {
+    resolved[closure.Find(e)].push_back(e);
+  }
+
+  uint64_t size_sum = 0;
+  for (const auto& [root, members] : resolved) {
+    if (members.size() < 2) continue;
+    ++out.clusters;
+    size_sum += members.size();
+    out.clustered_entities += static_cast<uint32_t>(members.size());
+    out.largest_cluster = std::max(out.largest_cluster,
+                                   static_cast<uint32_t>(members.size()));
+  }
+  out.mean_cluster_size =
+      out.clusters == 0
+          ? 0.0
+          : static_cast<double>(size_sum) / static_cast<double>(out.clusters);
+
+  // B-cubed over matchable entities. For entity e with resolved cluster C(e)
+  // and truth cluster T(e): precision(e) = |C∩T| / |C|, recall(e) = |C∩T| /
+  // |T| (both include e itself).
+  double precision_sum = 0.0, recall_sum = 0.0;
+  uint32_t counted = 0;
+  for (EntityId e = 0; e < n; ++e) {
+    const uint32_t tc = truth.ClusterOf(e);
+    if (tc == kInvalidEntity) continue;
+    ++counted;
+    const auto& members = resolved[closure.Find(e)];
+    uint32_t overlap = 0;
+    for (EntityId m : members) {
+      if (truth.ClusterOf(m) == tc) ++overlap;
+    }
+    const size_t truth_size = truth.clusters()[tc].size();
+    precision_sum +=
+        static_cast<double>(overlap) / static_cast<double>(members.size());
+    recall_sum +=
+        static_cast<double>(overlap) / static_cast<double>(truth_size);
+  }
+  if (counted > 0) {
+    out.bcubed_precision = precision_sum / counted;
+    out.bcubed_recall = recall_sum / counted;
+  }
+  out.bcubed_f1 =
+      (out.bcubed_precision + out.bcubed_recall) == 0.0
+          ? 0.0
+          : 2.0 * out.bcubed_precision * out.bcubed_recall /
+                (out.bcubed_precision + out.bcubed_recall);
+  return out;
+}
+
+}  // namespace minoan

@@ -1,0 +1,43 @@
+// Copyright 2026 The MinoanER Authors.
+// Cluster-level evaluation: B-cubed precision/recall and closure statistics.
+//
+// Pair-level metrics (metrics.h) score emitted matches; cluster-level
+// metrics score the *transitive closure* the matches induce — the view a
+// downstream consumer of resolved entities actually sees. B-cubed is the
+// standard cluster metric in ER: for each description, how pure is its
+// resolved cluster (precision) and how much of its true cluster did it
+// gather (recall).
+
+#ifndef MINOAN_EVAL_CLUSTER_METRICS_H_
+#define MINOAN_EVAL_CLUSTER_METRICS_H_
+
+#include <cstdint>
+
+#include "eval/ground_truth.h"
+#include "matching/matcher.h"
+#include "matching/union_find.h"
+
+namespace minoan {
+
+/// B-cubed scores plus closure shape statistics.
+struct ClusterMetrics {
+  double bcubed_precision = 0.0;
+  double bcubed_recall = 0.0;
+  double bcubed_f1 = 0.0;
+  /// Closure shape.
+  uint32_t clusters = 0;           // resolved clusters with >= 2 members
+  uint32_t largest_cluster = 0;
+  double mean_cluster_size = 0.0;  // over clusters with >= 2 members
+  /// Descriptions placed in any non-singleton cluster.
+  uint32_t clustered_entities = 0;
+};
+
+/// Evaluates the closure of `run` against `truth`. B-cubed is averaged over
+/// the entities that the truth marks as matchable (singletons in the truth
+/// carry no signal about resolution quality and are excluded, as usual).
+ClusterMetrics EvaluateClusters(const ResolutionRun& run,
+                                const GroundTruth& truth);
+
+}  // namespace minoan
+
+#endif  // MINOAN_EVAL_CLUSTER_METRICS_H_

@@ -1,0 +1,72 @@
+#include "eval/ground_truth.h"
+
+#include <fstream>
+
+#include "matching/union_find.h"
+
+namespace minoan {
+
+GroundTruth::GroundTruth(
+    uint32_t num_entities,
+    const std::vector<std::pair<EntityId, EntityId>>& pairs) {
+  UnionFind uf(num_entities);
+  for (const auto& [a, b] : pairs) uf.Union(a, b);
+  clusters_ = uf.Clusters(/*min_size=*/2);
+  cluster_of_.assign(num_entities, kInvalidEntity);
+  for (uint32_t c = 0; c < clusters_.size(); ++c) {
+    for (EntityId e : clusters_[c]) cluster_of_[e] = c;
+    const uint64_t n = clusters_[c].size();
+    num_pairs_ += n * (n - 1) / 2;
+    matchable_entities_ += static_cast<uint32_t>(n);
+  }
+}
+
+Result<GroundTruth> GroundTruth::FromCloud(const datagen::LodCloud& cloud,
+                                           const EntityCollection& collection) {
+  std::vector<std::pair<EntityId, EntityId>> pairs;
+  pairs.reserve(cloud.truth.size());
+  for (const datagen::TruthPair& p : cloud.truth) {
+    const EntityId a = collection.FindByIri(p.iri_a);
+    const EntityId b = collection.FindByIri(p.iri_b);
+    if (a == kInvalidEntity || b == kInvalidEntity) {
+      return Status::NotFound("truth IRI not in collection: " +
+                              (a == kInvalidEntity ? p.iri_a : p.iri_b));
+    }
+    pairs.emplace_back(a, b);
+  }
+  return GroundTruth(collection.num_entities(), pairs);
+}
+
+Result<GroundTruth> GroundTruth::FromTsv(const std::string& path,
+                                         const EntityCollection& collection) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::vector<std::pair<EntityId, EntityId>> pairs;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected iri<TAB>iri");
+    }
+    const EntityId a = collection.FindByIri(line.substr(0, tab));
+    const EntityId b = collection.FindByIri(line.substr(tab + 1));
+    if (a == kInvalidEntity || b == kInvalidEntity) {
+      return Status::NotFound("line " + std::to_string(line_no) +
+                              ": IRI not in collection");
+    }
+    pairs.emplace_back(a, b);
+  }
+  return GroundTruth(collection.num_entities(), pairs);
+}
+
+bool GroundTruth::Matches(EntityId a, EntityId b) const {
+  if (a == b) return false;
+  const uint32_t ca = cluster_of_[a];
+  return ca != kInvalidEntity && ca == cluster_of_[b];
+}
+
+}  // namespace minoan

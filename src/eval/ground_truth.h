@@ -1,0 +1,69 @@
+// Copyright 2026 The MinoanER Authors.
+// Ground truth: the reference equivalences against which every experiment
+// measures recall, precision, and the quality aspects.
+
+#ifndef MINOAN_EVAL_GROUND_TRUTH_H_
+#define MINOAN_EVAL_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "datagen/lod_generator.h"
+#include "kb/collection.h"
+#include "kb/entity.h"
+#include "util/status.h"
+
+namespace minoan {
+
+/// Immutable truth over one EntityCollection: the set of matching
+/// description pairs plus the induced equivalence clusters.
+class GroundTruth {
+ public:
+  /// Builds from explicit matching pairs (entity ids). The transitive
+  /// closure is taken automatically.
+  GroundTruth(uint32_t num_entities,
+              const std::vector<std::pair<EntityId, EntityId>>& pairs);
+
+  /// Resolves generator truth (IRI pairs) against an ingested collection.
+  /// Fails when an IRI cannot be found.
+  static Result<GroundTruth> FromCloud(const datagen::LodCloud& cloud,
+                                       const EntityCollection& collection);
+
+  /// Loads a ground_truth.tsv (iri<TAB>iri per line) against a collection.
+  static Result<GroundTruth> FromTsv(const std::string& path,
+                                     const EntityCollection& collection);
+
+  /// True when (a, b) is a matching pair (closure-level).
+  bool Matches(EntityId a, EntityId b) const;
+
+  /// Number of matching pairs in the closure (Σ C(|cluster|, 2)).
+  uint64_t num_pairs() const { return num_pairs_; }
+
+  /// Cluster id of an entity, or kInvalidEntity when the entity has no
+  /// duplicate (singleton).
+  uint32_t ClusterOf(EntityId e) const { return cluster_of_[e]; }
+
+  /// All non-singleton clusters (each sorted ascending).
+  const std::vector<std::vector<EntityId>>& clusters() const {
+    return clusters_;
+  }
+
+  uint32_t num_entities() const {
+    return static_cast<uint32_t>(cluster_of_.size());
+  }
+
+  /// Entities that have at least one duplicate.
+  uint32_t num_matchable_entities() const { return matchable_entities_; }
+
+ private:
+  std::vector<uint32_t> cluster_of_;            // entity -> cluster or invalid
+  std::vector<std::vector<EntityId>> clusters_; // non-singletons only
+  uint64_t num_pairs_ = 0;
+  uint32_t matchable_entities_ = 0;
+};
+
+}  // namespace minoan
+
+#endif  // MINOAN_EVAL_GROUND_TRUTH_H_

@@ -1,0 +1,149 @@
+#include "eval/progressive_metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "matching/union_find.h"
+#include "util/hash.h"
+
+namespace minoan {
+
+std::vector<CurvePoint> ProgressiveRecallCurve(const ResolutionRun& run,
+                                               const GroundTruth& truth) {
+  std::vector<CurvePoint> curve;
+  curve.push_back({0, 0.0});
+  std::unordered_set<uint64_t> found;
+  const double denom =
+      truth.num_pairs() == 0 ? 1.0 : static_cast<double>(truth.num_pairs());
+  for (const MatchEvent& m : run.matches) {
+    if (!truth.Matches(m.a, m.b)) continue;
+    if (!found.insert(PairKey(m.a, m.b)).second) continue;
+    curve.push_back(
+        {m.comparisons_done, static_cast<double>(found.size()) / denom});
+  }
+  curve.push_back({run.comparisons_executed,
+                   static_cast<double>(found.size()) / denom});
+  return curve;
+}
+
+double ProgressiveRecallAuc(const ResolutionRun& run, const GroundTruth& truth,
+                            uint64_t horizon) {
+  if (horizon == 0) horizon = run.comparisons_executed;
+  if (horizon == 0) return 0.0;
+  const std::vector<CurvePoint> curve = ProgressiveRecallCurve(run, truth);
+  // Integrate the step function: recall jumps at each curve point.
+  double area = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    const uint64_t from = std::min(curve[i - 1].comparisons, horizon);
+    const uint64_t to = std::min(curve[i].comparisons, horizon);
+    area += static_cast<double>(to - from) * curve[i - 1].recall;
+  }
+  // Tail beyond the last event holds the final recall.
+  const uint64_t last = std::min(curve.back().comparisons, horizon);
+  area += static_cast<double>(horizon - last) * curve.back().recall;
+  return area / static_cast<double>(horizon);
+}
+
+ResolutionRun TruncateRun(const ResolutionRun& run, uint64_t budget) {
+  ResolutionRun out;
+  out.comparisons_executed = std::min(run.comparisons_executed, budget);
+  for (const MatchEvent& m : run.matches) {
+    if (m.comparisons_done <= budget) out.matches.push_back(m);
+  }
+  return out;
+}
+
+QualityAspects EvaluateQualityAspects(const ResolutionRun& run,
+                                      const GroundTruth& truth,
+                                      const EntityCollection& collection,
+                                      const NeighborGraph& graph) {
+  QualityAspects q;
+  UnionFind closure = run.BuildClosure(collection.num_entities());
+
+  // Per-entity distinct attribute values (sorted) for completeness math.
+  auto values_of = [&](EntityId e) {
+    std::vector<uint32_t> vals;
+    for (const Attribute& a : collection.entity(e).attributes) {
+      vals.push_back(a.value);
+    }
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+    return vals;
+  };
+
+  // resolved_correctly(e): e is co-clustered with at least one of its true
+  // duplicates (false-positive merges don't count as resolution).
+  std::vector<bool> resolved(collection.num_entities(), false);
+  for (const auto& cluster : truth.clusters()) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        if (closure.SameSet(cluster[i], cluster[j])) {
+          resolved[cluster[i]] = true;
+          resolved[cluster[j]] = true;
+        }
+      }
+    }
+  }
+
+  // Attribute completeness & entity coverage over truth clusters.
+  double completeness_sum = 0.0;
+  uint32_t covered = 0;
+  for (const auto& cluster : truth.clusters()) {
+    // Union of all values of the cluster.
+    std::vector<uint32_t> all;
+    for (EntityId e : cluster) {
+      auto v = values_of(e);
+      all.insert(all.end(), v.begin(), v.end());
+    }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+
+    // Fragments: members grouped by closure root.
+    std::unordered_map<uint32_t, std::vector<EntityId>> fragments;
+    for (EntityId e : cluster) fragments[closure.Find(e)].push_back(e);
+    size_t best_values = 0;
+    bool any_pair = false;
+    for (const auto& [root, members] : fragments) {
+      if (members.size() >= 2) any_pair = true;
+      std::vector<uint32_t> frag_vals;
+      for (EntityId e : members) {
+        auto v = values_of(e);
+        frag_vals.insert(frag_vals.end(), v.begin(), v.end());
+      }
+      std::sort(frag_vals.begin(), frag_vals.end());
+      frag_vals.erase(std::unique(frag_vals.begin(), frag_vals.end()),
+                      frag_vals.end());
+      best_values = std::max(best_values, frag_vals.size());
+    }
+    if (any_pair) ++covered;
+    completeness_sum += all.empty() ? 0.0
+                                    : static_cast<double>(best_values) /
+                                          static_cast<double>(all.size());
+  }
+  const double num_clusters =
+      truth.clusters().empty() ? 1.0
+                               : static_cast<double>(truth.clusters().size());
+  q.attribute_completeness = completeness_sum / num_clusters;
+  q.entity_coverage = static_cast<double>(covered) / num_clusters;
+
+  // Relationship completeness over graph edges whose endpoints both have
+  // duplicates.
+  uint64_t eligible = 0, complete = 0;
+  for (EntityId e = 0; e < collection.num_entities(); ++e) {
+    if (truth.ClusterOf(e) == kInvalidEntity) continue;
+    for (EntityId n : graph.Neighbors(e)) {
+      if (n <= e) continue;  // each undirected edge once
+      if (truth.ClusterOf(n) == kInvalidEntity) continue;
+      ++eligible;
+      if (resolved[e] && resolved[n]) ++complete;
+    }
+  }
+  q.relationship_completeness =
+      eligible == 0 ? 0.0
+                    : static_cast<double>(complete) /
+                          static_cast<double>(eligible);
+  return q;
+}
+
+}  // namespace minoan

@@ -1,0 +1,65 @@
+// Copyright 2026 The MinoanER Authors.
+// Progressive-quality metrics: recall-vs-budget curves, their normalized
+// area, and the three data-quality aspects the poster targets.
+//
+// Quality-aspect formalization (the poster names the aspects without
+// formulas; these are the natural cluster-level definitions, recorded in
+// DESIGN.md):
+//   * attribute completeness — for each real entity (truth cluster with >= 2
+//     descriptions), the fraction of all its known attribute values gathered
+//     in its largest resolved fragment; averaged over real entities.
+//   * entity coverage — fraction of real entities with at least one resolved
+//     pair (largest fragment >= 2).
+//   * relationship completeness — fraction of relation edges, both of whose
+//     endpoints have duplicates, whose both endpoints are resolved (their
+//     clusters grew beyond singletons).
+
+#ifndef MINOAN_EVAL_PROGRESSIVE_METRICS_H_
+#define MINOAN_EVAL_PROGRESSIVE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/ground_truth.h"
+#include "kb/collection.h"
+#include "kb/neighbor_graph.h"
+#include "matching/matcher.h"
+
+namespace minoan {
+
+/// One point of a progressive-recall curve.
+struct CurvePoint {
+  uint64_t comparisons;
+  double recall;
+};
+
+/// Recall (correct distinct truth pairs found / truth pairs) after every
+/// match event, ending with a point at `total_comparisons`.
+std::vector<CurvePoint> ProgressiveRecallCurve(const ResolutionRun& run,
+                                               const GroundTruth& truth);
+
+/// Normalized area under the progressive-recall curve over the comparison
+/// axis [0, horizon]. 1.0 = perfect (all matches found immediately);
+/// a random order achieves about half the final recall. When horizon is 0,
+/// the run's executed count is used.
+double ProgressiveRecallAuc(const ResolutionRun& run, const GroundTruth& truth,
+                            uint64_t horizon = 0);
+
+/// Cuts a run at `budget` comparisons (matches found up to that point).
+ResolutionRun TruncateRun(const ResolutionRun& run, uint64_t budget);
+
+/// The three quality aspects of a (possibly truncated) run.
+struct QualityAspects {
+  double attribute_completeness = 0.0;
+  double entity_coverage = 0.0;
+  double relationship_completeness = 0.0;
+};
+
+QualityAspects EvaluateQualityAspects(const ResolutionRun& run,
+                                      const GroundTruth& truth,
+                                      const EntityCollection& collection,
+                                      const NeighborGraph& graph);
+
+}  // namespace minoan
+
+#endif  // MINOAN_EVAL_PROGRESSIVE_METRICS_H_

@@ -1,0 +1,190 @@
+#include "kb/collection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "rdf/iri.h"
+
+namespace minoan {
+
+namespace {
+
+/// Blank node labels are KB-scoped in RDF; qualify them so labels reused by
+/// different KBs do not collide in the shared IRI interner.
+std::string QualifiedBlank(uint32_t kb_id, const std::string& label) {
+  return "_:" + std::to_string(kb_id) + ":" + label;
+}
+
+}  // namespace
+
+EntityCollection::EntityCollection(CollectionOptions options)
+    : options_(options), tokenizer_(options.tokenizer) {}
+
+Result<uint32_t> EntityCollection::AddKnowledgeBase(
+    std::string name, const std::vector<rdf::Triple>& triples) {
+  if (finalized_) {
+    return Status::FailedPrecondition("collection already finalized");
+  }
+  const uint32_t kb_id = static_cast<uint32_t>(kbs_.size());
+  KnowledgeBaseInfo info;
+  info.name = std::move(name);
+  info.triples = triples.size();
+  info.first_entity = static_cast<uint32_t>(entities_.size());
+
+  // Subject-IRI id -> entity id, scoped to this KB.
+  std::unordered_map<uint32_t, EntityId> local;
+
+  auto subject_iri_id = [&](const rdf::Term& subject) -> uint32_t {
+    if (subject.is_blank()) {
+      return iris_.Intern(QualifiedBlank(kb_id, subject.lexical));
+    }
+    return iris_.Intern(subject.lexical);
+  };
+
+  // Pass 1: register every subject as an entity of this KB.
+  for (const rdf::Triple& t : triples) {
+    const uint32_t iri_id = subject_iri_id(t.subject);
+    if (local.find(iri_id) != local.end()) continue;
+    const EntityId eid = static_cast<EntityId>(entities_.size());
+    EntityDescription desc;
+    desc.id = eid;
+    desc.iri = iri_id;
+    desc.kb = kb_id;
+    entities_.push_back(std::move(desc));
+    local.emplace(iri_id, eid);
+    if (iri_to_entity_.size() < iris_.size()) {
+      iri_to_entity_.resize(iris_.size(), kInvalidEntity);
+    }
+    if (iri_to_entity_[iri_id] == kInvalidEntity) {
+      iri_to_entity_[iri_id] = eid;
+    }
+  }
+
+  // Pass 2: classify objects into relations, attributes, sameAs links.
+  for (const rdf::Triple& t : triples) {
+    const EntityId eid = local[subject_iri_id(t.subject)];
+    EntityDescription& desc = entities_[eid];
+    const uint32_t pred_id = predicates_.Intern(t.predicate.lexical);
+
+    if (t.predicate.lexical == rdf::kOwlSameAs && t.object.is_iri()) {
+      // Cross-KB equivalence assertion: resolve lazily in Finalize because
+      // the target KB may not have been ingested yet.
+      const uint32_t target_iri = iris_.Intern(t.object.lexical);
+      if (iri_to_entity_.size() < iris_.size()) {
+        iri_to_entity_.resize(iris_.size(), kInvalidEntity);
+      }
+      pending_same_as_.push_back({eid, target_iri});
+      continue;
+    }
+
+    if (t.object.is_literal()) {
+      desc.attributes.push_back(
+          Attribute{pred_id, values_.Intern(t.object.lexical)});
+      continue;
+    }
+
+    // IRI or blank object: a relation when the target is described in the
+    // same KB, otherwise an attribute over the IRI's local name.
+    const uint32_t obj_iri =
+        t.object.is_blank()
+            ? iris_.Intern(QualifiedBlank(kb_id, t.object.lexical))
+            : iris_.Intern(t.object.lexical);
+    if (iri_to_entity_.size() < iris_.size()) {
+      iri_to_entity_.resize(iris_.size(), kInvalidEntity);
+    }
+    auto it = local.find(obj_iri);
+    if (it != local.end() && it->second != eid) {
+      desc.relations.push_back(Relation{pred_id, it->second});
+      continue;
+    }
+    if (t.predicate.lexical == rdf::kRdfType && !options_.index_types) {
+      continue;
+    }
+    const std::string_view local_name = rdf::IriLocalName(t.object.lexical);
+    if (!local_name.empty()) {
+      desc.attributes.push_back(
+          Attribute{pred_id, values_.Intern(local_name)});
+    }
+  }
+
+  info.end_entity = static_cast<uint32_t>(entities_.size());
+  total_triples_ += triples.size();
+  kbs_.push_back(std::move(info));
+  return kb_id;
+}
+
+Status EntityCollection::Finalize() {
+  if (finalized_) return Status::FailedPrecondition("already finalized");
+  finalized_ = true;
+
+  // Resolve deferred sameAs assertions against the complete IRI table.
+  for (const auto& [eid, target_iri] : pending_same_as_) {
+    const EntityId target = target_iri < iri_to_entity_.size()
+                                ? iri_to_entity_[target_iri]
+                                : kInvalidEntity;
+    if (target != kInvalidEntity && target != eid) {
+      same_as_links_.push_back(SameAsLink{eid, target});
+    }
+  }
+  pending_same_as_.clear();
+  pending_same_as_.shrink_to_fit();
+
+  // Tokenize every entity: literal values plus the IRI local name.
+  std::vector<uint32_t> scratch;
+  for (EntityDescription& desc : entities_) {
+    scratch.clear();
+    for (const Attribute& attr : desc.attributes) {
+      tokenizer_.TokenizeInto(values_.View(attr.value), tokens_, scratch);
+    }
+    tokenizer_.TokenizeInto(rdf::IriLocalName(iris_.View(desc.iri)), tokens_,
+                            scratch);
+    std::sort(scratch.begin(), scratch.end());
+    desc.token_bag = scratch;
+    desc.tokens = scratch;
+    desc.tokens.erase(std::unique(desc.tokens.begin(), desc.tokens.end()),
+                      desc.tokens.end());
+  }
+
+  // Document frequencies over unique per-entity tokens.
+  token_df_.assign(tokens_.size(), 0);
+  for (const EntityDescription& desc : entities_) {
+    for (uint32_t tok : desc.tokens) ++token_df_[tok];
+  }
+
+  // Stop-token removal: frequent tokens carry no discriminative signal for
+  // blocking and blow up block sizes quadratically.
+  if (options_.max_token_frequency < 1.0 && !entities_.empty()) {
+    const uint32_t cap = static_cast<uint32_t>(options_.max_token_frequency *
+                                               entities_.size());
+    auto too_frequent = [&](uint32_t tok) { return token_df_[tok] > cap; };
+    for (EntityDescription& desc : entities_) {
+      desc.tokens.erase(
+          std::remove_if(desc.tokens.begin(), desc.tokens.end(), too_frequent),
+          desc.tokens.end());
+      desc.token_bag.erase(std::remove_if(desc.token_bag.begin(),
+                                          desc.token_bag.end(), too_frequent),
+                           desc.token_bag.end());
+    }
+  }
+  return Status::Ok();
+}
+
+EntityId EntityCollection::FindByIri(std::string_view iri) const {
+  const uint32_t iri_id = iris_.Find(iri);
+  if (iri_id == kInternNotFound || iri_id >= iri_to_entity_.size()) {
+    return kInvalidEntity;
+  }
+  return iri_to_entity_[iri_id];
+}
+
+double EntityCollection::TokenIdf(uint32_t token) const {
+  if (token >= token_df_.size() || token_df_[token] == 0 ||
+      entities_.empty()) {
+    return 0.0;
+  }
+  return std::log(static_cast<double>(entities_.size()) /
+                  static_cast<double>(token_df_[token]));
+}
+
+}  // namespace minoan

@@ -1,0 +1,148 @@
+// Copyright 2026 The MinoanER Authors.
+// EntityCollection: the web-of-data view MinoanER resolves over.
+//
+// A collection aggregates one or more knowledge bases (RDF sources). Building
+// is two-pass: pass 1 registers every subject IRI per KB as an entity; pass 2
+// classifies each triple's object as a relation (target described in the SAME
+// KB — Linked Data rarely reuses foreign subject IRIs directly; cross-KB
+// equivalences arrive as owl:sameAs, which are captured separately) or as an
+// attribute (literals and unresolved IRIs, whose local name is tokenized so
+// that links to undescribed resources still yield matching evidence).
+
+#ifndef MINOAN_KB_COLLECTION_H_
+#define MINOAN_KB_COLLECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "kb/entity.h"
+#include "rdf/term.h"
+#include "text/tokenizer.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace minoan {
+
+/// Metadata of one ingested knowledge base.
+struct KnowledgeBaseInfo {
+  std::string name;
+  uint64_t triples = 0;
+  uint32_t first_entity = 0;  // dense id range [first_entity, end_entity)
+  uint32_t end_entity = 0;
+  uint32_t num_entities() const { return end_entity - first_entity; }
+};
+
+/// An owl:sameAs assertion between two described entities (existing
+/// interlinking found in the input; distinct from generated ground truth).
+struct SameAsLink {
+  EntityId a;
+  EntityId b;
+};
+
+/// Configuration of the ingestion process.
+struct CollectionOptions {
+  TokenizerOptions tokenizer;
+  /// Tokens appearing in more than this fraction of entities are dropped
+  /// from `tokens` (stop-token removal; 1.0 disables).
+  double max_token_frequency = 1.0;
+  /// When true, rdf:type objects are recorded as attributes (type tokens are
+  /// often near-stopwords for blocking, but carry matching signal).
+  bool index_types = true;
+};
+
+/// The central in-memory store. Immutable once `Finalize()` has run.
+class EntityCollection {
+ public:
+  explicit EntityCollection(CollectionOptions options = CollectionOptions());
+
+  /// Ingests one KB from parsed triples. KBs must be added before Finalize.
+  /// Returns the KB id.
+  Result<uint32_t> AddKnowledgeBase(std::string name,
+                                    const std::vector<rdf::Triple>& triples);
+
+  /// Freezes the collection: tokenizes values, applies stop-token removal,
+  /// sorts per-entity structures. Must be called exactly once after all KBs.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // --- Accessors (valid after Finalize) ---------------------------------
+
+  uint32_t num_kbs() const { return static_cast<uint32_t>(kbs_.size()); }
+  const KnowledgeBaseInfo& kb(uint32_t kb_id) const { return kbs_[kb_id]; }
+
+  uint32_t num_entities() const {
+    return static_cast<uint32_t>(entities_.size());
+  }
+  const EntityDescription& entity(EntityId id) const { return entities_[id]; }
+  const std::vector<EntityDescription>& entities() const { return entities_; }
+
+  /// Entity lookup by IRI string; kInvalidEntity when absent. IRIs may be
+  /// reused across KBs; this returns the first-added entity.
+  EntityId FindByIri(std::string_view iri) const;
+
+  /// The tokenizer configured for this collection (shared by blocking
+  /// methods that tokenize attribute values on the fly).
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+
+  const StringInterner& iris() const { return iris_; }
+  const StringInterner& predicates() const { return predicates_; }
+  const StringInterner& values() const { return values_; }
+  const StringInterner& tokens() const { return tokens_; }
+
+  std::string_view EntityIri(EntityId id) const {
+    return iris_.View(entities_[id].iri);
+  }
+
+  const std::vector<SameAsLink>& same_as_links() const {
+    return same_as_links_;
+  }
+
+  /// Document frequency of token id (number of entities containing it).
+  uint32_t TokenDf(uint32_t token) const { return token_df_[token]; }
+
+  /// ln(N / df) inverse document frequency; 0 for unused tokens.
+  double TokenIdf(uint32_t token) const;
+
+  uint64_t total_triples() const { return total_triples_; }
+
+  /// True when entity `a` and `b` come from different KBs (the only pairs a
+  /// clean-clean workflow may compare).
+  bool CrossKb(EntityId a, EntityId b) const {
+    return entities_[a].kb != entities_[b].kb;
+  }
+
+ private:
+  struct PendingValue {
+    EntityId entity;
+    uint32_t predicate;
+    uint32_t value;  // id in values_
+  };
+
+  CollectionOptions options_;
+  Tokenizer tokenizer_;
+  bool finalized_ = false;
+
+  std::vector<KnowledgeBaseInfo> kbs_;
+  std::vector<EntityDescription> entities_;
+  StringInterner iris_;        // subject/object IRIs
+  StringInterner predicates_;  // predicate IRIs
+  StringInterner values_;      // literal lexical forms
+  StringInterner tokens_;      // normalized tokens
+
+  // iri id -> first entity with that IRI.
+  std::vector<EntityId> iri_to_entity_;
+  // sameAs assertions seen during ingestion, resolved in Finalize (the
+  // target KB may be added after the asserting one).
+  std::vector<std::pair<EntityId, uint32_t>> pending_same_as_;
+  std::vector<SameAsLink> same_as_links_;
+  std::vector<uint32_t> token_df_;
+  uint64_t total_triples_ = 0;
+};
+
+}  // namespace minoan
+
+#endif  // MINOAN_KB_COLLECTION_H_

@@ -1,0 +1,59 @@
+// Copyright 2026 The MinoanER Authors.
+// The entity-description model.
+//
+// An *entity description* is the unit of resolution: one subject IRI together
+// with all its (predicate, object) pairs from one knowledge base. Literal
+// objects (and IRIs that are not themselves described in the collection)
+// contribute *attributes* and tokens; IRI objects described in the collection
+// contribute *relations*, i.e. edges of the neighbor graph that the
+// progressive update phase walks.
+
+#ifndef MINOAN_KB_ENTITY_H_
+#define MINOAN_KB_ENTITY_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace minoan {
+
+/// Dense entity id within an EntityCollection.
+using EntityId = uint32_t;
+inline constexpr EntityId kInvalidEntity =
+    std::numeric_limits<EntityId>::max();
+
+/// One attribute assertion: interned predicate and interned literal value.
+struct Attribute {
+  uint32_t predicate;  // id in EntityCollection::predicates()
+  uint32_t value;      // id in EntityCollection::values()
+};
+
+/// One relation assertion: interned predicate and target entity.
+struct Relation {
+  uint32_t predicate;
+  EntityId target;
+};
+
+/// A fully ingested entity description. All strings are interned in the
+/// owning EntityCollection; this struct holds only dense ids.
+struct EntityDescription {
+  EntityId id = kInvalidEntity;
+  uint32_t iri = 0;    // id in EntityCollection::iris()
+  uint32_t kb = 0;     // id of the source knowledge base
+  std::vector<Attribute> attributes;
+  std::vector<Relation> relations;
+
+  /// Sorted unique token ids over every literal value plus the tokens of the
+  /// IRI suffix — the blocking keys and Jaccard support of this description.
+  std::vector<uint32_t> tokens;
+
+  /// Sorted token ids *with duplicates* (term-frequency bag) for TF-IDF.
+  std::vector<uint32_t> token_bag;
+
+  size_t num_attributes() const { return attributes.size(); }
+  size_t num_relations() const { return relations.size(); }
+};
+
+}  // namespace minoan
+
+#endif  // MINOAN_KB_ENTITY_H_

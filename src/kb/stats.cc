@@ -1,0 +1,97 @@
+#include "kb/stats.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rdf/iri.h"
+
+namespace minoan {
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double cum_weighted = 0.0, total = 0.0;
+  const double n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    cum_weighted += (static_cast<double>(i) + 1.0) * values[i];
+    total += values[i];
+  }
+  if (total == 0.0) return 0.0;
+  return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;
+}
+
+CloudStats ComputeCloudStats(const EntityCollection& collection) {
+  CloudStats stats;
+  stats.num_kbs = collection.num_kbs();
+  stats.num_entities = collection.num_entities();
+  stats.num_triples = collection.total_triples();
+  stats.num_same_as = collection.same_as_links().size();
+
+  stats.per_kb.resize(stats.num_kbs);
+  for (uint32_t k = 0; k < stats.num_kbs; ++k) {
+    const KnowledgeBaseInfo& info = collection.kb(k);
+    stats.per_kb[k].name = info.name;
+    stats.per_kb[k].entities = info.num_entities();
+    stats.per_kb[k].triples = info.triples;
+  }
+
+  // Vocabulary statistics: namespaces of predicates, per-KB usage.
+  std::unordered_map<std::string, std::unordered_set<uint32_t>> vocab_users;
+  for (const EntityDescription& desc : collection.entities()) {
+    for (const Attribute& attr : desc.attributes) {
+      const std::string ns(
+          rdf::IriNamespace(collection.predicates().View(attr.predicate)));
+      if (!ns.empty()) vocab_users[ns].insert(desc.kb);
+    }
+    for (const Relation& rel : desc.relations) {
+      const std::string ns(
+          rdf::IriNamespace(collection.predicates().View(rel.predicate)));
+      if (!ns.empty()) vocab_users[ns].insert(desc.kb);
+    }
+  }
+  stats.num_vocabularies = static_cast<uint32_t>(vocab_users.size());
+  for (const auto& [ns, users] : vocab_users) {
+    if (users.size() == 1) ++stats.proprietary_vocabularies;
+  }
+  stats.proprietary_ratio =
+      stats.num_vocabularies == 0
+          ? 0.0
+          : static_cast<double>(stats.proprietary_vocabularies) /
+                static_cast<double>(stats.num_vocabularies);
+
+  // Interlinking: sameAs endpoints per KB, distinct partner sets.
+  std::vector<std::set<uint32_t>> partners(stats.num_kbs);
+  for (const SameAsLink& link : collection.same_as_links()) {
+    const uint32_t ka = collection.entity(link.a).kb;
+    const uint32_t kb = collection.entity(link.b).kb;
+    ++stats.per_kb[ka].out_links;
+    ++stats.per_kb[kb].in_links;
+    if (ka != kb) {
+      partners[ka].insert(kb);
+      partners[kb].insert(ka);
+    }
+  }
+  std::vector<double> link_mass(stats.num_kbs, 0.0);
+  for (uint32_t k = 0; k < stats.num_kbs; ++k) {
+    stats.per_kb[k].linked_kbs = static_cast<uint32_t>(partners[k].size());
+    link_mass[k] = static_cast<double>(stats.per_kb[k].out_links +
+                                       stats.per_kb[k].in_links);
+  }
+  stats.link_gini = GiniCoefficient(link_mass);
+
+  // Top-decile share of link mass.
+  std::vector<double> sorted = link_mass;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  const size_t decile = std::max<size_t>(1, sorted.size() / 10);
+  double top = 0.0, total = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    total += sorted[i];
+    if (i < decile) top += sorted[i];
+  }
+  stats.top_decile_link_share = total == 0.0 ? 0.0 : top / total;
+  return stats;
+}
+
+}  // namespace minoan

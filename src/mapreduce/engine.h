@@ -1,0 +1,234 @@
+// Copyright 2026 The MinoanER Authors.
+// An in-process, multi-threaded MapReduce engine.
+//
+// The poster scales blocking and meta-blocking "via Hadoop MapReduce [4, 5]".
+// A physical cluster is out of scope for a library reproduction, so this
+// engine preserves what those experiments actually exercise: the MapReduce
+// *programming model* (typed map / combine / partition / shuffle / sort /
+// reduce), the job decompositions of [4], and the speedup-vs-workers curve.
+//
+// Semantics:
+//   * map tasks run in parallel over input chunks;
+//   * emitted (K, V) pairs are hash-partitioned into R = num_workers
+//     partitions;
+//   * an optional combiner folds each map task's local output per key;
+//   * each partition is sorted by (K, V) — K and V must be totally ordered,
+//     which also makes every run deterministic for a fixed worker count;
+//   * reduce tasks (one per partition) run in parallel; outputs are
+//     concatenated in partition order.
+
+#ifndef MINOAN_MAPREDUCE_ENGINE_H_
+#define MINOAN_MAPREDUCE_ENGINE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace minoan {
+namespace mapreduce {
+
+/// Job-level counters (Hadoop-style), filled by Run.
+struct Counters {
+  uint64_t map_input_records = 0;
+  uint64_t map_output_records = 0;
+  uint64_t combine_output_records = 0;
+  uint64_t reduce_groups = 0;
+  uint64_t reduce_output_records = 0;
+};
+
+/// Collects (K, V) pairs from one map task into per-partition buffers.
+template <typename K, typename V>
+class Emitter {
+ public:
+  explicit Emitter(uint32_t num_partitions) : buffers_(num_partitions) {}
+
+  void Emit(K key, V value) {
+    const uint32_t p = Partition(key, static_cast<uint32_t>(buffers_.size()));
+    buffers_[p].emplace_back(std::move(key), std::move(value));
+    ++emitted_;
+  }
+
+  /// Default partitioner: mixed std::hash modulo partition count.
+  static uint32_t Partition(const K& key, uint32_t num_partitions) {
+    return static_cast<uint32_t>(Mix64(std::hash<K>{}(key)) % num_partitions);
+  }
+
+  std::vector<std::vector<std::pair<K, V>>>& buffers() { return buffers_; }
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  std::vector<std::vector<std::pair<K, V>>> buffers_;
+  uint64_t emitted_ = 0;
+};
+
+/// The engine. One instance owns a thread pool and can run many jobs.
+class Engine {
+ public:
+  explicit Engine(uint32_t num_workers)
+      : num_workers_(num_workers == 0 ? 1 : num_workers),
+        pool_(num_workers_) {}
+
+  uint32_t num_workers() const { return num_workers_; }
+
+  /// Runs one job. Template parameters:
+  ///   In  — input record type; K/V — intermediate key/value (totally
+  ///   ordered); Out — reduce output type.
+  /// `map_fn(record, emitter)` may run concurrently on different records;
+  /// `reduce_fn(key, values, out)` likewise on different keys. `combine_fn`
+  /// (optional) folds a sorted run of values for one key into fewer values
+  /// within each map task.
+  template <typename In, typename K, typename V, typename Out>
+  std::vector<Out> Run(
+      const std::vector<In>& inputs,
+      const std::function<void(const In&, Emitter<K, V>&)>& map_fn,
+      const std::function<void(const K&, std::span<const V>,
+                               std::vector<Out>&)>& reduce_fn,
+      const std::function<V(const K&, std::span<const V>)>* combine_fn =
+          nullptr,
+      Counters* counters = nullptr) {
+    const uint32_t R = num_workers_;
+    const size_t num_chunks =
+        std::max<size_t>(1, std::min(inputs.size(),
+                                     static_cast<size_t>(num_workers_) * 4));
+    const size_t chunk_size = inputs.empty()
+                                  ? 1
+                                  : (inputs.size() + num_chunks - 1) /
+                                        num_chunks;
+
+    // ---- Map phase -------------------------------------------------------
+    std::vector<Emitter<K, V>> emitters;
+    emitters.reserve(num_chunks);
+    for (size_t c = 0; c < num_chunks; ++c) emitters.emplace_back(R);
+    std::atomic<uint64_t> map_inputs{0};
+    std::atomic<uint64_t> combine_out{0};
+    for (size_t c = 0; c < num_chunks; ++c) {
+      pool_.Submit([&, c] {
+        const size_t begin = c * chunk_size;
+        const size_t end = std::min(inputs.size(), begin + chunk_size);
+        uint64_t local = 0;
+        for (size_t i = begin; i < end; ++i) {
+          map_fn(inputs[i], emitters[c]);
+          ++local;
+        }
+        map_inputs.fetch_add(local, std::memory_order_relaxed);
+        if (combine_fn != nullptr) {
+          uint64_t kept = 0;
+          for (auto& buffer : emitters[c].buffers()) {
+            kept += CombineBuffer(*combine_fn, buffer);
+          }
+          combine_out.fetch_add(kept, std::memory_order_relaxed);
+        }
+      });
+    }
+    pool_.Wait();
+
+    // ---- Shuffle + sort --------------------------------------------------
+    std::vector<std::vector<std::pair<K, V>>> partitions(R);
+    for (uint32_t r = 0; r < R; ++r) {
+      size_t total = 0;
+      for (auto& em : emitters) total += em.buffers()[r].size();
+      partitions[r].reserve(total);
+      for (auto& em : emitters) {
+        auto& src = em.buffers()[r];
+        partitions[r].insert(partitions[r].end(),
+                             std::make_move_iterator(src.begin()),
+                             std::make_move_iterator(src.end()));
+        src.clear();
+      }
+    }
+    uint64_t map_outputs = 0;
+    for (const auto& em : emitters) map_outputs += em.emitted();
+
+    for (uint32_t r = 0; r < R; ++r) {
+      pool_.Submit([&, r] { std::sort(partitions[r].begin(),
+                                      partitions[r].end()); });
+    }
+    pool_.Wait();
+
+    // ---- Reduce phase ----------------------------------------------------
+    std::vector<std::vector<Out>> outputs(R);
+    std::atomic<uint64_t> groups{0};
+    for (uint32_t r = 0; r < R; ++r) {
+      pool_.Submit([&, r] {
+        auto& part = partitions[r];
+        std::vector<V> values;
+        size_t i = 0;
+        uint64_t local_groups = 0;
+        while (i < part.size()) {
+          size_t j = i;
+          values.clear();
+          while (j < part.size() && part[j].first == part[i].first) {
+            values.push_back(part[j].second);
+            ++j;
+          }
+          reduce_fn(part[i].first,
+                    std::span<const V>(values.data(), values.size()),
+                    outputs[r]);
+          ++local_groups;
+          i = j;
+        }
+        groups.fetch_add(local_groups, std::memory_order_relaxed);
+      });
+    }
+    pool_.Wait();
+
+    std::vector<Out> result;
+    size_t total_out = 0;
+    for (const auto& o : outputs) total_out += o.size();
+    result.reserve(total_out);
+    for (auto& o : outputs) {
+      result.insert(result.end(), std::make_move_iterator(o.begin()),
+                    std::make_move_iterator(o.end()));
+    }
+    if (counters) {
+      counters->map_input_records = map_inputs.load();
+      counters->map_output_records = map_outputs;
+      counters->combine_output_records =
+          combine_fn ? combine_out.load() : map_outputs;
+      counters->reduce_groups = groups.load();
+      counters->reduce_output_records = result.size();
+    }
+    return result;
+  }
+
+ private:
+  template <typename K, typename V>
+  static uint64_t CombineBuffer(
+      const std::function<V(const K&, std::span<const V>)>& combine_fn,
+      std::vector<std::pair<K, V>>& buffer) {
+    std::sort(buffer.begin(), buffer.end());
+    std::vector<std::pair<K, V>> folded;
+    std::vector<V> values;
+    size_t i = 0;
+    while (i < buffer.size()) {
+      size_t j = i;
+      values.clear();
+      while (j < buffer.size() && buffer[j].first == buffer[i].first) {
+        values.push_back(buffer[j].second);
+        ++j;
+      }
+      folded.emplace_back(
+          buffer[i].first,
+          combine_fn(buffer[i].first,
+                     std::span<const V>(values.data(), values.size())));
+      i = j;
+    }
+    buffer = std::move(folded);
+    return buffer.size();
+  }
+
+  uint32_t num_workers_;
+  ThreadPool pool_;
+};
+
+}  // namespace mapreduce
+}  // namespace minoan
+
+#endif  // MINOAN_MAPREDUCE_ENGINE_H_

@@ -1,0 +1,53 @@
+#include "mapreduce/parallel_blocking.h"
+
+#include <algorithm>
+
+namespace minoan {
+namespace mapreduce {
+
+BlockCollection ParallelTokenBlocking(const EntityCollection& collection,
+                                      Engine& engine,
+                                      TokenBlocking::Options options,
+                                      Counters* counters) {
+  // Inputs: entity ids.
+  std::vector<EntityId> inputs(collection.num_entities());
+  for (uint32_t i = 0; i < inputs.size(); ++i) inputs[i] = i;
+
+  const uint64_t df_cap = static_cast<uint64_t>(options.max_df_fraction *
+                                                collection.num_entities());
+
+  using TokenBlockPair = std::pair<uint32_t, std::vector<EntityId>>;
+  auto map_fn = [&collection](const EntityId& e,
+                              Emitter<uint32_t, EntityId>& emitter) {
+    for (uint32_t tok : collection.entity(e).tokens) {
+      emitter.Emit(tok, e);
+    }
+  };
+  auto reduce_fn = [&](const uint32_t& token,
+                       std::span<const EntityId> entities,
+                       std::vector<TokenBlockPair>& out) {
+    if (entities.size() < options.min_df) return;
+    if (df_cap > 0 && entities.size() > df_cap) return;
+    out.emplace_back(token,
+                     std::vector<EntityId>(entities.begin(), entities.end()));
+  };
+
+  std::vector<TokenBlockPair> raw =
+      engine.Run<EntityId, uint32_t, EntityId, TokenBlockPair>(
+          inputs, map_fn, reduce_fn, nullptr, counters);
+
+  // Canonical order: ascending token id — identical to the sequential
+  // TokenBlocking, independent of worker count.
+  std::sort(raw.begin(), raw.end(),
+            [](const TokenBlockPair& a, const TokenBlockPair& b) {
+              return a.first < b.first;
+            });
+  BlockCollection out;
+  for (auto& [token, entities] : raw) {
+    out.AddBlock(collection.tokens().View(token), std::move(entities));
+  }
+  return out;
+}
+
+}  // namespace mapreduce
+}  // namespace minoan

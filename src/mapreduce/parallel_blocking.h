@@ -1,0 +1,30 @@
+// Copyright 2026 The MinoanER Authors.
+// MapReduce token blocking (the parallel blocking job of [5]).
+//
+// One job: map each entity to (token, entity-id) pairs; reduce groups the
+// postings of each token into a block, applying the same document-frequency
+// filters as the sequential TokenBlocking. Output blocks are canonicalized
+// (sorted by token id) so the result is bit-identical to the sequential
+// method regardless of worker count.
+
+#ifndef MINOAN_MAPREDUCE_PARALLEL_BLOCKING_H_
+#define MINOAN_MAPREDUCE_PARALLEL_BLOCKING_H_
+
+#include "blocking/block.h"
+#include "blocking/blocking_method.h"
+#include "kb/collection.h"
+#include "mapreduce/engine.h"
+
+namespace minoan {
+namespace mapreduce {
+
+/// Runs token blocking as a MapReduce job on `engine`.
+BlockCollection ParallelTokenBlocking(const EntityCollection& collection,
+                                      Engine& engine,
+                                      TokenBlocking::Options options = {},
+                                      Counters* counters = nullptr);
+
+}  // namespace mapreduce
+}  // namespace minoan
+
+#endif  // MINOAN_MAPREDUCE_PARALLEL_BLOCKING_H_

@@ -1,0 +1,55 @@
+#include "mapreduce/parallel_matching.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace minoan {
+namespace mapreduce {
+
+ResolutionRun ParallelBatchMatching(
+    const std::vector<WeightedComparison>& candidates,
+    const SimilarityEvaluator& evaluator, double threshold, Engine& engine,
+    Counters* counters) {
+  // Inputs: candidate indices, so each match can be stamped with the
+  // position it would have had in a sequential scan.
+  std::vector<uint64_t> indices(candidates.size());
+  for (uint64_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+  struct Hit {
+    uint64_t index;
+    double similarity;
+    bool operator<(const Hit& o) const {
+      return index != o.index ? index < o.index : similarity < o.similarity;
+    }
+    bool operator==(const Hit& o) const {
+      return index == o.index && similarity == o.similarity;
+    }
+  };
+
+  auto map_fn = [&](const uint64_t& i, Emitter<uint64_t, Hit>& emitter) {
+    const WeightedComparison& c = candidates[i];
+    const double sim = evaluator.Similarity(c.a, c.b);
+    if (sim >= threshold) {
+      emitter.Emit(PairKey(c.a, c.b), Hit{i, sim});
+    }
+  };
+  auto reduce_fn = [](const uint64_t& pair, std::span<const Hit> hits,
+                      std::vector<MatchEvent>& out) {
+    // Duplicate candidates for the same pair collapse to the earliest.
+    out.push_back(MatchEvent{hits.front().index + 1, PairKeyFirst(pair),
+                             PairKeySecond(pair), hits.front().similarity});
+  };
+  ResolutionRun run;
+  run.matches = engine.Run<uint64_t, uint64_t, Hit, MatchEvent>(
+      indices, map_fn, reduce_fn, nullptr, counters);
+  run.comparisons_executed = candidates.size();
+  std::sort(run.matches.begin(), run.matches.end(),
+            [](const MatchEvent& x, const MatchEvent& y) {
+              return PairKey(x.a, x.b) < PairKey(y.a, y.b);
+            });
+  return run;
+}
+
+}  // namespace mapreduce
+}  // namespace minoan

@@ -1,0 +1,36 @@
+// Copyright 2026 The MinoanER Authors.
+// MapReduce entity matching: the embarrassingly parallel batch stage.
+//
+// Non-progressive matching of a fixed comparison set is a pure map job:
+// each mapper evaluates profile similarities for a slice of the candidate
+// comparisons and emits matches; a keyed reduce deduplicates. Used by the
+// scalability experiment (T4 companion) and as the parallel counterpart of
+// BatchMatcher — results are identical up to match-event ordering, which is
+// canonicalized by pair id.
+
+#ifndef MINOAN_MAPREDUCE_PARALLEL_MATCHING_H_
+#define MINOAN_MAPREDUCE_PARALLEL_MATCHING_H_
+
+#include <vector>
+
+#include "kb/collection.h"
+#include "mapreduce/engine.h"
+#include "matching/matcher.h"
+#include "matching/similarity_evaluator.h"
+#include "metablocking/meta_blocking_types.h"
+
+namespace minoan {
+namespace mapreduce {
+
+/// Evaluates every candidate in parallel; returns the matches (similarity >=
+/// threshold) sorted by pair id, with comparisons_done stamped by candidate
+/// index + 1 (the deterministic sequential order).
+ResolutionRun ParallelBatchMatching(
+    const std::vector<WeightedComparison>& candidates,
+    const SimilarityEvaluator& evaluator, double threshold, Engine& engine,
+    Counters* counters = nullptr);
+
+}  // namespace mapreduce
+}  // namespace minoan
+
+#endif  // MINOAN_MAPREDUCE_PARALLEL_MATCHING_H_

@@ -1,0 +1,53 @@
+// Copyright 2026 The MinoanER Authors.
+// MapReduce meta-blocking (the 3-stage job graph of [4], Efthymiou et al.,
+// "Parallel meta-blocking: realizing scalable entity resolution over large,
+// heterogeneous data", IEEE Big Data 2015).
+//
+//   Stage 1 — entity index: map blocks to (entity, block) pairs; reduce
+//             groups each entity's block list.
+//   Stage 2 — edge weighting + local pruning: map each entity, streaming its
+//             blocking-graph neighborhood (stamp-array dedup) and applying
+//             the node-local pruning rule (WNP mean / CNP top-k); for
+//             edge-centric schemes the stage instead aggregates the global
+//             statistic (WEP mean via a combiner; CEP top-K via combiner
+//             merge).
+//   Stage 3 — vote aggregation: reduce per pair id, keeping edges nominated
+//             by either (standard) or both (reciprocal) endpoints.
+//
+// Results are identical to the sequential MetaBlocking (same weights, same
+// deterministic tie-breaking); for continuous weighting schemes the WEP mean
+// may differ in the last ulp across worker counts, which is observable only
+// if an edge weight equals the mean exactly.
+
+#ifndef MINOAN_MAPREDUCE_PARALLEL_META_BLOCKING_H_
+#define MINOAN_MAPREDUCE_PARALLEL_META_BLOCKING_H_
+
+#include <vector>
+
+#include "blocking/block.h"
+#include "kb/collection.h"
+#include "mapreduce/engine.h"
+#include "metablocking/meta_blocking_types.h"
+
+namespace minoan {
+namespace mapreduce {
+
+/// Per-stage counter snapshots for reporting.
+struct ParallelMetaBlockingStats {
+  Counters stage1;  // entity indexing
+  Counters stage2;  // weighting + local pruning
+  Counters stage3;  // vote aggregation
+  MetaBlockingStats totals;
+};
+
+/// Runs meta-blocking as MapReduce jobs on `engine`. Builds the entity index
+/// of `blocks` through the Stage-1 job.
+std::vector<WeightedComparison> ParallelMetaBlocking(
+    BlockCollection& blocks, const EntityCollection& collection,
+    const MetaBlockingOptions& options, Engine& engine,
+    ParallelMetaBlockingStats* stats = nullptr);
+
+}  // namespace mapreduce
+}  // namespace minoan
+
+#endif  // MINOAN_MAPREDUCE_PARALLEL_META_BLOCKING_H_

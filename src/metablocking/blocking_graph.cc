@@ -1,0 +1,69 @@
+#include "metablocking/blocking_graph.h"
+
+#include <cmath>
+
+namespace minoan {
+
+BlockingGraphView::BlockingGraphView(BlockCollection& blocks,
+                                     const EntityCollection& collection,
+                                     WeightingScheme weighting,
+                                     ResolutionMode mode)
+    : blocks_(&blocks),
+      collection_(&collection),
+      weighting_(weighting),
+      mode_(mode) {
+  if (!blocks.has_entity_index()) {
+    blocks.BuildEntityIndex(collection.num_entities());
+  }
+  num_blocks_ = static_cast<double>(blocks.num_blocks());
+  num_nodes_ = static_cast<double>(blocks.NumPlacedEntities());
+  arcs_term_.resize(blocks.num_blocks());
+  for (uint32_t bi = 0; bi < blocks.num_blocks(); ++bi) {
+    const uint64_t card = blocks.block(bi).NumComparisons(collection, mode);
+    arcs_term_[bi] = card > 0 ? 1.0 / static_cast<double>(card) : 0.0;
+    total_assignments_ += blocks.block(bi).size();
+  }
+  if (weighting == WeightingScheme::kEjs) {
+    degree_.assign(collection.num_entities(), 0);
+    NeighborScratch scratch(collection.num_entities());
+    for (EntityId e = 0; e < collection.num_entities(); ++e) {
+      uint32_t deg = 0;
+      ForNeighbors(scratch, e, /*only_greater=*/false,
+                   [&](EntityId, uint32_t, double) { ++deg; });
+      degree_[e] = deg;
+    }
+  }
+}
+
+double BlockingGraphView::EdgeWeight(EntityId a, EntityId b, uint32_t common,
+                                     double arcs_sum) const {
+  const double ba = static_cast<double>(blocks_->BlocksOf(a).size());
+  const double bb = static_cast<double>(blocks_->BlocksOf(b).size());
+  switch (weighting_) {
+    case WeightingScheme::kCbs:
+      return static_cast<double>(common);
+    case WeightingScheme::kEcbs: {
+      const double la = ba > 0 ? std::log(num_blocks_ / ba) : 0.0;
+      const double lb = bb > 0 ? std::log(num_blocks_ / bb) : 0.0;
+      return static_cast<double>(common) * la * lb;
+    }
+    case WeightingScheme::kJs: {
+      const double denom = ba + bb - static_cast<double>(common);
+      return denom > 0 ? static_cast<double>(common) / denom : 0.0;
+    }
+    case WeightingScheme::kEjs: {
+      const double denom = ba + bb - static_cast<double>(common);
+      const double js = denom > 0 ? static_cast<double>(common) / denom : 0.0;
+      const double da = static_cast<double>(degree_[a]);
+      const double db = static_cast<double>(degree_[b]);
+      const double la = da > 0 ? std::log(num_nodes_ / da) : 0.0;
+      const double lb = db > 0 ? std::log(num_nodes_ / db) : 0.0;
+      return js * la * lb;
+    }
+    case WeightingScheme::kArcs:
+      return arcs_sum;
+  }
+  return 0.0;
+}
+
+}  // namespace minoan

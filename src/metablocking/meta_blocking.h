@@ -1,0 +1,63 @@
+// Copyright 2026 The MinoanER Authors.
+// Meta-blocking: restructuring a block collection into a pruned comparison
+// set.
+//
+// Token blocking is redundancy-positive: matching descriptions share many
+// blocks. Meta-blocking exploits this by viewing blocks as an implicit
+// *blocking graph* — nodes are descriptions, edges connect co-occurring
+// pairs — weighting each edge by co-occurrence evidence and pruning low
+// weight edges. The poster: "meta-blocking prunes repeated comparisons …
+// and discards comparisons between descriptions that share few common
+// blocks and are thus less likely to match."
+//
+// The graph is never materialized: edges are streamed per entity from the
+// entity-block index with O(1) stamp-array deduplication, exactly the
+// structure parallelized in [4] (Efthymiou et al., Parallel meta-blocking);
+// see mapreduce/parallel_meta_blocking.h for the MapReduce version.
+
+#ifndef MINOAN_METABLOCKING_META_BLOCKING_H_
+#define MINOAN_METABLOCKING_META_BLOCKING_H_
+
+#include <vector>
+
+#include "blocking/block.h"
+#include "kb/collection.h"
+#include "metablocking/meta_blocking_types.h"
+
+namespace minoan {
+
+/// Executes weighting + pruning over a block collection (sequential
+/// reference implementation).
+class MetaBlocking {
+ public:
+  explicit MetaBlocking(MetaBlockingOptions options) : options_(options) {}
+  MetaBlocking() : options_{} {}
+
+  /// Prunes the blocking graph of `blocks` (builds its entity index when
+  /// missing). Returns retained comparisons sorted by descending weight
+  /// (ties broken by pair id for determinism).
+  std::vector<WeightedComparison> Prune(BlockCollection& blocks,
+                                        const EntityCollection& collection,
+                                        MetaBlockingStats* stats = nullptr)
+      const;
+
+  const MetaBlockingOptions& options() const { return options_; }
+
+ private:
+  MetaBlockingOptions options_;
+};
+
+/// Computes the weight of one specific pair under `scheme` (test helper;
+/// O(blocks of a)).
+double ComputePairWeight(BlockCollection& blocks,
+                         const EntityCollection& collection,
+                         WeightingScheme scheme, ResolutionMode mode,
+                         EntityId a, EntityId b);
+
+/// Sorts comparisons by (weight desc, pair id asc) — the canonical
+/// deterministic order used across the library.
+void SortByWeightDescending(std::vector<WeightedComparison>& comparisons);
+
+}  // namespace minoan
+
+#endif  // MINOAN_METABLOCKING_META_BLOCKING_H_

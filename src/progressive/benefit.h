@@ -1,0 +1,65 @@
+// Copyright 2026 The MinoanER Authors.
+// Benefit models for progressive scheduling.
+//
+// The poster's key departure from prior progressive ER ([1] Altowim et al.,
+// which maximizes the *quantity* of resolved pairs): MinoanER schedules by
+// *data-quality aspects* improved through resolution —
+//
+//   * attribute completeness   — number of descriptions resolved per real
+//     entity: each extra description merged into a cluster contributes the
+//     attribute values the cluster was missing;
+//   * entity coverage          — number of distinct real-world entities with
+//     at least one resolved pair;
+//   * relationship completeness — number of real-world entity *graphs*
+//     resolved: relation edges whose both endpoints are resolved.
+//
+// A BenefitEstimator turns the current ResolutionState into (a) a scheduling
+// multiplier for candidate pairs and (b) the realized benefit of a confirmed
+// match, which the resolver accumulates into its trace.
+
+#ifndef MINOAN_PROGRESSIVE_BENEFIT_H_
+#define MINOAN_PROGRESSIVE_BENEFIT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "kb/entity.h"
+#include "progressive/state.h"
+
+namespace minoan {
+
+enum class BenefitModel {
+  kQuantity = 0,                 ///< matches found (the baseline notion [1])
+  kAttributeCompleteness = 1,    ///< new attribute values per merge
+  kEntityCoverage = 2,           ///< newly resolved real-world entities
+  kRelationshipCompleteness = 3, ///< resolved relation edges
+};
+inline constexpr uint32_t kNumBenefitModels = 4;
+
+std::string_view BenefitModelName(BenefitModel model);
+
+/// Scores pairs under one benefit model against the evolving state.
+class BenefitEstimator {
+ public:
+  BenefitEstimator(BenefitModel model, uint32_t neighbor_cap = 16)
+      : model_(model), neighbor_cap_(neighbor_cap) {}
+
+  BenefitModel model() const { return model_; }
+
+  /// Scheduling multiplier in [0, 1]: the estimated marginal benefit of
+  /// resolving (a, b) now, given the current partial result. The resolver
+  /// multiplies it with the match likelihood.
+  double PairBenefit(EntityId a, EntityId b, ResolutionState& state) const;
+
+  /// Realized benefit of the confirmed match (a, b), evaluated BEFORE the
+  /// state is updated with it.
+  double RealizedBenefit(EntityId a, EntityId b, ResolutionState& state) const;
+
+ private:
+  BenefitModel model_;
+  uint32_t neighbor_cap_;
+};
+
+}  // namespace minoan
+
+#endif  // MINOAN_PROGRESSIVE_BENEFIT_H_

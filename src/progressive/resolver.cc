@@ -1,0 +1,173 @@
+#include "progressive/resolver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace minoan {
+
+ProgressiveResolver::ProgressiveResolver(const EntityCollection& collection,
+                                         const NeighborGraph& graph,
+                                         const SimilarityEvaluator& evaluator,
+                                         ProgressiveOptions options)
+    : collection_(&collection),
+      graph_(&graph),
+      evaluator_(&evaluator),
+      options_(options),
+      estimator_(options.benefit, options.max_neighbors_per_side) {}
+
+double ProgressiveResolver::Likelihood(uint64_t pair) const {
+  const auto it = likelihood_.find(pair);
+  const double base = it == likelihood_.end() ? 0.0 : it->second;
+  const auto ev = evidence_.find(pair);
+  if (ev == evidence_.end()) return base;
+  return base + options_.evidence_priority * std::min(1.0, ev->second);
+}
+
+double ProgressiveResolver::Priority(EntityId a, EntityId b, uint64_t pair,
+                                     ResolutionState& state) const {
+  const double benefit = estimator_.PairBenefit(a, b, state);
+  return Likelihood(pair) *
+         (1.0 + options_.benefit_weight * benefit);
+}
+
+ProgressiveResult ProgressiveResolver::Resolve(
+    const std::vector<WeightedComparison>& candidates) {
+  return ResolveWithSeeds(candidates, {});
+}
+
+ProgressiveResult ProgressiveResolver::ResolveWithSeeds(
+    const std::vector<WeightedComparison>& candidates,
+    const std::vector<Comparison>& seeds) {
+  likelihood_.clear();
+  evidence_.clear();
+  executed_.clear();
+  likelihood_.reserve(candidates.size() * 2);
+  executed_.reserve(candidates.size() * 2);
+
+  ProgressiveResult result;
+  ResolutionState state(*collection_, graph_);
+  ComparisonScheduler scheduler;
+
+  // Normalize blocking-graph weights into [0, 1] likelihoods.
+  double max_weight = 0.0;
+  for (const WeightedComparison& c : candidates) {
+    max_weight = std::max(max_weight, c.weight);
+  }
+  const double scale = max_weight > 0.0 ? 1.0 / max_weight : 1.0;
+  for (const WeightedComparison& c : candidates) {
+    const uint64_t pair = PairKey(c.a, c.b);
+    likelihood_[pair] = c.weight * scale;
+    scheduler.Push(pair, Priority(c.a, c.b, pair, state));
+  }
+
+  // Apply warm-start seeds: trusted matches at zero budget cost, propagated
+  // so their neighborhoods get evidence before anything is compared.
+  for (const Comparison& seed : seeds) {
+    const uint64_t pair = PairKey(seed.a, seed.b);
+    if (!executed_.insert(pair).second) continue;
+    scheduler.Erase(pair);
+    state.RecordMatch(seed.a, seed.b);
+    if (options_.enable_update_phase) {
+      UpdatePhase(seed.a, seed.b, state, scheduler, result);
+    }
+  }
+
+  double cumulative_benefit = 0.0;
+  const uint64_t budget = options_.matcher.budget;
+  const Stopwatch watch;
+  uint64_t pair = 0;
+  double popped_priority = 0.0;
+  while ((budget == 0 || result.run.comparisons_executed < budget) &&
+         (options_.budget_millis == 0 ||
+          watch.ElapsedMillis() <
+              static_cast<double>(options_.budget_millis)) &&
+         scheduler.Pop(pair, popped_priority)) {
+    const EntityId a = PairKeyFirst(pair);
+    const EntityId b = PairKeySecond(pair);
+    if (executed_.count(pair)) continue;
+
+    // Benefit drift: the state may have changed since this entry was
+    // pushed. Re-queue significantly stale entries instead of executing.
+    const double current = Priority(a, b, pair, state);
+    if (current + 1e-12 <
+        popped_priority * (1.0 - options_.staleness_tolerance)) {
+      scheduler.Push(pair, current);
+      continue;
+    }
+
+    // ---- Matching phase -------------------------------------------------
+    executed_.insert(pair);
+    ++result.run.comparisons_executed;
+    const double profile_sim = evaluator_->Similarity(a, b);
+    const auto ev = evidence_.find(pair);
+    const double bonus =
+        ev == evidence_.end()
+            ? 0.0
+            : options_.evidence_weight * std::min(1.0, ev->second);
+    const double sim = profile_sim + bonus;
+    if (sim < options_.matcher.threshold) continue;
+
+    // ---- Confirmed match ------------------------------------------------
+    const double realized = estimator_.RealizedBenefit(a, b, state);
+    state.RecordMatch(a, b);
+    cumulative_benefit += realized;
+    result.run.matches.push_back(
+        MatchEvent{result.run.comparisons_executed, a, b, sim});
+    result.benefit_trace.push_back(cumulative_benefit);
+    if (profile_sim < options_.matcher.threshold) {
+      ++result.evidence_assisted_matches;
+    }
+    if (likelihood_.find(pair) == likelihood_.end()) {
+      ++result.discovered_matches;
+    }
+
+    // ---- Update phase ---------------------------------------------------
+    if (options_.enable_update_phase) {
+      UpdatePhase(a, b, state, scheduler, result);
+    }
+  }
+
+  result.scheduler_pushes = scheduler.total_pushes();
+  return result;
+}
+
+void ProgressiveResolver::UpdatePhase(EntityId a, EntityId b,
+                                      ResolutionState& state,
+                                      ComparisonScheduler& scheduler,
+                                      ProgressiveResult& result) {
+  const auto na = graph_->Neighbors(a);
+  const auto nb = graph_->Neighbors(b);
+  const size_t la =
+      std::min<size_t>(na.size(), options_.max_neighbors_per_side);
+  const size_t lb =
+      std::min<size_t>(nb.size(), options_.max_neighbors_per_side);
+  const bool clean = options_.mode == ResolutionMode::kCleanClean;
+  for (size_t i = 0; i < la; ++i) {
+    for (size_t j = 0; j < lb; ++j) {
+      const EntityId x = na[i];
+      const EntityId y = nb[j];
+      if (x == y) continue;
+      if (clean && !collection_->CrossKb(x, y)) continue;
+      const uint64_t pair = PairKey(x, y);
+      if (executed_.count(pair)) continue;
+      if (state.SameCluster(x, y)) continue;
+      // Accumulate similarity evidence: the matched pair (a, b) vouches for
+      // its aligned neighbors.
+      double& ev = evidence_[pair];
+      const bool first_sighting =
+          ev == 0.0 && likelihood_.find(pair) == likelihood_.end();
+      ev += options_.evidence_increment;
+      if (first_sighting) {
+        // A candidate blocking never produced: discovered via the graph.
+        ++result.discovered_pairs;
+      }
+      scheduler.Push(pair, Priority(x, y, pair, state));
+    }
+  }
+}
+
+}  // namespace minoan

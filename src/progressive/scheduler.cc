@@ -1,0 +1,33 @@
+#include "progressive/scheduler.h"
+
+namespace minoan {
+
+void ComparisonScheduler::Push(uint64_t pair, double priority) {
+  const uint64_t version = ++next_version_;
+  versions_[pair] = Live{version, priority};
+  heap_.push(Entry{priority, pair, version});
+  ++total_pushes_;
+}
+
+bool ComparisonScheduler::Pop(uint64_t& pair, double& priority) {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = versions_.find(top.pair);
+    if (it == versions_.end() || it->second.version != top.version) {
+      continue;  // stale entry
+    }
+    versions_.erase(it);
+    pair = top.pair;
+    priority = top.priority;
+    return true;
+  }
+  return false;
+}
+
+double ComparisonScheduler::PriorityOf(uint64_t pair) const {
+  auto it = versions_.find(pair);
+  return it == versions_.end() ? -1.0 : it->second.priority;
+}
+
+}  // namespace minoan

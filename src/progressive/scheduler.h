@@ -1,0 +1,72 @@
+// Copyright 2026 The MinoanER Authors.
+// The comparison scheduler: a lazy max-heap over candidate pairs.
+//
+// The poster's scheduling phase "selects which pairs of descriptions … will
+// be compared in the entity matching phase and in what order". Priorities
+// change as matches land (benefit drift, new neighbor evidence), so the heap
+// supports cheap priority updates by version-stamped lazy invalidation: a
+// pushed entry whose version no longer matches the pair's current version is
+// discarded at pop time. No decrease-key, O(log n) per operation.
+
+#ifndef MINOAN_PROGRESSIVE_SCHEDULER_H_
+#define MINOAN_PROGRESSIVE_SCHEDULER_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace minoan {
+
+/// Max-heap of (priority, pair-key) with version-stamped invalidation.
+class ComparisonScheduler {
+ public:
+  /// Inserts or re-prioritizes `pair`. The newest push wins; older entries
+  /// for the same pair become stale.
+  void Push(uint64_t pair, double priority);
+
+  /// Pops the highest-priority live pair. Returns false when empty.
+  bool Pop(uint64_t& pair, double& priority);
+
+  /// Current (live) priority of `pair`, or -1 when absent.
+  double PriorityOf(uint64_t pair) const;
+
+  /// Number of live pairs (not raw heap entries).
+  size_t live_size() const { return versions_.size(); }
+  bool empty() const { return versions_.empty(); }
+
+  /// Total pushes, for accounting the scheduling overhead.
+  uint64_t total_pushes() const { return total_pushes_; }
+
+  /// Removes a pair from the live set (e.g. once executed); any of its heap
+  /// entries die lazily.
+  void Erase(uint64_t pair) { versions_.erase(pair); }
+
+ private:
+  struct Entry {
+    double priority;
+    uint64_t pair;
+    uint64_t version;
+    bool operator<(const Entry& o) const {
+      // std::priority_queue is a max-heap on operator<.
+      if (priority != o.priority) return priority < o.priority;
+      return pair > o.pair;  // deterministic tie-break: smaller pair first
+    }
+  };
+
+  struct Live {
+    uint64_t version;
+    double priority;
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<uint64_t, Live> versions_;
+  uint64_t next_version_ = 0;
+  uint64_t total_pushes_ = 0;
+};
+
+}  // namespace minoan
+
+#endif  // MINOAN_PROGRESSIVE_SCHEDULER_H_

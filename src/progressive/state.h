@@ -1,0 +1,67 @@
+// Copyright 2026 The MinoanER Authors.
+// Mutable resolution state: clusters, cluster profiles, neighbor bookkeeping.
+//
+// The progressive resolver updates this state after every confirmed match;
+// benefit estimators read it to score candidate comparisons against the
+// *current* partial result — the essence of pay-as-you-go ER.
+
+#ifndef MINOAN_PROGRESSIVE_STATE_H_
+#define MINOAN_PROGRESSIVE_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kb/collection.h"
+#include "kb/entity.h"
+#include "kb/neighbor_graph.h"
+#include "matching/union_find.h"
+
+namespace minoan {
+
+/// Tracks the partial resolution result during a progressive run.
+class ResolutionState {
+ public:
+  ResolutionState(const EntityCollection& collection,
+                  const NeighborGraph* graph);
+
+  /// Records the match (a, b): merges clusters and cluster profiles.
+  /// Returns true when the two were not already in the same cluster.
+  bool RecordMatch(EntityId a, EntityId b);
+
+  bool SameCluster(EntityId a, EntityId b) {
+    return clusters_.SameSet(a, b);
+  }
+  uint32_t ClusterSize(EntityId e) { return clusters_.SetSize(e); }
+
+  /// Sorted distinct attribute-value ids of e's cluster.
+  const std::vector<uint32_t>& ClusterValues(EntityId e) {
+    return values_[clusters_.Find(e)];
+  }
+
+  /// Number of values the merged cluster of (a, b) would gain relative to
+  /// the larger constituent — the attribute-completeness gain of the match.
+  uint32_t ValueGain(EntityId a, EntityId b);
+
+  /// Fraction of neighbor pairs (na ∈ N(a), nb ∈ N(b)) already resolved to
+  /// the same cluster; 0 when either side has no neighbors. Neighbor lists
+  /// are truncated to `cap` entries per side.
+  double MatchedNeighborFraction(EntityId a, EntityId b, uint32_t cap);
+
+  /// Count (not fraction) of already-co-clustered neighbor pairs.
+  uint32_t MatchedNeighborPairs(EntityId a, EntityId b, uint32_t cap);
+
+  UnionFind& clusters() { return clusters_; }
+  uint64_t matches_recorded() const { return matches_recorded_; }
+
+ private:
+  const EntityCollection* collection_;
+  const NeighborGraph* graph_;  // may be null (no relationship reasoning)
+  UnionFind clusters_;
+  /// Per current root: sorted distinct value ids of the cluster profile.
+  std::vector<std::vector<uint32_t>> values_;
+  uint64_t matches_recorded_ = 0;
+};
+
+}  // namespace minoan
+
+#endif  // MINOAN_PROGRESSIVE_STATE_H_

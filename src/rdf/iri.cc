@@ -1,0 +1,77 @@
+#include "rdf/iri.h"
+
+namespace minoan {
+namespace rdf {
+
+namespace {
+constexpr std::string_view kSchemeSep = "://";
+}  // namespace
+
+bool LooksLikeAbsoluteIri(std::string_view iri) {
+  const size_t sep = iri.find(kSchemeSep);
+  if (sep == std::string_view::npos || sep == 0) return false;
+  for (size_t i = 0; i < sep; ++i) {
+    const char c = iri[i];
+    const bool scheme_char = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                             (c >= '0' && c <= '9') || c == '+' || c == '-' ||
+                             c == '.';
+    if (!scheme_char) return false;
+  }
+  return true;
+}
+
+std::string_view IriNamespace(std::string_view iri) {
+  const size_t hash = iri.rfind('#');
+  if (hash != std::string_view::npos) return iri.substr(0, hash + 1);
+  const size_t slash = iri.rfind('/');
+  if (slash != std::string_view::npos) return iri.substr(0, slash + 1);
+  return std::string_view();
+}
+
+std::string_view IriLocalName(std::string_view iri) {
+  const size_t hash = iri.rfind('#');
+  if (hash != std::string_view::npos) return iri.substr(hash + 1);
+  const size_t slash = iri.rfind('/');
+  if (slash != std::string_view::npos) return iri.substr(slash + 1);
+  return iri;
+}
+
+IriParts SplitIri(std::string_view iri) {
+  IriParts parts;
+  if (!LooksLikeAbsoluteIri(iri)) {
+    parts.suffix = std::string(iri);
+    return parts;
+  }
+  const size_t sep = iri.find(kSchemeSep);
+  const size_t authority_start = sep + kSchemeSep.size();
+  size_t path_start = iri.find('/', authority_start);
+  if (path_start == std::string_view::npos) {
+    parts.prefix = std::string(iri);
+    return parts;
+  }
+  parts.prefix = std::string(iri.substr(0, path_start));
+
+  std::string_view rest = iri.substr(path_start);  // begins with '/'
+  const size_t hash = rest.rfind('#');
+  if (hash != std::string_view::npos && hash + 1 < rest.size()) {
+    parts.infix = std::string(rest.substr(0, hash));
+    parts.suffix = std::string(rest.substr(hash + 1));
+    return parts;
+  }
+  // Use the final path segment as suffix (ignoring a trailing slash).
+  std::string_view trimmed = rest;
+  while (!trimmed.empty() && trimmed.back() == '/') {
+    trimmed.remove_suffix(1);
+  }
+  const size_t last_slash = trimmed.rfind('/');
+  if (last_slash == std::string_view::npos || trimmed.empty()) {
+    parts.suffix = std::string(trimmed);
+    return parts;
+  }
+  parts.infix = std::string(trimmed.substr(0, last_slash));
+  parts.suffix = std::string(trimmed.substr(last_slash + 1));
+  return parts;
+}
+
+}  // namespace rdf
+}  // namespace minoan

@@ -1,0 +1,47 @@
+// Copyright 2026 The MinoanER Authors.
+// IRI structure utilities.
+//
+// Linked Data IRIs are semi-structured names: a namespace ("prefix"), an
+// optional path ("infix"), and a local identifier ("suffix"). MinoanER's
+// URI-aware blocking (prefix-infix-suffix, after Papadakis et al.) keys
+// descriptions by these components, because two KBs describing the same
+// entity frequently mint IRIs that share the suffix (e.g.
+// dbpedia.org/resource/Heraklion vs example.org/place/Heraklion) even when
+// their literal values share no tokens.
+
+#ifndef MINOAN_RDF_IRI_H_
+#define MINOAN_RDF_IRI_H_
+
+#include <string>
+#include <string_view>
+
+namespace minoan {
+namespace rdf {
+
+/// The three-part decomposition of an IRI.
+struct IriParts {
+  std::string prefix;  // scheme + authority, e.g. "http://dbpedia.org"
+  std::string infix;   // interior path, e.g. "/resource"
+  std::string suffix;  // final segment or fragment, e.g. "Heraklion"
+};
+
+/// Splits `iri` into prefix/infix/suffix. The suffix is the fragment when a
+/// '#' is present, else the last path segment; the prefix is scheme +
+/// authority; the infix is whatever lies between. Never fails: degenerate
+/// IRIs land fully in `suffix`.
+IriParts SplitIri(std::string_view iri);
+
+/// Returns the namespace part (everything up to and including the last '#'
+/// or '/'). Used for vocabulary statistics.
+std::string_view IriNamespace(std::string_view iri);
+
+/// Returns the local name (everything after the last '#' or '/').
+std::string_view IriLocalName(std::string_view iri);
+
+/// Heuristically true when `iri` looks absolute (scheme "://" present).
+bool LooksLikeAbsoluteIri(std::string_view iri);
+
+}  // namespace rdf
+}  // namespace minoan
+
+#endif  // MINOAN_RDF_IRI_H_

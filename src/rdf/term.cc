@@ -1,0 +1,68 @@
+#include "rdf/term.h"
+
+#include <cstdio>
+
+namespace minoan {
+namespace rdf {
+
+std::string EscapeNTriples(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + EscapeNTriples(lexical) + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeNTriples(lexical) + "\"";
+      if (!language.empty()) {
+        out += "@" + language;
+      } else if (!datatype.empty() && datatype != kXsdString) {
+        out += "^^<" + EscapeNTriples(datatype) + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string Triple::ToNTriples() const {
+  return subject.ToNTriples() + " " + predicate.ToNTriples() + " " +
+         object.ToNTriples() + " .";
+}
+
+std::ostream& operator<<(std::ostream& os, const Term& term) {
+  return os << term.ToNTriples();
+}
+
+std::ostream& operator<<(std::ostream& os, const Triple& triple) {
+  return os << triple.ToNTriples();
+}
+
+}  // namespace rdf
+}  // namespace minoan

@@ -1,0 +1,62 @@
+// Copyright 2026 The MinoanER Authors.
+// Turtle (Terse RDF Triple Language) parser — the subset real LOD dumps use.
+//
+// Supported grammar (W3C Turtle restricted to what DBpedia/GeoNames-style
+// dumps contain):
+//   * @prefix / PREFIX and @base / BASE directives;
+//   * prefixed names (ex:Thing) and relative IRI resolution against @base;
+//   * predicate lists (";"), object lists (",");
+//   * the "a" keyword for rdf:type;
+//   * literals: quoted strings with the N-Triples escapes, language tags,
+//     datatypes, plus the numeric (integer/decimal/double) and boolean
+//     shorthands;
+//   * blank node labels (_:x) and anonymous/nested blank nodes [ ... ];
+//   * comments (#) anywhere outside of strings.
+//
+// Not supported (rejected with a parse error): collections "( ... )",
+// triple-quoted strings, and RDF-star. Periphery dumps rarely use them; the
+// error message names the construct so users know why a file was rejected.
+
+#ifndef MINOAN_RDF_TURTLE_H_
+#define MINOAN_RDF_TURTLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace minoan {
+namespace rdf {
+
+/// Turtle parser configuration.
+struct TurtleOptions {
+  /// Base IRI used before any @base directive (for relative IRIs).
+  std::string base_iri;
+};
+
+/// Parses a whole Turtle document into triples.
+class TurtleParser {
+ public:
+  explicit TurtleParser(TurtleOptions options) : options_(std::move(options)) {}
+  TurtleParser() : options_{} {}
+
+  /// Parses an in-memory document.
+  Result<std::vector<Triple>> ParseString(std::string_view document) const;
+
+  /// Parses a file.
+  Result<std::vector<Triple>> ParseFile(const std::string& path) const;
+
+ private:
+  TurtleOptions options_;
+};
+
+/// Loads triples from a path by extension: ".nt" via the N-Triples parser
+/// (lenient), ".ttl"/".turtle" via the Turtle parser.
+Result<std::vector<Triple>> LoadTriples(const std::string& path);
+
+}  // namespace rdf
+}  // namespace minoan
+
+#endif  // MINOAN_RDF_TURTLE_H_

@@ -1,0 +1,21 @@
+#include "text/normalize.h"
+
+namespace minoan {
+
+std::string NormalizeText(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  bool pending_space = false;
+  for (char c : input) {
+    if (IsTokenByte(c)) {
+      if (pending_space && !out.empty()) out += ' ';
+      pending_space = false;
+      out += AsciiToLower(c);
+    } else {
+      pending_space = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace minoan

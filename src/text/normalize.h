@@ -1,0 +1,38 @@
+// Copyright 2026 The MinoanER Authors.
+// Text normalization applied before tokenization.
+//
+// Web-of-data literals come from autonomous KBs with inconsistent casing,
+// punctuation and whitespace; normalization maximizes the chance that two
+// descriptions of the same real-world entity share tokens (the minimal
+// matching assumption MinoanER's blocking relies on).
+
+#ifndef MINOAN_TEXT_NORMALIZE_H_
+#define MINOAN_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace minoan {
+
+/// Returns `input` lowercased (ASCII) with every non-alphanumeric byte
+/// replaced by a single space and runs of spaces collapsed. Bytes >= 0x80
+/// (UTF-8 continuation/lead) are kept verbatim so multi-byte scripts still
+/// produce stable tokens.
+std::string NormalizeText(std::string_view input);
+
+/// ASCII-lowercases a single byte.
+inline char AsciiToLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// True for bytes that belong inside a token: ASCII alphanumerics and any
+/// non-ASCII byte.
+inline bool IsTokenByte(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return (u >= '0' && u <= '9') || (u >= 'a' && u <= 'z') ||
+         (u >= 'A' && u <= 'Z') || u >= 0x80;
+}
+
+}  // namespace minoan
+
+#endif  // MINOAN_TEXT_NORMALIZE_H_

@@ -1,0 +1,202 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+namespace minoan {
+
+size_t IntersectionSize(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double JaccardSimilarity(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  const size_t inter = IntersectionSize(a, b);
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiceSimilarity(const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  const size_t inter = IntersectionSize(a, b);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double OverlapCoefficient(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t inter = IntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double BinaryCosineSimilarity(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t inter = IntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(a.size()) *
+                   static_cast<double>(b.size()));
+}
+
+double WeightedCosineSimilarity(const std::vector<WeightedToken>& a,
+                                const std::vector<WeightedToken>& b) {
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (const auto& t : a) norm_a += t.weight * t.weight;
+  for (const auto& t : b) norm_b += t.weight * t.weight;
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].id < b[j].id) {
+      ++i;
+    } else if (b[j].id < a[i].id) {
+      ++j;
+    } else {
+      dot += a[i].weight * b[j].weight;
+      ++i;
+      ++j;
+    }
+  }
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+double WeightedJaccardSimilarity(const std::vector<WeightedToken>& a,
+                                 const std::vector<WeightedToken>& b) {
+  double min_sum = 0.0, max_sum = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].id < b[j].id)) {
+      max_sum += a[i].weight;
+      ++i;
+    } else if (i >= a.size() || b[j].id < a[i].id) {
+      max_sum += b[j].weight;
+      ++j;
+    } else {
+      min_sum += std::min(a[i].weight, b[j].weight);
+      max_sum += std::max(a[i].weight, b[j].weight);
+      ++i;
+      ++j;
+    }
+  }
+  return max_sum == 0.0 ? 0.0 : min_sum / max_sum;
+}
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter
+  std::vector<size_t> prev(a.size() + 1), cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      const size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t match_window =
+      a.size() == 1 && b.size() == 1
+          ? 0
+          : std::max(a.size(), b.size()) / 2 - 1;
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > match_window ? i - match_window : 0;
+    const size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters in order.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+double QGramSimilarity(std::string_view a, std::string_view b, size_t q) {
+  if (q == 0) q = 1;
+  if (a.size() < q || b.size() < q) return a == b ? 1.0 : 0.0;
+  auto grams = [q](std::string_view s) {
+    std::map<std::string, size_t> counts;
+    for (size_t i = 0; i + q <= s.size(); ++i) {
+      ++counts[std::string(s.substr(i, q))];
+    }
+    return counts;
+  };
+  const auto ga = grams(a);
+  const auto gb = grams(b);
+  size_t inter = 0, uni = 0;
+  auto ia = ga.begin();
+  auto ib = gb.begin();
+  while (ia != ga.end() || ib != gb.end()) {
+    if (ib == gb.end() || (ia != ga.end() && ia->first < ib->first)) {
+      uni += ia->second;
+      ++ia;
+    } else if (ia == ga.end() || ib->first < ia->first) {
+      uni += ib->second;
+      ++ib;
+    } else {
+      inter += std::min(ia->second, ib->second);
+      uni += std::max(ia->second, ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace minoan

@@ -1,0 +1,66 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+
+#include "text/normalize.h"
+
+namespace minoan {
+
+namespace {
+
+bool AllDigits(std::string_view token) {
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+  }
+  return !token.empty();
+}
+
+template <typename Emit>
+void Split(std::string_view text, bool normalize, const Emit& emit) {
+  std::string buffer;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && !IsTokenByte(text[i])) ++i;
+    size_t start = i;
+    while (i < n && IsTokenByte(text[i])) ++i;
+    if (i > start) {
+      if (normalize) {
+        buffer.assign(text.substr(start, i - start));
+        for (char& c : buffer) c = AsciiToLower(c);
+        emit(std::string_view(buffer));
+      } else {
+        emit(text.substr(start, i - start));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool Tokenizer::Keep(std::string_view token) const {
+  if (token.size() < options_.min_token_length) return false;
+  if (!options_.keep_numeric && AllDigits(token)) return false;
+  return true;
+}
+
+void Tokenizer::Tokenize(std::string_view text,
+                         std::vector<std::string>& out) const {
+  Split(text, options_.normalize, [&](std::string_view token) {
+    if (Keep(token)) out.emplace_back(token);
+  });
+}
+
+void Tokenizer::TokenizeInto(std::string_view text, StringInterner& dict,
+                             std::vector<uint32_t>& out) const {
+  Split(text, options_.normalize, [&](std::string_view token) {
+    if (Keep(token)) out.push_back(dict.Intern(token));
+  });
+}
+
+void SortUnique(std::vector<uint32_t>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace minoan

@@ -1,0 +1,55 @@
+// Copyright 2026 The MinoanER Authors.
+// Tokenization of attribute values and IRIs into blocking keys.
+
+#ifndef MINOAN_TEXT_TOKENIZER_H_
+#define MINOAN_TEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/interner.h"
+
+namespace minoan {
+
+/// Tokenizer configuration.
+struct TokenizerOptions {
+  /// Tokens shorter than this many bytes are dropped (articles, initials …).
+  uint32_t min_token_length = 2;
+  /// Tokens consisting solely of digits are kept iff true (years, zip codes
+  /// are often discriminative in entity descriptions).
+  bool keep_numeric = true;
+  /// Lowercase + punctuation folding before splitting.
+  bool normalize = true;
+};
+
+/// Splits text into normalized tokens (maximal runs of token bytes).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = TokenizerOptions())
+      : options_(options) {}
+
+  /// Appends the tokens of `text` to `out` as strings.
+  void Tokenize(std::string_view text, std::vector<std::string>& out) const;
+
+  /// Interns the tokens of `text` into `dict`, appending ids to `out`.
+  /// Duplicate tokens within one call are preserved (callers dedupe when
+  /// building set semantics).
+  void TokenizeInto(std::string_view text, StringInterner& dict,
+                    std::vector<uint32_t>& out) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool Keep(std::string_view token) const;
+  TokenizerOptions options_;
+};
+
+/// Sorts and deduplicates a token-id list in place (set semantics used by
+/// Jaccard and by token blocking).
+void SortUnique(std::vector<uint32_t>& ids);
+
+}  // namespace minoan
+
+#endif  // MINOAN_TEXT_TOKENIZER_H_

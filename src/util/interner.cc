@@ -1,0 +1,64 @@
+#include "util/interner.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace minoan {
+
+namespace {
+constexpr size_t kInitialBuckets = 1024;  // power of two
+}  // namespace
+
+StringInterner::StringInterner() {
+  buckets_.assign(kInitialBuckets, kInternNotFound);
+  bucket_mask_ = kInitialBuckets - 1;
+  arena_.reserve(1 << 16);
+}
+
+bool StringInterner::Equals(const Slice& slice, std::string_view s,
+                            uint64_t hash) const {
+  return slice.hash == hash && slice.length == s.size() &&
+         std::memcmp(arena_.data() + slice.offset, s.data(), s.size()) == 0;
+}
+
+uint32_t StringInterner::Intern(std::string_view s) {
+  const uint64_t hash = Fnv1a64(s);
+  size_t idx = hash & bucket_mask_;
+  while (buckets_[idx] != kInternNotFound) {
+    if (Equals(slices_[buckets_[idx]], s, hash)) return buckets_[idx];
+    idx = (idx + 1) & bucket_mask_;
+  }
+  const uint32_t id = static_cast<uint32_t>(slices_.size());
+  slices_.push_back(Slice{arena_.size(), static_cast<uint32_t>(s.size()),
+                          hash});
+  arena_.append(s.data(), s.size());
+  buckets_[idx] = id;
+  // Grow at 70% load.
+  if (slices_.size() * 10 > buckets_.size() * 7) {
+    Rehash(buckets_.size() * 2);
+  }
+  return id;
+}
+
+uint32_t StringInterner::Find(std::string_view s) const {
+  const uint64_t hash = Fnv1a64(s);
+  size_t idx = hash & bucket_mask_;
+  while (buckets_[idx] != kInternNotFound) {
+    if (Equals(slices_[buckets_[idx]], s, hash)) return buckets_[idx];
+    idx = (idx + 1) & bucket_mask_;
+  }
+  return kInternNotFound;
+}
+
+void StringInterner::Rehash(size_t new_buckets) {
+  assert((new_buckets & (new_buckets - 1)) == 0 && "bucket count power of 2");
+  buckets_.assign(new_buckets, kInternNotFound);
+  bucket_mask_ = new_buckets - 1;
+  for (uint32_t id = 0; id < slices_.size(); ++id) {
+    size_t idx = slices_[id].hash & bucket_mask_;
+    while (buckets_[idx] != kInternNotFound) idx = (idx + 1) & bucket_mask_;
+    buckets_[idx] = id;
+  }
+}
+
+}  // namespace minoan

@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace minoan {
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+void DefaultSink(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%.*s] %.*s\n",
+               static_cast<int>(LogLevelName(level).size()),
+               LogLevelName(level).data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel Logger::level_ = LogLevel::kWarning;
+Logger::Sink Logger::sink_ = nullptr;
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  sink_ = std::move(sink);
+}
+
+void Logger::Emit(LogLevel level, std::string_view message) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (sink_) {
+    sink_(level, message);
+  } else {
+    DefaultSink(level, message);
+  }
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() { Logger::Emit(level_, stream_.str()); }
+
+}  // namespace minoan

@@ -1,0 +1,73 @@
+// Copyright 2026 The MinoanER Authors.
+// Minimal leveled logging with printf-free streaming syntax:
+//
+//   MINOAN_LOG(kInfo) << "built " << n << " blocks";
+//
+// The sink defaults to stderr; tests can capture messages by installing a
+// custom sink. Logging below the active level compiles to a cheap branch.
+
+#ifndef MINOAN_UTIL_LOGGING_H_
+#define MINOAN_UTIL_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace minoan {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+std::string_view LogLevelName(LogLevel level);
+
+/// Global logging configuration. Not thread-safe to mutate concurrently with
+/// logging; set it once at startup (tests serialize via their own harness).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+
+  /// Replaces the sink; passing nullptr restores the default stderr sink.
+  static void set_sink(Sink sink);
+
+  /// Emits one finished record to the active sink.
+  static void Emit(LogLevel level, std::string_view message);
+
+ private:
+  static LogLevel level_;
+  static Sink sink_;
+};
+
+/// One in-flight log statement; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define MINOAN_LOG(severity)                                      \
+  if (::minoan::LogLevel::severity < ::minoan::Logger::level()) { \
+  } else                                                          \
+    ::minoan::LogMessage(::minoan::LogLevel::severity, __FILE__, __LINE__)
+
+}  // namespace minoan
+
+#endif  // MINOAN_UTIL_LOGGING_H_

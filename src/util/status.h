@@ -1,0 +1,169 @@
+// Copyright 2026 The MinoanER Authors.
+// Error-handling primitives used across the library.
+//
+// MinoanER does not use exceptions for control flow (hot loops are noexcept);
+// fallible operations — parsing, I/O, configuration validation — return a
+// `Status`, and value-producing fallible operations return a `Result<T>`.
+// Both are modeled after absl::Status / absl::StatusOr.
+
+#ifndef MINOAN_UTIL_STATUS_H_
+#define MINOAN_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace minoan {
+
+/// Canonical error space, a subset of the gRPC/absl canonical codes that is
+/// sufficient for an analytics library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+  kIoError = 9,
+  kParseError = 10,
+};
+
+/// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. An OK status carries no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a human-readable `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Holds either a value of type `T` or an error `Status`. Accessing the value
+/// of an errored Result is a programming error (checked by assert in debug
+/// builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` is forbidden.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define MINOAN_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::minoan::Status _minoan_st = (expr);       \
+    if (!_minoan_st.ok()) return _minoan_st;    \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on error returns the status from the enclosing function.
+#define MINOAN_ASSIGN_OR_RETURN(lhs, expr)                \
+  MINOAN_ASSIGN_OR_RETURN_IMPL_(                          \
+      MINOAN_STATUS_CONCAT_(_minoan_res, __LINE__), lhs, expr)
+#define MINOAN_STATUS_CONCAT_INNER_(a, b) a##b
+#define MINOAN_STATUS_CONCAT_(a, b) MINOAN_STATUS_CONCAT_INNER_(a, b)
+#define MINOAN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace minoan
+
+#endif  // MINOAN_UTIL_STATUS_H_

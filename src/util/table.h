@@ -1,0 +1,75 @@
+// Copyright 2026 The MinoanER Authors.
+// Console/CSV table rendering for the experiment harnesses.
+//
+// Every bench binary prints paper-style tables through this class so the
+// output is uniformly aligned, machine-greppable, and optionally mirrored to
+// a CSV file.
+
+#ifndef MINOAN_UTIL_TABLE_H_
+#define MINOAN_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace minoan {
+
+/// A rectangular table of string cells with a header row.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Starts a new row; subsequent Cell() calls fill it left to right.
+  Table& AddRow() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& Cell(std::string value) {
+    rows_.back().push_back(std::move(value));
+    return *this;
+  }
+  Table& Cell(const char* value) { return Cell(std::string(value)); }
+  Table& Cell(std::string_view value) { return Cell(std::string(value)); }
+  Table& Cell(int64_t value) { return Cell(std::to_string(value)); }
+  Table& Cell(uint64_t value) { return Cell(std::to_string(value)); }
+  Table& Cell(int value) { return Cell(static_cast<int64_t>(value)); }
+  Table& Cell(unsigned value) { return Cell(static_cast<uint64_t>(value)); }
+
+  /// Formats a double with `digits` decimals.
+  Table& Cell(double value, int digits = 4);
+
+  /// Writes an ASCII-art aligned rendering (pipe-separated, padded).
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (cells containing separators are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Saves the CSV rendering to `path`.
+  Status SaveCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return headers_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: "12.3%"-style percent formatting.
+std::string FormatPercent(double fraction, int digits = 1);
+
+/// Convenience: "1,234,567" thousands separators for counts.
+std::string FormatCount(uint64_t count);
+
+}  // namespace minoan
+
+#endif  // MINOAN_UTIL_TABLE_H_

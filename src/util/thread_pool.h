@@ -1,0 +1,57 @@
+// Copyright 2026 The MinoanER Authors.
+// Fixed-size worker pool used by the MapReduce engine and parallel benches.
+
+#ifndef MINOAN_UTIL_THREAD_POOL_H_
+#define MINOAN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace minoan {
+
+/// A minimal fixed-size thread pool. Tasks are void() callables; exceptions
+/// escaping a task terminate the process (library code reports failures via
+/// Status instead of throwing).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Work is dealt in contiguous chunks to limit scheduling overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals Wait()
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace minoan
+
+#endif  // MINOAN_UTIL_THREAD_POOL_H_

@@ -1,0 +1,207 @@
+// Unit tests for the baseline schedulers: random order, static weight order,
+// and the Altowim-style window-based quantity-progressive resolver.
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/schedulers.h"
+#include "blocking/blocking_method.h"
+#include "datagen/lod_generator.h"
+#include "eval/ground_truth.h"
+#include "eval/progressive_metrics.h"
+#include "gtest/gtest.h"
+#include "metablocking/meta_blocking.h"
+#include "util/hash.h"
+
+namespace minoan {
+namespace baseline {
+namespace {
+
+std::vector<WeightedComparison> FixtureCandidates() {
+  return {
+      {0, 5, 0.9}, {1, 6, 0.5}, {2, 7, 0.7}, {3, 8, 0.2}, {4, 9, 0.4},
+  };
+}
+
+TEST(RandomOrderTest, PermutationOfInput) {
+  const auto candidates = FixtureCandidates();
+  const auto order = RandomOrder(candidates, 42);
+  ASSERT_EQ(order.size(), candidates.size());
+  std::set<uint64_t> in, out;
+  for (const auto& c : candidates) in.insert(PairKey(c.a, c.b));
+  for (const auto& c : order) out.insert(PairKey(c.a, c.b));
+  EXPECT_EQ(in, out);
+}
+
+TEST(RandomOrderTest, DeterministicInSeed) {
+  const auto candidates = FixtureCandidates();
+  const auto a = RandomOrder(candidates, 7);
+  const auto b = RandomOrder(candidates, 7);
+  const auto c = RandomOrder(candidates, 8);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  EXPECT_FALSE(std::equal(a.begin(), a.end(), c.begin()) &&
+               std::equal(c.begin(), c.end(), a.begin()));
+}
+
+TEST(OracleOrderTest, MatchesComeFirst) {
+  const auto candidates = FixtureCandidates();
+  // Declare pairs (1,6) and (3,8) as the true matches.
+  auto is_match = [](EntityId a, EntityId b) {
+    return (a == 1 && b == 6) || (a == 3 && b == 8);
+  };
+  const auto order = OracleOrder(candidates, is_match);
+  ASSERT_EQ(order.size(), candidates.size());
+  EXPECT_EQ(order[0], Comparison(1, 6));
+  EXPECT_EQ(order[1], Comparison(3, 8));
+  // Non-matches follow in candidate order.
+  EXPECT_EQ(order[2], Comparison(0, 5));
+}
+
+TEST(OracleOrderTest, DominatesEveryOtherOrderOnAuc) {
+  // With truth known, the oracle's progressive recall can't be beaten over
+  // the same candidate set.
+  GroundTruth truth(10, {{1, 6}, {3, 8}});
+  const auto candidates = FixtureCandidates();
+  auto auc_of = [&](const std::vector<Comparison>& order) {
+    ResolutionRun run;
+    for (const Comparison& c : order) {
+      ++run.comparisons_executed;
+      if (truth.Matches(c.a, c.b)) {
+        run.matches.push_back({run.comparisons_executed, c.a, c.b, 1.0});
+      }
+    }
+    return ProgressiveRecallAuc(run, truth, candidates.size());
+  };
+  const double oracle_auc = auc_of(OracleOrder(
+      candidates,
+      [&](EntityId a, EntityId b) { return truth.Matches(a, b); }));
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    EXPECT_GE(oracle_auc, auc_of(RandomOrder(candidates, seed)));
+  }
+  EXPECT_GE(oracle_auc, auc_of(WeightDescendingOrder(candidates)));
+}
+
+TEST(WeightOrderTest, DescendingWeights) {
+  const auto order = WeightDescendingOrder(FixtureCandidates());
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], Comparison(0, 5));  // 0.9
+  EXPECT_EQ(order[1], Comparison(2, 7));  // 0.7
+  EXPECT_EQ(order[2], Comparison(1, 6));  // 0.5
+  EXPECT_EQ(order[3], Comparison(4, 9));  // 0.4
+  EXPECT_EQ(order[4], Comparison(3, 8));  // 0.2
+}
+
+// ---------------------------------------------------------------------------
+// Altowim-style window resolver on a generated cloud
+// ---------------------------------------------------------------------------
+
+class AltowimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::LodCloudConfig cfg;
+    cfg.seed = 101;
+    cfg.num_real_entities = 250;
+    cfg.num_kbs = 4;
+    cfg.center_kbs = 2;
+    auto cloud = datagen::GenerateLodCloud(cfg);
+    ASSERT_TRUE(cloud.ok());
+    auto collection = cloud->BuildCollection();
+    ASSERT_TRUE(collection.ok());
+    collection_ = new EntityCollection(std::move(collection).value());
+    auto truth = GroundTruth::FromCloud(*cloud, *collection_);
+    ASSERT_TRUE(truth.ok());
+    truth_ = new GroundTruth(std::move(truth).value());
+    evaluator_ = new SimilarityEvaluator(*collection_);
+    BlockCollection blocks = TokenBlocking().Build(*collection_);
+    MetaBlockingOptions meta;
+    candidates_ = new std::vector<WeightedComparison>(
+        MetaBlocking(meta).Prune(blocks, *collection_));
+  }
+  static void TearDownTestSuite() {
+    delete candidates_;
+    delete evaluator_;
+    delete truth_;
+    delete collection_;
+    candidates_ = nullptr;
+    evaluator_ = nullptr;
+    truth_ = nullptr;
+    collection_ = nullptr;
+  }
+
+  static EntityCollection* collection_;
+  static GroundTruth* truth_;
+  static SimilarityEvaluator* evaluator_;
+  static std::vector<WeightedComparison>* candidates_;
+};
+
+EntityCollection* AltowimTest::collection_ = nullptr;
+GroundTruth* AltowimTest::truth_ = nullptr;
+SimilarityEvaluator* AltowimTest::evaluator_ = nullptr;
+std::vector<WeightedComparison>* AltowimTest::candidates_ = nullptr;
+
+TEST_F(AltowimTest, BudgetRespected) {
+  AltowimResolver::Options opts;
+  opts.matcher.budget = 123;
+  AltowimResolver resolver(*collection_, *evaluator_, opts);
+  const ResolutionRun run = resolver.Run(*candidates_);
+  EXPECT_EQ(run.comparisons_executed, 123u);
+}
+
+TEST_F(AltowimTest, UnlimitedExecutesAll) {
+  AltowimResolver::Options opts;
+  opts.matcher.budget = 0;
+  AltowimResolver resolver(*collection_, *evaluator_, opts);
+  const ResolutionRun run = resolver.Run(*candidates_);
+  EXPECT_EQ(run.comparisons_executed, candidates_->size());
+}
+
+TEST_F(AltowimTest, NoComparisonRepeated) {
+  AltowimResolver::Options opts;
+  AltowimResolver resolver(*collection_, *evaluator_, opts);
+  const ResolutionRun run = resolver.Run(*candidates_);
+  std::set<uint64_t> seen;
+  for (const MatchEvent& m : run.matches) {
+    EXPECT_TRUE(seen.insert(PairKey(m.a, m.b)).second);
+  }
+}
+
+TEST_F(AltowimTest, BeatsRandomOnEarlyRecall) {
+  AltowimResolver::Options opts;
+  AltowimResolver resolver(*collection_, *evaluator_, opts);
+  const ResolutionRun alt = resolver.Run(*candidates_);
+
+  MatcherOptions mopts;
+  BatchMatcher random_matcher(*evaluator_, mopts);
+  const ResolutionRun rnd =
+      random_matcher.Run(RandomOrder(*candidates_, 4242));
+
+  const uint64_t horizon = candidates_->size();
+  EXPECT_GT(ProgressiveRecallAuc(alt, *truth_, horizon),
+            ProgressiveRecallAuc(rnd, *truth_, horizon));
+}
+
+TEST_F(AltowimTest, WindowSizeOneStillWorks) {
+  AltowimResolver::Options opts;
+  opts.window_size = 1;
+  opts.matcher.budget = 50;
+  AltowimResolver resolver(*collection_, *evaluator_, opts);
+  const ResolutionRun run = resolver.Run(*candidates_);
+  EXPECT_EQ(run.comparisons_executed, 50u);
+}
+
+TEST_F(AltowimTest, DeterministicAcrossRuns) {
+  AltowimResolver::Options opts;
+  opts.matcher.budget = 200;
+  AltowimResolver resolver(*collection_, *evaluator_, opts);
+  const ResolutionRun a = resolver.Run(*candidates_);
+  const ResolutionRun b = resolver.Run(*candidates_);
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(PairKey(a.matches[i].a, a.matches[i].b),
+              PairKey(b.matches[i].a, b.matches[i].b));
+  }
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace minoan

@@ -1,0 +1,294 @@
+// Unit tests for the MapReduce substrate: engine semantics (word count,
+// combiner, determinism across worker counts) and the parallel blocking /
+// meta-blocking jobs, which must reproduce the sequential results exactly.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+
+#include "blocking/blocking_method.h"
+#include "datagen/lod_generator.h"
+#include "gtest/gtest.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/parallel_blocking.h"
+#include "mapreduce/parallel_meta_blocking.h"
+#include "metablocking/meta_blocking.h"
+#include "util/hash.h"
+
+namespace minoan {
+namespace {
+
+using mapreduce::Counters;
+using mapreduce::Emitter;
+using mapreduce::Engine;
+
+// ---------------------------------------------------------------------------
+// Engine semantics
+// ---------------------------------------------------------------------------
+
+using WordCount = std::pair<std::string, uint64_t>;
+
+std::vector<WordCount> RunWordCount(Engine& engine,
+                                    const std::vector<std::string>& docs,
+                                    bool with_combiner,
+                                    Counters* counters = nullptr) {
+  auto map_fn = [](const std::string& doc,
+                   Emitter<std::string, uint64_t>& emitter) {
+    size_t start = 0;
+    while (start < doc.size()) {
+      size_t end = doc.find(' ', start);
+      if (end == std::string::npos) end = doc.size();
+      if (end > start) emitter.Emit(doc.substr(start, end - start), 1);
+      start = end + 1;
+    }
+  };
+  auto reduce_fn = [](const std::string& word, std::span<const uint64_t> ones,
+                      std::vector<WordCount>& out) {
+    uint64_t total = 0;
+    for (uint64_t v : ones) total += v;
+    out.emplace_back(word, total);
+  };
+  std::function<uint64_t(const std::string&, std::span<const uint64_t>)>
+      combine_fn = [](const std::string&, std::span<const uint64_t> ones) {
+        uint64_t total = 0;
+        for (uint64_t v : ones) total += v;
+        return total;
+      };
+  auto result = engine.Run<std::string, std::string, uint64_t, WordCount>(
+      docs, map_fn, reduce_fn, with_combiner ? &combine_fn : nullptr,
+      counters);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+const std::vector<std::string> kDocs = {
+    "the palace of knossos", "the harbor", "knossos the palace",
+    "minoan harbor the"};
+
+const std::vector<WordCount> kExpected = {
+    {"harbor", 2}, {"knossos", 2}, {"minoan", 1},
+    {"of", 1},     {"palace", 2},  {"the", 4}};
+
+TEST(EngineTest, WordCountSingleWorker) {
+  Engine engine(1);
+  EXPECT_EQ(RunWordCount(engine, kDocs, false), kExpected);
+}
+
+TEST(EngineTest, WordCountManyWorkers) {
+  Engine engine(8);
+  EXPECT_EQ(RunWordCount(engine, kDocs, false), kExpected);
+}
+
+TEST(EngineTest, SameResultAcrossWorkerCounts) {
+  for (uint32_t workers : {1u, 2u, 3u, 5u, 16u}) {
+    Engine engine(workers);
+    EXPECT_EQ(RunWordCount(engine, kDocs, false), kExpected)
+        << workers << " workers";
+  }
+}
+
+TEST(EngineTest, CombinerPreservesResult) {
+  Engine engine(4);
+  Counters with, without;
+  EXPECT_EQ(RunWordCount(engine, kDocs, true, &with), kExpected);
+  EXPECT_EQ(RunWordCount(engine, kDocs, false, &without), kExpected);
+  EXPECT_LE(with.combine_output_records, without.map_output_records);
+}
+
+TEST(EngineTest, CountersAccurate) {
+  Engine engine(2);
+  Counters counters;
+  RunWordCount(engine, kDocs, false, &counters);
+  EXPECT_EQ(counters.map_input_records, kDocs.size());
+  EXPECT_EQ(counters.map_output_records, 12u);  // total words
+  EXPECT_EQ(counters.reduce_groups, kExpected.size());
+  EXPECT_EQ(counters.reduce_output_records, kExpected.size());
+}
+
+TEST(EngineTest, EmptyInput) {
+  Engine engine(4);
+  auto out = RunWordCount(engine, {}, false);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EngineTest, ZeroWorkersClampedToOne) {
+  Engine engine(0);
+  EXPECT_EQ(engine.num_workers(), 1u);
+  EXPECT_EQ(RunWordCount(engine, kDocs, false), kExpected);
+}
+
+TEST(EngineTest, ValuesArriveSortedWithinKey) {
+  // The engine sorts (K, V) pairs, so reducers see values ascending — the
+  // property the deterministic WEP mean relies on.
+  Engine engine(4);
+  std::vector<int> inputs{5, 3, 9, 1, 7};
+  auto map_fn = [](const int& v, Emitter<int, int>& emitter) {
+    emitter.Emit(0, v);
+  };
+  std::vector<int> seen;
+  auto reduce_fn = [&seen](const int&, std::span<const int> values,
+                           std::vector<int>& out) {
+    seen.assign(values.begin(), values.end());
+    out.push_back(0);
+  };
+  engine.Run<int, int, int, int>(inputs, map_fn, reduce_fn);
+  EXPECT_EQ(seen, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel token blocking == sequential token blocking
+// ---------------------------------------------------------------------------
+
+class ParallelJobsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::LodCloudConfig cfg;
+    cfg.seed = 53;
+    cfg.num_real_entities = 300;
+    cfg.num_kbs = 4;
+    cfg.center_kbs = 2;
+    auto cloud = datagen::GenerateLodCloud(cfg);
+    ASSERT_TRUE(cloud.ok());
+    auto collection = cloud->BuildCollection();
+    ASSERT_TRUE(collection.ok());
+    collection_ = new EntityCollection(std::move(collection).value());
+  }
+  static void TearDownTestSuite() {
+    delete collection_;
+    collection_ = nullptr;
+  }
+  static EntityCollection* collection_;
+};
+
+EntityCollection* ParallelJobsTest::collection_ = nullptr;
+
+/// Canonical form of a block collection for equality checks.
+std::map<std::string, std::vector<EntityId>> Canonical(
+    const BlockCollection& blocks) {
+  std::map<std::string, std::vector<EntityId>> out;
+  for (const Block& b : blocks.blocks()) {
+    out[std::string(blocks.KeyString(b.key))] = b.entities;
+  }
+  return out;
+}
+
+TEST_F(ParallelJobsTest, TokenBlockingMatchesSequential) {
+  const BlockCollection sequential = TokenBlocking().Build(*collection_);
+  for (uint32_t workers : {1u, 4u, 16u}) {
+    Engine engine(workers);
+    const BlockCollection parallel =
+        mapreduce::ParallelTokenBlocking(*collection_, engine);
+    EXPECT_EQ(Canonical(parallel), Canonical(sequential))
+        << workers << " workers";
+  }
+}
+
+TEST_F(ParallelJobsTest, TokenBlockingCountersFilled) {
+  Engine engine(4);
+  Counters counters;
+  mapreduce::ParallelTokenBlocking(*collection_, engine, {}, &counters);
+  EXPECT_EQ(counters.map_input_records, collection_->num_entities());
+  EXPECT_GT(counters.map_output_records, 0u);
+  EXPECT_GT(counters.reduce_groups, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel meta-blocking == sequential meta-blocking (full scheme grid)
+// ---------------------------------------------------------------------------
+
+struct MetaCase {
+  WeightingScheme weighting;
+  PruningScheme pruning;
+  bool reciprocal;
+};
+
+std::string MetaCaseName(const ::testing::TestParamInfo<MetaCase>& info) {
+  std::string name =
+      std::string(WeightingSchemeName(info.param.weighting)) + "_" +
+      std::string(PruningSchemeName(info.param.pruning));
+  if (info.param.reciprocal) name += "_recip";
+  return name;
+}
+
+class ParallelMetaGrid : public ::testing::TestWithParam<MetaCase> {
+ protected:
+  void SetUp() override {
+    datagen::LodCloudConfig cfg;
+    cfg.seed = 59;
+    cfg.num_real_entities = 200;
+    cfg.num_kbs = 3;
+    cfg.center_kbs = 1;
+    auto cloud = datagen::GenerateLodCloud(cfg);
+    ASSERT_TRUE(cloud.ok());
+    auto collection = cloud->BuildCollection();
+    ASSERT_TRUE(collection.ok());
+    collection_ = std::make_unique<EntityCollection>(
+        std::move(collection).value());
+    blocks_ = TokenBlocking().Build(*collection_);
+  }
+
+  std::unique_ptr<EntityCollection> collection_;
+  BlockCollection blocks_;
+};
+
+std::set<std::pair<uint64_t, int64_t>> CanonicalEdges(
+    const std::vector<WeightedComparison>& edges) {
+  // Quantize weights so the comparison tolerates last-ulp FP reordering.
+  std::set<std::pair<uint64_t, int64_t>> out;
+  for (const auto& e : edges) {
+    out.insert({PairKey(e.a, e.b),
+                static_cast<int64_t>(std::llround(e.weight * 1e9))});
+  }
+  return out;
+}
+
+TEST_P(ParallelMetaGrid, MatchesSequential) {
+  MetaBlockingOptions opts;
+  opts.weighting = GetParam().weighting;
+  opts.pruning = GetParam().pruning;
+  opts.reciprocal = GetParam().reciprocal;
+
+  const auto sequential = MetaBlocking(opts).Prune(blocks_, *collection_);
+  for (uint32_t workers : {1u, 8u}) {
+    Engine engine(workers);
+    const auto parallel = mapreduce::ParallelMetaBlocking(
+        blocks_, *collection_, opts, engine);
+    EXPECT_EQ(CanonicalEdges(parallel), CanonicalEdges(sequential))
+        << workers << " workers";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemeGrid, ParallelMetaGrid,
+    ::testing::Values(
+        MetaCase{WeightingScheme::kCbs, PruningScheme::kWep, false},
+        MetaCase{WeightingScheme::kCbs, PruningScheme::kCep, false},
+        MetaCase{WeightingScheme::kCbs, PruningScheme::kWnp, false},
+        MetaCase{WeightingScheme::kCbs, PruningScheme::kWnp, true},
+        MetaCase{WeightingScheme::kCbs, PruningScheme::kCnp, false},
+        MetaCase{WeightingScheme::kEcbs, PruningScheme::kWep, false},
+        MetaCase{WeightingScheme::kEcbs, PruningScheme::kWnp, false},
+        MetaCase{WeightingScheme::kJs, PruningScheme::kWnp, false},
+        MetaCase{WeightingScheme::kJs, PruningScheme::kCnp, true},
+        MetaCase{WeightingScheme::kEjs, PruningScheme::kWnp, false},
+        MetaCase{WeightingScheme::kArcs, PruningScheme::kWep, false},
+        MetaCase{WeightingScheme::kArcs, PruningScheme::kCnp, false}),
+    MetaCaseName);
+
+TEST_F(ParallelJobsTest, MetaBlockingStatsFilled) {
+  BlockCollection blocks = TokenBlocking().Build(*collection_);
+  MetaBlockingOptions opts;
+  Engine engine(4);
+  mapreduce::ParallelMetaBlockingStats stats;
+  const auto retained = mapreduce::ParallelMetaBlocking(
+      blocks, *collection_, opts, engine, &stats);
+  EXPECT_GT(retained.size(), 0u);
+  EXPECT_EQ(stats.totals.retained_edges, retained.size());
+  EXPECT_GT(stats.stage1.map_input_records, 0u);
+  EXPECT_GT(stats.stage2.map_input_records, 0u);
+}
+
+}  // namespace
+}  // namespace minoan

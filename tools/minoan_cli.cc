@@ -1,0 +1,258 @@
+// minoan — command-line front end to the MinoanER library.
+//
+//   minoan generate --out DIR [--entities N] [--kbs N] [--center N]
+//                   [--seed S] [--periphery-overlap F]
+//       Synthesizes a LOD cloud (N-Triples files + ground truth).
+//
+//   minoan stats DIR
+//       Prints the cloud-structure statistics of the .nt/.ttl files in DIR.
+//
+//   minoan resolve DIR [--threshold F] [--budget N] [--benefit NAME]
+//                  [--seeds] [--out FILE]
+//       Resolves all KBs in DIR and writes discovered owl:sameAs links.
+//       Scores against DIR/ground_truth.tsv when present.
+//
+// All subcommands are deterministic for a fixed seed.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/minoan_er.h"
+#include "datagen/lod_generator.h"
+#include "eval/cluster_metrics.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "kb/stats.h"
+#include "matching/matcher.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+#include "util/table.h"
+
+using namespace minoan;  // NOLINT
+
+namespace {
+
+/// Tiny flag parser: --name value and --name=value forms.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  uint64_t GetInt(const std::string& name, uint64_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<EntityCollection> LoadDirectory(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".nt" || ext == ".ttl" || ext == ".turtle") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (files.empty()) {
+    return Status::NotFound("no .nt/.ttl files in " + dir);
+  }
+  std::sort(files.begin(), files.end());
+  EntityCollection collection;
+  for (const std::string& file : files) {
+    MINOAN_ASSIGN_OR_RETURN(std::vector<rdf::Triple> triples,
+                            rdf::LoadTriples(file));
+    const std::string name = std::filesystem::path(file).stem().string();
+    MINOAN_ASSIGN_OR_RETURN(uint32_t kb,
+                            collection.AddKnowledgeBase(name, triples));
+    std::printf("  %-26s %8zu triples -> KB %u\n", name.c_str(),
+                triples.size(), kb);
+  }
+  MINOAN_RETURN_IF_ERROR(collection.Finalize());
+  return collection;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate requires --out DIR\n");
+    return 2;
+  }
+  datagen::LodCloudConfig config;
+  config.seed = flags.GetInt("seed", 42);
+  config.num_real_entities =
+      static_cast<uint32_t>(flags.GetInt("entities", 2000));
+  config.num_kbs = static_cast<uint32_t>(flags.GetInt("kbs", 6));
+  config.center_kbs = static_cast<uint32_t>(flags.GetInt("center", 2));
+  config.periphery_token_overlap =
+      flags.GetDouble("periphery-overlap", config.periphery_token_overlap);
+  config.same_as_rate = flags.GetDouble("sameas-rate", config.same_as_rate);
+  auto cloud = datagen::GenerateLodCloud(config);
+  if (!cloud.ok()) return Fail(cloud.status());
+  if (Status st = cloud->WriteTo(out); !st.ok()) return Fail(st);
+  std::printf("wrote %u KBs (%llu triples, %zu truth pairs) to %s\n",
+              config.num_kbs,
+              static_cast<unsigned long long>(cloud->total_triples()),
+              cloud->truth.size(), out.c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "stats requires a directory\n");
+    return 2;
+  }
+  auto collection = LoadDirectory(flags.positional()[0]);
+  if (!collection.ok()) return Fail(collection.status());
+  const CloudStats stats = ComputeCloudStats(*collection);
+  Table summary({"metric", "value"});
+  summary.AddRow().Cell("knowledge bases").Cell(uint64_t{stats.num_kbs});
+  summary.AddRow().Cell("descriptions").Cell(uint64_t{stats.num_entities});
+  summary.AddRow().Cell("triples").Cell(stats.num_triples);
+  summary.AddRow().Cell("owl:sameAs links").Cell(stats.num_same_as);
+  summary.AddRow().Cell("vocabularies").Cell(uint64_t{stats.num_vocabularies});
+  summary.AddRow()
+      .Cell("proprietary vocabularies")
+      .Cell(FormatPercent(stats.proprietary_ratio));
+  summary.AddRow().Cell("link Gini").Cell(stats.link_gini, 3);
+  summary.AddRow()
+      .Cell("top-decile link share")
+      .Cell(FormatPercent(stats.top_decile_link_share));
+  summary.Print(std::cout);
+
+  Table per_kb({"kb", "entities", "triples", "out_links", "in_links",
+                "partners"});
+  for (const KbLinkStats& kb : stats.per_kb) {
+    per_kb.AddRow()
+        .Cell(kb.name)
+        .Cell(uint64_t{kb.entities})
+        .Cell(kb.triples)
+        .Cell(kb.out_links)
+        .Cell(kb.in_links)
+        .Cell(uint64_t{kb.linked_kbs});
+  }
+  per_kb.Print(std::cout);
+  return 0;
+}
+
+BenefitModel ParseBenefit(const std::string& name) {
+  if (name == "quantity") return BenefitModel::kQuantity;
+  if (name == "attr") return BenefitModel::kAttributeCompleteness;
+  if (name == "relationship") return BenefitModel::kRelationshipCompleteness;
+  return BenefitModel::kEntityCoverage;
+}
+
+int CmdResolve(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "resolve requires a directory\n");
+    return 2;
+  }
+  const std::string dir = flags.positional()[0];
+  auto collection = LoadDirectory(dir);
+  if (!collection.ok()) return Fail(collection.status());
+
+  WorkflowOptions options;
+  options.progressive.matcher.threshold = flags.GetDouble("threshold", 0.35);
+  options.progressive.matcher.budget = flags.GetInt("budget", 0);
+  options.progressive.benefit =
+      ParseBenefit(flags.Get("benefit", "coverage"));
+  options.use_same_as_seeds = flags.Has("seeds");
+
+  MinoanEr er(options);
+  auto report = er.Run(*collection);
+  if (!report.ok()) return Fail(report.status());
+  std::cout << report->Summary();
+
+  const std::string truth_path = dir + "/ground_truth.tsv";
+  if (std::filesystem::exists(truth_path)) {
+    auto truth = GroundTruth::FromTsv(truth_path, *collection);
+    if (truth.ok()) {
+      const MatchingMetrics m =
+          EvaluateMatches(report->progressive.run.matches, *truth);
+      const ClusterMetrics c =
+          EvaluateClusters(report->progressive.run, *truth);
+      std::printf("pairs:   precision %.4f recall %.4f F1 %.4f\n",
+                  m.precision, m.recall, m.f1);
+      std::printf("b-cubed: precision %.4f recall %.4f F1 %.4f\n",
+                  c.bcubed_precision, c.bcubed_recall, c.bcubed_f1);
+    }
+  }
+
+  const std::string out = flags.Get("out", "discovered_links.nt");
+  const auto links =
+      UniqueMappingClustering(report->progressive.run.matches, *collection);
+  std::ofstream stream(out);
+  if (!stream) return Fail(Status::IoError("cannot write " + out));
+  rdf::NTriplesWriter writer(stream);
+  for (const MatchEvent& m : links) {
+    writer.Write({rdf::Term::Iri(std::string(collection->EntityIri(m.a))),
+                  rdf::Term::Iri(std::string(rdf::kOwlSameAs)),
+                  rdf::Term::Iri(std::string(collection->EntityIri(m.b)))});
+  }
+  std::printf("wrote %zu links to %s\n", links.size(), out.c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: minoan <command> [options]\n"
+               "  generate --out DIR [--entities N --kbs N --center N "
+               "--seed S]\n"
+               "  stats DIR\n"
+               "  resolve DIR [--threshold F --budget N --benefit "
+               "quantity|attr|coverage|relationship --seeds --out FILE]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const Flags flags(argc, argv, 2);
+  if (std::strcmp(argv[1], "generate") == 0) return CmdGenerate(flags);
+  if (std::strcmp(argv[1], "stats") == 0) return CmdStats(flags);
+  if (std::strcmp(argv[1], "resolve") == 0) return CmdResolve(flags);
+  Usage();
+  return 2;
+}
