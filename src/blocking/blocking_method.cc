@@ -55,25 +55,35 @@ BlockCollection TokenBlocking::Build(
   return out;
 }
 
-BlockCollection PisBlocking::Build(const EntityCollection& collection) const {
-  std::unordered_map<std::string, std::vector<EntityId>> keyed;
-  std::vector<std::string> scratch;
-  for (const EntityDescription& desc : collection.entities()) {
-    const std::string_view iri = collection.iris().View(desc.iri);
-    const rdf::IriParts parts = rdf::SplitIri(iri);
-    if (options_.use_suffix && !parts.suffix.empty()) {
-      keyed["sfx:" + parts.suffix].push_back(desc.id);
-      if (options_.tokenize_suffix) {
-        scratch.clear();
-        collection.tokenizer().Tokenize(parts.suffix, scratch);
-        for (const std::string& tok : scratch) {
-          keyed["sfxtok:" + tok].push_back(desc.id);
-        }
+void AppendPisKeys(const PisBlocking::Options& options,
+                   const Tokenizer& tokenizer, std::string_view iri,
+                   std::vector<std::string>& out,
+                   std::vector<std::string>& token_scratch) {
+  const rdf::IriParts parts = rdf::SplitIri(iri);
+  if (options.use_suffix && !parts.suffix.empty()) {
+    out.push_back("sfx:" + parts.suffix);
+    if (options.tokenize_suffix) {
+      token_scratch.clear();
+      tokenizer.Tokenize(parts.suffix, token_scratch);
+      for (const std::string& tok : token_scratch) {
+        out.push_back("sfxtok:" + tok);
       }
     }
-    if (options_.use_infix && !parts.infix.empty()) {
-      keyed["ifx:" + parts.infix].push_back(desc.id);
-    }
+  }
+  if (options.use_infix && !parts.infix.empty()) {
+    out.push_back("ifx:" + parts.infix);
+  }
+}
+
+BlockCollection PisBlocking::Build(const EntityCollection& collection) const {
+  std::unordered_map<std::string, std::vector<EntityId>> keyed;
+  std::vector<std::string> keys;
+  std::vector<std::string> token_scratch;
+  for (const EntityDescription& desc : collection.entities()) {
+    keys.clear();
+    AppendPisKeys(options_, collection.tokenizer(),
+                  collection.iris().View(desc.iri), keys, token_scratch);
+    for (const std::string& key : keys) keyed[key].push_back(desc.id);
   }
   BlockCollection out;
   for (auto& [key, entities] : keyed) {

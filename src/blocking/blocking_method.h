@@ -102,6 +102,16 @@ class AttributeClusteringBlocking : public BlockingMethod {
   Options options_;
 };
 
+/// Appends the PIS blocking keys of one IRI ("sfx:", "sfxtok:", "ifx:"
+/// prefixed) to `out`, possibly with duplicates (suffix tokens can repeat).
+/// `token_scratch` is a caller-owned buffer reused across calls. Shared by
+/// the batch PisBlocking and the online IncrementalBlockIndex so the key
+/// scheme cannot drift between them.
+void AppendPisKeys(const PisBlocking::Options& options,
+                   const Tokenizer& tokenizer, std::string_view iri,
+                   std::vector<std::string>& out,
+                   std::vector<std::string>& token_scratch);
+
 /// Composite: union of the blocks of several methods (e.g. token + PIS, the
 /// configuration MinoanER uses for the Web of Data).
 class CompositeBlocking : public BlockingMethod {

@@ -1,0 +1,84 @@
+// Copyright 2026 The MinoanER Authors.
+// OnlineSession: the core facade over the online subsystem.
+//
+// Wires an OnlineResolver to RDF sources and drives it with a tiny
+// deterministic command script — the serve-style entry point of
+// `minoan online`. Sources are registered up front (one KB per file/feed);
+// their entities are grouped by subject in first-appearance order and wait
+// in a queue until an `ingest` command streams them into the resolver. This
+// replays any interleaving of ingest / resolve / query traffic exactly,
+// which is what makes online behavior testable and benchmarkable.
+//
+// Script grammar (one command per line, '#' starts a comment):
+//
+//   ingest <source|*> [count|all]   stream the next `count` queued entities
+//   resolve <n>                     spend n comparisons now
+//   query <iri> [k]                 top-k candidates for one entity
+//   stats                           one-line engine summary
+//   links                           print resolved clusters as sameAs pairs
+
+#ifndef MINOAN_CORE_ONLINE_SESSION_H_
+#define MINOAN_CORE_ONLINE_SESSION_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "online/online_resolver.h"
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace minoan {
+
+class OnlineSession {
+ public:
+  explicit OnlineSession(online::OnlineOptions options = {});
+
+  /// Registers a source KB whose entities await ingestion. Triples are
+  /// grouped by subject (first-appearance order preserved). Returns the
+  /// source index.
+  Result<uint32_t> AddSource(const std::string& name,
+                             const std::vector<rdf::Triple>& triples);
+
+  /// Loads one .nt/.ttl file as a source named after its stem.
+  Result<uint32_t> AddSourceFile(const std::string& path);
+
+  size_t num_sources() const { return sources_.size(); }
+  const std::string& source_name(uint32_t s) const {
+    return sources_[s].name;
+  }
+  /// Entities of source `s` not yet ingested.
+  size_t PendingEntities(uint32_t s) const {
+    return sources_[s].entities.size() - sources_[s].next;
+  }
+
+  /// Ingests up to `count` queued entities of source `s`; returns how many
+  /// were actually ingested.
+  Result<uint32_t> IngestNext(uint32_t s, uint32_t count);
+
+  /// Executes a command script, writing one output line per command.
+  Status RunScript(std::istream& in, std::ostream& out);
+
+  online::OnlineResolver& resolver() { return resolver_; }
+  const online::OnlineResolver& resolver() const { return resolver_; }
+
+ private:
+  struct Source {
+    std::string name;
+    uint32_t kb_id = 0;
+    std::vector<std::vector<rdf::Triple>> entities;  // grouped by subject
+    size_t next = 0;
+  };
+
+  Status RunCommand(const std::string& line, std::ostream& out);
+
+  online::OnlineResolver resolver_;
+  std::vector<Source> sources_;
+  std::unordered_map<std::string, uint32_t> source_by_name_;
+};
+
+}  // namespace minoan
+
+#endif  // MINOAN_CORE_ONLINE_SESSION_H_

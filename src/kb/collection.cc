@@ -21,6 +21,35 @@ std::string QualifiedBlank(uint32_t kb_id, const std::string& label) {
 EntityCollection::EntityCollection(CollectionOptions options)
     : options_(options), tokenizer_(options.tokenizer) {}
 
+uint32_t EntityCollection::InternSubject(uint32_t kb_id,
+                                         const rdf::Term& subject) {
+  const uint32_t id =
+      subject.is_blank()
+          ? iris_.Intern(QualifiedBlank(kb_id, subject.lexical))
+          : iris_.Intern(subject.lexical);
+  if (iri_to_entity_.size() < iris_.size()) {
+    iri_to_entity_.resize(iris_.size(), kInvalidEntity);
+  }
+  return id;
+}
+
+void EntityCollection::TokenizeEntity(EntityDescription& desc) {
+  std::vector<uint32_t>& scratch = tokenize_scratch_;
+  scratch.clear();
+  for (const Attribute& attr : desc.attributes) {
+    tokenizer_.TokenizeInto(values_.View(attr.value), tokens_, scratch);
+  }
+  tokenizer_.TokenizeInto(rdf::IriLocalName(iris_.View(desc.iri)), tokens_,
+                          scratch);
+  std::sort(scratch.begin(), scratch.end());
+  desc.token_bag = scratch;
+  desc.tokens = scratch;
+  desc.tokens.erase(std::unique(desc.tokens.begin(), desc.tokens.end()),
+                    desc.tokens.end());
+  if (token_df_.size() < tokens_.size()) token_df_.resize(tokens_.size(), 0);
+  for (uint32_t tok : desc.tokens) ++token_df_[tok];
+}
+
 Result<uint32_t> EntityCollection::AddKnowledgeBase(
     std::string name, const std::vector<rdf::Triple>& triples) {
   if (finalized_) {
@@ -32,30 +61,18 @@ Result<uint32_t> EntityCollection::AddKnowledgeBase(
   info.triples = triples.size();
   info.first_entity = static_cast<uint32_t>(entities_.size());
 
-  // Subject-IRI id -> entity id, scoped to this KB.
-  std::unordered_map<uint32_t, EntityId> local;
-
-  auto subject_iri_id = [&](const rdf::Term& subject) -> uint32_t {
-    if (subject.is_blank()) {
-      return iris_.Intern(QualifiedBlank(kb_id, subject.lexical));
-    }
-    return iris_.Intern(subject.lexical);
-  };
-
   // Pass 1: register every subject as an entity of this KB.
   for (const rdf::Triple& t : triples) {
-    const uint32_t iri_id = subject_iri_id(t.subject);
-    if (local.find(iri_id) != local.end()) continue;
+    const uint32_t iri_id = InternSubject(kb_id, t.subject);
+    const uint64_t key = KbIriKey(kb_id, iri_id);
+    if (kb_iri_to_entity_.count(key) > 0) continue;
     const EntityId eid = static_cast<EntityId>(entities_.size());
     EntityDescription desc;
     desc.id = eid;
     desc.iri = iri_id;
     desc.kb = kb_id;
     entities_.push_back(std::move(desc));
-    local.emplace(iri_id, eid);
-    if (iri_to_entity_.size() < iris_.size()) {
-      iri_to_entity_.resize(iris_.size(), kInvalidEntity);
-    }
+    kb_iri_to_entity_.emplace(key, eid);
     if (iri_to_entity_[iri_id] == kInvalidEntity) {
       iri_to_entity_[iri_id] = eid;
     }
@@ -63,49 +80,9 @@ Result<uint32_t> EntityCollection::AddKnowledgeBase(
 
   // Pass 2: classify objects into relations, attributes, sameAs links.
   for (const rdf::Triple& t : triples) {
-    const EntityId eid = local[subject_iri_id(t.subject)];
-    EntityDescription& desc = entities_[eid];
-    const uint32_t pred_id = predicates_.Intern(t.predicate.lexical);
-
-    if (t.predicate.lexical == rdf::kOwlSameAs && t.object.is_iri()) {
-      // Cross-KB equivalence assertion: resolve lazily in Finalize because
-      // the target KB may not have been ingested yet.
-      const uint32_t target_iri = iris_.Intern(t.object.lexical);
-      if (iri_to_entity_.size() < iris_.size()) {
-        iri_to_entity_.resize(iris_.size(), kInvalidEntity);
-      }
-      pending_same_as_.push_back({eid, target_iri});
-      continue;
-    }
-
-    if (t.object.is_literal()) {
-      desc.attributes.push_back(
-          Attribute{pred_id, values_.Intern(t.object.lexical)});
-      continue;
-    }
-
-    // IRI or blank object: a relation when the target is described in the
-    // same KB, otherwise an attribute over the IRI's local name.
-    const uint32_t obj_iri =
-        t.object.is_blank()
-            ? iris_.Intern(QualifiedBlank(kb_id, t.object.lexical))
-            : iris_.Intern(t.object.lexical);
-    if (iri_to_entity_.size() < iris_.size()) {
-      iri_to_entity_.resize(iris_.size(), kInvalidEntity);
-    }
-    auto it = local.find(obj_iri);
-    if (it != local.end() && it->second != eid) {
-      desc.relations.push_back(Relation{pred_id, it->second});
-      continue;
-    }
-    if (t.predicate.lexical == rdf::kRdfType && !options_.index_types) {
-      continue;
-    }
-    const std::string_view local_name = rdf::IriLocalName(t.object.lexical);
-    if (!local_name.empty()) {
-      desc.attributes.push_back(
-          Attribute{pred_id, values_.Intern(local_name)});
-    }
+    const EntityId eid =
+        kb_iri_to_entity_[KbIriKey(kb_id, InternSubject(kb_id, t.subject))];
+    ClassifyObject(kb_id, eid, t, /*eager_same_as=*/false);
   }
 
   info.end_entity = static_cast<uint32_t>(entities_.size());
@@ -130,26 +107,11 @@ Status EntityCollection::Finalize() {
   pending_same_as_.clear();
   pending_same_as_.shrink_to_fit();
 
-  // Tokenize every entity: literal values plus the IRI local name.
-  std::vector<uint32_t> scratch;
-  for (EntityDescription& desc : entities_) {
-    scratch.clear();
-    for (const Attribute& attr : desc.attributes) {
-      tokenizer_.TokenizeInto(values_.View(attr.value), tokens_, scratch);
-    }
-    tokenizer_.TokenizeInto(rdf::IriLocalName(iris_.View(desc.iri)), tokens_,
-                            scratch);
-    std::sort(scratch.begin(), scratch.end());
-    desc.token_bag = scratch;
-    desc.tokens = scratch;
-    desc.tokens.erase(std::unique(desc.tokens.begin(), desc.tokens.end()),
-                      desc.tokens.end());
-  }
-
-  // Document frequencies over unique per-entity tokens.
+  // Tokenize every entity (literal values plus the IRI local name); document
+  // frequencies over unique per-entity tokens accumulate as we go.
   token_df_.assign(tokens_.size(), 0);
-  for (const EntityDescription& desc : entities_) {
-    for (uint32_t tok : desc.tokens) ++token_df_[tok];
+  for (EntityDescription& desc : entities_) {
+    TokenizeEntity(desc);
   }
 
   // Stop-token removal: frequent tokens carry no discriminative signal for
@@ -168,6 +130,122 @@ Status EntityCollection::Finalize() {
     }
   }
   return Status::Ok();
+}
+
+void EntityCollection::ClassifyObject(uint32_t kb_id, EntityId eid,
+                                      const rdf::Triple& t,
+                                      bool eager_same_as) {
+  EntityDescription& desc = entities_[eid];
+  const uint32_t pred_id = predicates_.Intern(t.predicate.lexical);
+
+  if (t.predicate.lexical == rdf::kOwlSameAs && t.object.is_iri()) {
+    const uint32_t target_iri = iris_.Intern(t.object.lexical);
+    if (iri_to_entity_.size() < iris_.size()) {
+      iri_to_entity_.resize(iris_.size(), kInvalidEntity);
+    }
+    if (eager_same_as) {
+      // Online append: resolve against the entities present NOW; links to
+      // still-unknown targets are dropped (batch drops unresolvable links
+      // in Finalize the same way).
+      const EntityId target = iri_to_entity_[target_iri];
+      if (target != kInvalidEntity && target != eid) {
+        same_as_links_.push_back(SameAsLink{eid, target});
+      }
+    } else {
+      // Batch: resolve lazily in Finalize — the target KB may come later.
+      pending_same_as_.push_back({eid, target_iri});
+    }
+    return;
+  }
+
+  if (t.object.is_literal()) {
+    desc.attributes.push_back(
+        Attribute{pred_id, values_.Intern(t.object.lexical)});
+    return;
+  }
+
+  // IRI or blank object: a relation when the target is described in the
+  // same KB, otherwise an attribute over the IRI's local name.
+  const uint32_t obj_iri =
+      t.object.is_blank()
+          ? iris_.Intern(QualifiedBlank(kb_id, t.object.lexical))
+          : iris_.Intern(t.object.lexical);
+  if (iri_to_entity_.size() < iris_.size()) {
+    iri_to_entity_.resize(iris_.size(), kInvalidEntity);
+  }
+  const auto it = kb_iri_to_entity_.find(KbIriKey(kb_id, obj_iri));
+  if (it != kb_iri_to_entity_.end() && it->second != eid) {
+    desc.relations.push_back(Relation{pred_id, it->second});
+    return;
+  }
+  if (t.predicate.lexical == rdf::kRdfType && !options_.index_types) {
+    return;
+  }
+  const std::string_view local_name = rdf::IriLocalName(t.object.lexical);
+  if (!local_name.empty()) {
+    desc.attributes.push_back(Attribute{pred_id, values_.Intern(local_name)});
+  }
+}
+
+uint32_t EntityCollection::AddEmptyKnowledgeBase(std::string name) {
+  const uint32_t kb_id = static_cast<uint32_t>(kbs_.size());
+  KnowledgeBaseInfo info;
+  info.name = std::move(name);
+  info.first_entity = static_cast<uint32_t>(entities_.size());
+  info.end_entity = info.first_entity;
+  kbs_.push_back(std::move(info));
+  return kb_id;
+}
+
+Result<EntityId> EntityCollection::AppendEntity(
+    uint32_t kb_id, const std::vector<rdf::Triple>& triples) {
+  if (!finalized_) {
+    return Status::FailedPrecondition(
+        "AppendEntity requires a finalized collection; batch ingestion goes "
+        "through AddKnowledgeBase");
+  }
+  if (kb_id >= kbs_.size()) {
+    return Status::InvalidArgument("unknown knowledge base id");
+  }
+  if (triples.empty()) {
+    return Status::InvalidArgument("an entity needs at least one triple");
+  }
+  const rdf::Term& subject = triples.front().subject;
+  for (const rdf::Triple& t : triples) {
+    if (t.subject.kind != subject.kind ||
+        t.subject.lexical != subject.lexical) {
+      return Status::InvalidArgument(
+          "AppendEntity triples must share a single subject");
+    }
+  }
+
+  const uint32_t iri_id = InternSubject(kb_id, subject);
+  const uint64_t kb_key = KbIriKey(kb_id, iri_id);
+  if (kb_iri_to_entity_.count(kb_key) > 0) {
+    return Status::AlreadyExists("entity already described in this KB: " +
+                                 subject.lexical);
+  }
+
+  // Register first so the shared classification sees the entity (a
+  // self-referencing triple resolves and is skipped, as in batch).
+  const EntityId eid = static_cast<EntityId>(entities_.size());
+  EntityDescription desc;
+  desc.id = eid;
+  desc.iri = iri_id;
+  desc.kb = kb_id;
+  entities_.push_back(std::move(desc));
+  kb_iri_to_entity_.emplace(kb_key, eid);
+  if (iri_to_entity_[iri_id] == kInvalidEntity) iri_to_entity_[iri_id] = eid;
+
+  for (const rdf::Triple& t : triples) {
+    ClassifyObject(kb_id, eid, t, /*eager_same_as=*/true);
+  }
+
+  TokenizeEntity(entities_[eid]);
+  kbs_[kb_id].triples += triples.size();
+  ++kbs_[kb_id].appended_entities;
+  total_triples_ += triples.size();
+  return eid;
 }
 
 EntityId EntityCollection::FindByIri(std::string_view iri) const {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -30,9 +31,15 @@ namespace minoan {
 struct KnowledgeBaseInfo {
   std::string name;
   uint64_t triples = 0;
-  uint32_t first_entity = 0;  // dense id range [first_entity, end_entity)
+  /// Dense id range [first_entity, end_entity) of the batch-phase entities.
+  /// Entities appended after Finalize live OUTSIDE this range (their ids
+  /// interleave across KBs) and are counted in `appended_entities`.
+  uint32_t first_entity = 0;
   uint32_t end_entity = 0;
-  uint32_t num_entities() const { return end_entity - first_entity; }
+  uint32_t appended_entities = 0;
+  uint32_t num_entities() const {
+    return end_entity - first_entity + appended_entities;
+  }
 };
 
 /// An owl:sameAs assertion between two described entities (existing
@@ -53,7 +60,11 @@ struct CollectionOptions {
   bool index_types = true;
 };
 
-/// The central in-memory store. Immutable once `Finalize()` has run.
+/// The central in-memory store. The batch surface (`AddKnowledgeBase` +
+/// `Finalize`) freezes the collection; the online surface
+/// (`AddEmptyKnowledgeBase` + `AppendEntity`) supports append-only growth
+/// AFTER finalization — existing entities, ids, and tokens never change, so
+/// readers holding ids stay valid across appends.
 class EntityCollection {
  public:
   explicit EntityCollection(CollectionOptions options = CollectionOptions());
@@ -68,6 +79,23 @@ class EntityCollection {
   Status Finalize();
 
   bool finalized() const { return finalized_; }
+
+  // --- Online (post-finalize) ingestion ---------------------------------
+
+  /// Registers a KB with no entities. Unlike AddKnowledgeBase this works
+  /// after Finalize too — online sessions discover sources dynamically.
+  uint32_t AddEmptyKnowledgeBase(std::string name);
+
+  /// Appends one entity description after Finalize: all `triples` must share
+  /// a single subject, which must not already be described in `kb_id`. The
+  /// entity is tokenized immediately and document frequencies are updated.
+  /// Append-only semantics differ from batch ingestion in two documented
+  /// ways: (1) an IRI object is a relation only when its target is already
+  /// present in the same KB — forward references degrade to attribute
+  /// tokens; (2) stop-token removal (max_token_frequency) is not applied,
+  /// since online growth cannot retract tokens from earlier entities.
+  Result<EntityId> AppendEntity(uint32_t kb_id,
+                                const std::vector<rdf::Triple>& triples);
 
   // --- Accessors (valid after Finalize) ---------------------------------
 
@@ -133,14 +161,37 @@ class EntityCollection {
   StringInterner values_;      // literal lexical forms
   StringInterner tokens_;      // normalized tokens
 
+  /// Interns the subject of a triple, qualifying blank labels per KB, and
+  /// keeps iri_to_entity_ sized to the interner.
+  uint32_t InternSubject(uint32_t kb_id, const rdf::Term& subject);
+  /// Tokenizes one entity's values + IRI local name into tokens/token_bag
+  /// and bumps token_df_ for its unique tokens.
+  void TokenizeEntity(EntityDescription& desc);
+  /// Classifies one triple's object for entity `eid`: owl:sameAs link
+  /// (deferred to Finalize, or — for post-finalize appends — resolved
+  /// eagerly against the entities present now), relation (target described
+  /// in the same KB), or attribute (literals and unresolved IRIs). Shared
+  /// by batch and online ingestion so the semantics cannot drift.
+  void ClassifyObject(uint32_t kb_id, EntityId eid, const rdf::Triple& t,
+                      bool eager_same_as);
+
+  static uint64_t KbIriKey(uint32_t kb_id, uint32_t iri_id) {
+    return (static_cast<uint64_t>(kb_id) << 32) | iri_id;
+  }
+
   // iri id -> first entity with that IRI.
   std::vector<EntityId> iri_to_entity_;
+  // (kb id << 32 | iri id) -> entity, for same-KB object resolution (the
+  // "described in the SAME KB" rule). Maintained from the first ingest on.
+  std::unordered_map<uint64_t, EntityId> kb_iri_to_entity_;
   // sameAs assertions seen during ingestion, resolved in Finalize (the
   // target KB may be added after the asserting one).
   std::vector<std::pair<EntityId, uint32_t>> pending_same_as_;
   std::vector<SameAsLink> same_as_links_;
   std::vector<uint32_t> token_df_;
   uint64_t total_triples_ = 0;
+  // Tokenization scratch reused across entities (Finalize loop + appends).
+  std::vector<uint32_t> tokenize_scratch_;
 };
 
 }  // namespace minoan

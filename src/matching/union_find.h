@@ -39,6 +39,17 @@ class UnionFind {
 
   bool SameSet(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
 
+  /// Grows the universe to `n` elements, each new element a singleton.
+  /// Shrinking is not supported (existing merges would dangle); n <= current
+  /// size is a no-op.
+  void Resize(uint32_t n) {
+    const uint32_t old = static_cast<uint32_t>(parent_.size());
+    if (n <= old) return;
+    parent_.resize(n);
+    size_.resize(n, 1);
+    for (uint32_t i = old; i < n; ++i) parent_[i] = i;
+  }
+
   /// Size of the set containing x.
   uint32_t SetSize(uint32_t x) { return size_[Find(x)]; }
 

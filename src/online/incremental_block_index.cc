@@ -1,0 +1,116 @@
+#include "online/incremental_block_index.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace minoan {
+namespace online {
+
+IncrementalBlockIndex::IncrementalBlockIndex(OnlineBlockingOptions options)
+    : options_(options) {}
+
+void IncrementalBlockIndex::CountPair(EntityId a, EntityId b) {
+  if (a == b) return;
+  if (options_.mode == ResolutionMode::kCleanClean &&
+      !collection_->CrossKb(a, b)) {
+    return;
+  }
+  const uint64_t key = PairKey(a, b);
+  if (emitted_.count(key) > 0) return;
+  const auto [it, inserted] = pair_counts_.try_emplace(key, 0u);
+  if (inserted) pair_order_.push_back(key);
+  ++it->second;
+}
+
+void IncrementalBlockIndex::InsertIntoPosting(Posting& posting, EntityId id,
+                                              uint32_t min_size,
+                                              uint64_t max_size) {
+  posting.members.push_back(id);
+  const size_t size = posting.members.size();
+  const bool live = size >= min_size && (max_size == 0 || size <= max_size);
+  if (!live) return;
+  // Catch the watermark up to the current size: emits the pairs of this
+  // insertion AND any pairs skipped while the posting was outside its
+  // validity window (a batch rebuild would have produced them all).
+  for (size_t j = posting.emitted_prefix; j < size; ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      CountPair(posting.members[i], posting.members[j]);
+    }
+  }
+  posting.emitted_prefix = static_cast<uint32_t>(size);
+}
+
+void IncrementalBlockIndex::AddEntity(const EntityCollection& collection,
+                                      EntityId id,
+                                      std::vector<DeltaPair>& out) {
+  collection_ = &collection;
+  pair_counts_.clear();
+  pair_order_.clear();
+  if (entity_keys_.size() < collection.num_entities()) {
+    entity_keys_.resize(collection.num_entities(), 0);
+  }
+
+  uint32_t keys = 0;
+  const EntityDescription& desc = collection.entity(id);
+
+  if (options_.use_token_keys) {
+    if (token_postings_.size() < collection.tokens().size()) {
+      token_postings_.resize(collection.tokens().size());
+    }
+    // Batch semantics: df_cap == 0 disables the cap (see TokenBlocking).
+    const uint64_t df_cap = static_cast<uint64_t>(
+        options_.token.max_df_fraction * collection.num_entities());
+    const uint32_t min_size = std::max(options_.token.min_df, 2u);
+    for (uint32_t tok : desc.tokens) {
+      Posting& posting = token_postings_[tok];
+      const bool was_live = posting.emitted_prefix > 0;
+      InsertIntoPosting(posting, id, min_size, df_cap);
+      if (!was_live && posting.emitted_prefix > 0) ++live_token_postings_;
+      ++keys;
+    }
+  }
+
+  // Batch PisBlocking drops every block when max_block_size == 0 (no
+  // "0 disables" convention there, unlike the token df cap) — match it by
+  // emitting nothing.
+  if (options_.use_pis_keys && options_.pis.max_block_size > 0) {
+    pis_key_scratch_.clear();
+    AppendPisKeys(options_.pis, collection.tokenizer(),
+                  collection.iris().View(desc.iri), pis_key_scratch_,
+                  pis_token_scratch_);
+    std::sort(pis_key_scratch_.begin(), pis_key_scratch_.end());
+    pis_key_scratch_.erase(
+        std::unique(pis_key_scratch_.begin(), pis_key_scratch_.end()),
+        pis_key_scratch_.end());
+    const uint32_t min_size = std::max(options_.pis.min_block_size, 2u);
+    for (const std::string& key : pis_key_scratch_) {
+      InsertIntoPosting(pis_postings_[key], id, min_size,
+                        options_.pis.max_block_size);
+      ++keys;
+    }
+  }
+
+  entity_keys_[id] = keys;
+
+  for (const uint64_t key : pair_order_) {
+    const uint32_t common = pair_counts_[key];
+    const EntityId a = PairKeyFirst(key);
+    const EntityId b = PairKeySecond(key);
+    // Jaccard of the two current key sets, with the co-bucketing keys of
+    // this delta as the observed intersection — the online analogue of the
+    // JS weighting scheme of meta-blocking.
+    const double denom =
+        static_cast<double>(KeysOf(a)) + static_cast<double>(KeysOf(b)) -
+        static_cast<double>(common);
+    const double weight =
+        denom > 0.0 ? static_cast<double>(common) / denom : 1.0;
+    out.push_back(DeltaPair{a, b, common, weight});
+    emitted_.insert(key);
+    ++pairs_emitted_;
+  }
+  collection_ = nullptr;
+}
+
+}  // namespace online
+}  // namespace minoan

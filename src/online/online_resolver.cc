@@ -1,0 +1,277 @@
+#include "online/online_resolver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/similarity.h"
+#include "util/hash.h"
+
+namespace minoan {
+namespace online {
+
+namespace {
+
+/// On-the-fly TF-IDF vector with the collection's CURRENT document
+/// frequencies. The batch SimilarityEvaluator precomputes these at
+/// construction; online, the vocabulary grows with every ingest, so vectors
+/// are built per comparison (delta candidate sets are small).
+void BuildTfidf(const EntityCollection& collection, EntityId e,
+                std::vector<WeightedToken>& out) {
+  out.clear();
+  const auto& bag = collection.entity(e).token_bag;  // sorted, with dups
+  size_t i = 0;
+  while (i < bag.size()) {
+    size_t j = i;
+    while (j < bag.size() && bag[j] == bag[i]) ++j;
+    const double idf = collection.TokenIdf(bag[i]);
+    if (idf > 0.0) {
+      out.push_back(WeightedToken{bag[i], static_cast<double>(j - i) * idf});
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+OnlineResolver::OnlineResolver(OnlineOptions options)
+    : options_(options),
+      coll_(options.collection),
+      index_(options.blocking),
+      estimator_(options.benefit, options.max_neighbors_per_side),
+      state_(std::make_unique<ResolutionState>(coll_.collection(), nullptr)) {
+  // Relationship-aware benefit models read neighbors from the growable
+  // adjacency (there is no frozen NeighborGraph in online mode).
+  state_->SetDynamicNeighbors(&neighbors_);
+}
+
+OnlineResolver::OnlineResolver(OnlineOptions options, EntityCollection&& warm)
+    : options_(options),
+      coll_(std::move(warm)),
+      index_(options.blocking),
+      estimator_(options.benefit, options.max_neighbors_per_side),
+      state_(std::make_unique<ResolutionState>(coll_.collection(), nullptr)) {
+  state_->SetDynamicNeighbors(&neighbors_);
+  const uint32_t n = coll_.num_entities();
+  for (EntityId id = 0; id < n; ++id) IndexEntity(id);
+  ConsumeSameAsSeeds();
+}
+
+Result<EntityId> OnlineResolver::Ingest(
+    uint32_t kb_id, const std::vector<rdf::Triple>& triples) {
+  MINOAN_ASSIGN_OR_RETURN(EntityId id, coll_.Ingest(kb_id, triples));
+  IndexEntity(id);
+  ConsumeSameAsSeeds();
+  return id;
+}
+
+OnlineResolver::PairState& OnlineResolver::PairRef(uint64_t pair,
+                                                   bool* created) {
+  const auto [it, inserted] = pairs_.try_emplace(pair);
+  if (inserted) {
+    const EntityId a = PairKeyFirst(pair);
+    const EntityId b = PairKeySecond(pair);
+    partners_[a].push_back(b);
+    partners_[b].push_back(a);
+  }
+  if (created != nullptr) *created = inserted;
+  return it->second;
+}
+
+void OnlineResolver::IndexEntity(EntityId id) {
+  const EntityCollection& c = collection();
+  if (neighbors_.size() < c.num_entities()) {
+    neighbors_.resize(c.num_entities());
+    partners_.resize(c.num_entities());
+  }
+  state_->AddEntity(id);
+
+  // Relation edges of the new entity extend the undirected adjacency; the
+  // targets necessarily exist already (forward references degraded to
+  // attributes during ingestion).
+  for (const Relation& r : c.entity(id).relations) {
+    if (r.target == id) continue;
+    auto& mine = neighbors_[id];
+    if (std::find(mine.begin(), mine.end(), r.target) == mine.end()) {
+      mine.push_back(r.target);
+      neighbors_[r.target].push_back(id);
+    }
+  }
+
+  delta_scratch_.clear();
+  index_.AddEntity(c, id, delta_scratch_);
+  for (const DeltaPair& d : delta_scratch_) {
+    const uint64_t pair = PairKey(d.a, d.b);
+    PairState& ps = PairRef(pair);
+    ps.likelihood = d.weight;
+    // The update phase may have discovered and even executed this pair
+    // before blocking produced it.
+    if (ps.executed) continue;
+    scheduler_.Push(pair, Priority(d.a, d.b, ps));
+  }
+}
+
+void OnlineResolver::ConsumeSameAsSeeds() {
+  const auto& links = collection().same_as_links();
+  if (!options_.use_same_as_seeds) {
+    same_as_consumed_ = links.size();
+    return;
+  }
+  for (; same_as_consumed_ < links.size(); ++same_as_consumed_) {
+    const SameAsLink link = links[same_as_consumed_];
+    const uint64_t pair = PairKey(link.a, link.b);
+    PairState& ps = PairRef(pair);
+    if (ps.executed) continue;
+    ps.executed = true;
+    scheduler_.Erase(pair);
+    state_->RecordMatch(link.a, link.b);
+    UpdatePhase(link.a, link.b);
+  }
+}
+
+double OnlineResolver::Likelihood(const PairState& ps) const {
+  if (ps.evidence <= 0.0) return ps.likelihood;
+  return ps.likelihood +
+         options_.evidence_priority * std::min(1.0, ps.evidence);
+}
+
+double OnlineResolver::Priority(EntityId a, EntityId b,
+                                const PairState& ps) const {
+  const double benefit = estimator_.PairBenefit(a, b, *state_);
+  return Likelihood(ps) * (1.0 + options_.benefit_weight * benefit);
+}
+
+double OnlineResolver::ProfileSimilarityWithA(
+    EntityId a, const std::vector<WeightedToken>& a_tfidf, EntityId b) const {
+  const EntityCollection& c = collection();
+  const double jaccard =
+      JaccardSimilarity(c.entity(a).tokens, c.entity(b).tokens);
+  if (!options_.similarity.use_tfidf) return jaccard;
+  BuildTfidf(c, b, tfidf_b_);
+  const double cosine = WeightedCosineSimilarity(a_tfidf, tfidf_b_);
+  return options_.similarity.tfidf_weight * cosine +
+         (1.0 - options_.similarity.tfidf_weight) * jaccard;
+}
+
+double OnlineResolver::ProfileSimilarity(EntityId a, EntityId b) const {
+  if (options_.similarity.use_tfidf) BuildTfidf(collection(), a, tfidf_a_);
+  return ProfileSimilarityWithA(a, tfidf_a_, b);
+}
+
+double OnlineResolver::EvidenceBonus(const PairState& ps) const {
+  if (ps.evidence <= 0.0) return 0.0;
+  return options_.evidence_weight * std::min(1.0, ps.evidence);
+}
+
+bool OnlineResolver::ExecuteComparison(uint64_t pair) {
+  const EntityId a = PairKeyFirst(pair);
+  const EntityId b = PairKeySecond(pair);
+  double bonus = 0.0;
+  {
+    // Scope the reference: UpdatePhase below inserts into pairs_ and may
+    // rehash.
+    PairState& ps = PairRef(pair);
+    ps.executed = true;
+    bonus = EvidenceBonus(ps);
+  }
+  scheduler_.Erase(pair);
+  ++run_.comparisons_executed;
+  const double profile = ProfileSimilarity(a, b);
+  const double sim = profile + bonus;
+  if (sim < options_.matcher.threshold) return false;
+
+  state_->RecordMatch(a, b);
+  run_.matches.push_back(MatchEvent{run_.comparisons_executed, a, b, sim});
+  if (profile < options_.matcher.threshold) ++evidence_assisted_matches_;
+  UpdatePhase(a, b);
+  return true;
+}
+
+void OnlineResolver::UpdatePhase(EntityId a, EntityId b) {
+  const auto& na = neighbors_[a];
+  const auto& nb = neighbors_[b];
+  const size_t la =
+      std::min<size_t>(na.size(), options_.max_neighbors_per_side);
+  const size_t lb =
+      std::min<size_t>(nb.size(), options_.max_neighbors_per_side);
+  const bool clean = options_.blocking.mode == ResolutionMode::kCleanClean;
+  for (size_t i = 0; i < la; ++i) {
+    for (size_t j = 0; j < lb; ++j) {
+      const EntityId x = na[i];
+      const EntityId y = nb[j];
+      if (x == y) continue;
+      if (clean && !collection().CrossKb(x, y)) continue;
+      const uint64_t pair = PairKey(x, y);
+      if (state_->SameCluster(x, y)) continue;
+      bool first_sighting = false;
+      PairState& ps = PairRef(pair, &first_sighting);
+      if (ps.executed) continue;
+      ps.evidence += options_.evidence_increment;
+      if (first_sighting) ++discovered_pairs_;
+      scheduler_.Push(pair, Priority(x, y, ps));
+    }
+  }
+}
+
+OnlineStepResult OnlineResolver::ResolveBudget(uint64_t max_comparisons) {
+  OnlineStepResult out;
+  const size_t match_mark = run_.matches.size();
+  uint64_t pair = 0;
+  double popped_priority = 0.0;
+  while (out.comparisons < max_comparisons) {
+    if (!scheduler_.Pop(pair, popped_priority)) {
+      out.exhausted = true;
+      break;
+    }
+    const auto it = pairs_.find(pair);
+    if (it == pairs_.end() || it->second.executed) continue;
+    const EntityId a = PairKeyFirst(pair);
+    const EntityId b = PairKeySecond(pair);
+    // Staleness rule, as in the batch resolver: re-queue entries whose
+    // priority has drifted down since they were pushed.
+    const double current = Priority(a, b, it->second);
+    if (current + 1e-12 <
+        popped_priority * (1.0 - options_.staleness_tolerance)) {
+      scheduler_.Push(pair, current);
+      continue;
+    }
+    ExecuteComparison(pair);
+    ++out.comparisons;
+  }
+  out.matches.assign(run_.matches.begin() + match_mark, run_.matches.end());
+  return out;
+}
+
+std::vector<QueryCandidate> OnlineResolver::Query(EntityId id, uint32_t k) {
+  std::vector<QueryCandidate> out;
+  if (k == 0 || id >= partners_.size()) return out;
+
+  // Drain the entity's pending comparisons first — including any its own
+  // matches discover for it mid-loop (partners_[id] may grow; indexing by
+  // position covers the appended tail).
+  for (size_t i = 0; i < partners_[id].size(); ++i) {
+    const uint64_t pair = PairKey(id, partners_[id][i]);
+    if (!pairs_[pair].executed) ExecuteComparison(pair);
+  }
+
+  // Rank with the query side's TF-IDF vector built once, not per partner.
+  if (options_.similarity.use_tfidf) BuildTfidf(collection(), id, tfidf_a_);
+  out.reserve(partners_[id].size());
+  for (const EntityId p : partners_[id]) {
+    const PairState& ps = pairs_[PairKey(id, p)];
+    out.push_back(QueryCandidate{
+        p, ProfileSimilarityWithA(id, tfidf_a_, p) + EvidenceBonus(ps),
+        state_->SameCluster(id, p)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryCandidate& l, const QueryCandidate& r) {
+              if (l.similarity != r.similarity) {
+                return l.similarity > r.similarity;
+              }
+              return l.id < r.id;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace online
+}  // namespace minoan

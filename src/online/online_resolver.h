@@ -1,0 +1,199 @@
+// Copyright 2026 The MinoanER Authors.
+// OnlineResolver: the long-running, updatable progressive resolution engine.
+//
+// The batch pipeline runs schedule → match → update until a budget is spent,
+// then throws its state away. The online engine keeps that state alive and
+// exposes three operations a service can interleave freely:
+//
+//   Ingest(kb, triples)   — absorb one new entity description: assign a
+//                           dense id, index it, and push only the *delta*
+//                           candidate comparisons it creates (plus, when
+//                           enabled, its trusted owl:sameAs links as
+//                           zero-cost warm seeds).
+//   ResolveBudget(n)      — spend up to n comparisons now, highest priority
+//                           first, exactly like the batch resolver's loop;
+//                           fully resumable: two calls of n/2 execute the
+//                           same schedule as one call of n.
+//   Query(e, k)           — on-demand top-k match candidates for one
+//                           entity: its pending comparisons are executed
+//                           first (prioritized ahead of the global queue),
+//                           then all known candidates are ranked by current
+//                           similarity. Idempotent between mutations.
+//
+// Priorities, neighbor-evidence propagation, and the staleness rule follow
+// ProgressiveResolver; likelihoods come from the incremental block index's
+// key-set Jaccard instead of a global meta-blocking pass, since a global
+// pruning graph is unavailable under insertions.
+
+#ifndef MINOAN_ONLINE_ONLINE_RESOLVER_H_
+#define MINOAN_ONLINE_ONLINE_RESOLVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/matcher.h"
+#include "matching/similarity_evaluator.h"
+#include "online/incremental_block_index.h"
+#include "online/incremental_collection.h"
+#include "progressive/benefit.h"
+#include "progressive/scheduler.h"
+#include "progressive/state.h"
+#include "util/status.h"
+
+namespace minoan {
+namespace online {
+
+/// Online engine configuration. Defaults mirror the batch Web-of-Data
+/// defaults where a counterpart exists.
+struct OnlineOptions {
+  CollectionOptions collection;
+  OnlineBlockingOptions blocking;
+  /// Match threshold; the `budget` field is ignored (budgets are per
+  /// ResolveBudget call).
+  MatcherOptions matcher;
+  SimilarityOptions similarity;
+  BenefitModel benefit = BenefitModel::kQuantity;
+  double benefit_weight = 1.0;
+  /// Evidence knobs, as in ProgressiveOptions.
+  double evidence_increment = 0.5;
+  double evidence_weight = 0.3;
+  double evidence_priority = 0.4;
+  uint32_t max_neighbors_per_side = 16;
+  double staleness_tolerance = 0.25;
+  /// Treat ingested owl:sameAs links as trusted zero-cost matches.
+  bool use_same_as_seeds = false;
+};
+
+/// Outcome of one ResolveBudget call.
+struct OnlineStepResult {
+  /// Comparisons executed by THIS call.
+  uint64_t comparisons = 0;
+  /// Matches confirmed by this call (comparisons_done stamps are cumulative
+  /// across the session).
+  std::vector<MatchEvent> matches;
+  /// True when the queue drained before the budget was spent.
+  bool exhausted = false;
+};
+
+/// One ranked candidate returned by Query.
+struct QueryCandidate {
+  EntityId id;
+  /// Profile similarity plus current neighbor-evidence bonus.
+  double similarity;
+  /// Already resolved into the query entity's cluster.
+  bool matched;
+};
+
+class OnlineResolver {
+ public:
+  explicit OnlineResolver(OnlineOptions options = {});
+
+  /// Warm start from a finalized batch collection: every existing entity is
+  /// indexed (producing the full batch candidate set) before the engine
+  /// accepts new ones.
+  OnlineResolver(OnlineOptions options, EntityCollection&& warm);
+
+  /// Pinned: state_ holds the addresses of coll_'s collection and
+  /// neighbors_, so a compiler-generated move would leave it dangling.
+  OnlineResolver(const OnlineResolver&) = delete;
+  OnlineResolver& operator=(const OnlineResolver&) = delete;
+  OnlineResolver(OnlineResolver&&) = delete;
+  OnlineResolver& operator=(OnlineResolver&&) = delete;
+
+  /// Finds or creates a knowledge base by name.
+  uint32_t EnsureKb(std::string_view name) { return coll_.EnsureKb(name); }
+
+  /// Ingests one entity (triples sharing a single subject). Returns its id.
+  Result<EntityId> Ingest(uint32_t kb_id,
+                          const std::vector<rdf::Triple>& triples);
+
+  /// Executes up to `max_comparisons` scheduled comparisons.
+  OnlineStepResult ResolveBudget(uint64_t max_comparisons);
+
+  /// Executes every pending comparison involving `id` (and any its matches
+  /// discover for it), then returns the top-k candidates by similarity
+  /// (ties broken by ascending id). Empty for unknown ids or k == 0.
+  std::vector<QueryCandidate> Query(EntityId id, uint32_t k);
+
+  // --- Introspection ------------------------------------------------------
+
+  const EntityCollection& collection() const { return coll_.collection(); }
+  /// Cumulative run record (comparisons from ResolveBudget AND Query).
+  const ResolutionRun& run() const { return run_; }
+  size_t pending_comparisons() const { return scheduler_.live_size(); }
+  uint64_t discovered_pairs() const { return discovered_pairs_; }
+  uint64_t evidence_assisted_matches() const {
+    return evidence_assisted_matches_;
+  }
+  uint64_t candidate_pairs_created() const { return index_.num_pairs_emitted(); }
+  ResolutionState& state() { return *state_; }
+  const OnlineOptions& options() const { return options_; }
+
+ private:
+  /// All per-pair state in one node: blocking likelihood, accumulated
+  /// neighbor evidence, and whether the comparison was executed. One map
+  /// instead of four parallel ones keeps the scheduling hot path to a
+  /// single hash lookup per pair.
+  struct PairState {
+    double likelihood = 0.0;
+    double evidence = 0.0;
+    bool executed = false;
+  };
+
+  void IndexEntity(EntityId id);
+  /// Applies any not-yet-consumed ingested owl:sameAs links as zero-cost
+  /// trusted matches (no-op unless use_same_as_seeds).
+  void ConsumeSameAsSeeds();
+  /// Finds or creates the pair's state; on creation registers the two
+  /// entities as each other's partners. `created` (optional) reports
+  /// whether this was the pair's first sighting.
+  PairState& PairRef(uint64_t pair, bool* created = nullptr);
+  double Likelihood(const PairState& ps) const;
+  double Priority(EntityId a, EntityId b, const PairState& ps) const;
+  /// Profile similarity with the current (possibly grown) vocabulary.
+  double ProfileSimilarity(EntityId a, EntityId b) const;
+  /// Same, with a's TF-IDF vector already built (hoisted out of ranking
+  /// loops over one entity's partners).
+  double ProfileSimilarityWithA(EntityId a,
+                                const std::vector<WeightedToken>& a_tfidf,
+                                EntityId b) const;
+  double EvidenceBonus(const PairState& ps) const;
+  /// Executes one not-yet-executed comparison; records a match and runs the
+  /// update phase when the threshold clears. Returns true when it matched.
+  bool ExecuteComparison(uint64_t pair);
+  void UpdatePhase(EntityId a, EntityId b);
+
+  OnlineOptions options_;
+  IncrementalCollection coll_;
+  IncrementalBlockIndex index_;
+  BenefitEstimator estimator_;
+  std::unique_ptr<ResolutionState> state_;
+  ComparisonScheduler scheduler_;
+
+  /// Incremental undirected adjacency over relation edges (the online
+  /// counterpart of NeighborGraph, growable per ingest).
+  std::vector<std::vector<EntityId>> neighbors_;
+  /// Every entity this entity shares a known candidate pair with, in
+  /// first-seen order (drives Query).
+  std::vector<std::vector<EntityId>> partners_;
+
+  std::unordered_map<uint64_t, PairState> pairs_;
+
+  ResolutionRun run_;
+  uint64_t discovered_pairs_ = 0;
+  uint64_t evidence_assisted_matches_ = 0;
+  size_t same_as_consumed_ = 0;
+
+  // Scratch buffers (ingest + similarity), reused across calls.
+  std::vector<DeltaPair> delta_scratch_;
+  mutable std::vector<WeightedToken> tfidf_a_;
+  mutable std::vector<WeightedToken> tfidf_b_;
+};
+
+}  // namespace online
+}  // namespace minoan
+
+#endif  // MINOAN_ONLINE_ONLINE_RESOLVER_H_

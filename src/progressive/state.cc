@@ -8,16 +8,23 @@ namespace minoan {
 
 ResolutionState::ResolutionState(const EntityCollection& collection,
                                  const NeighborGraph* graph)
-    : collection_(&collection),
-      graph_(graph),
-      clusters_(collection.num_entities()),
-      values_(collection.num_entities()) {
-  for (const EntityDescription& desc : collection.entities()) {
-    auto& vals = values_[desc.id];
+    : collection_(&collection), graph_(graph), clusters_(0) {
+  if (collection.num_entities() > 0) {
+    AddEntity(static_cast<EntityId>(collection.num_entities() - 1));
+  }
+}
+
+void ResolutionState::AddEntity(EntityId id) {
+  if (id < values_.size()) return;
+  clusters_.Resize(id + 1);
+  const size_t old = values_.size();
+  values_.resize(id + 1);
+  for (size_t e = old; e <= id; ++e) {
+    auto& vals = values_[e];
+    const EntityDescription& desc = collection_->entity(
+        static_cast<EntityId>(e));
     vals.reserve(desc.attributes.size());
-    for (const Attribute& attr : desc.attributes) {
-      vals.push_back(attr.value);
-    }
+    for (const Attribute& attr : desc.attributes) vals.push_back(attr.value);
     std::sort(vals.begin(), vals.end());
     vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
   }
@@ -54,11 +61,23 @@ uint32_t ResolutionState::ValueGain(EntityId a, EntityId b) {
   return static_cast<uint32_t>(merged - larger);
 }
 
+std::span<const EntityId> ResolutionState::NeighborsOf(EntityId e) const {
+  // Entities appended after a frozen graph was built fall through to the
+  // dynamic adjacency (or to no neighbors) instead of reading past the CSR.
+  if (graph_ != nullptr && e < graph_->num_entities()) {
+    return graph_->Neighbors(e);
+  }
+  if (dynamic_neighbors_ != nullptr && e < dynamic_neighbors_->size()) {
+    const auto& list = (*dynamic_neighbors_)[e];
+    return std::span<const EntityId>(list.data(), list.size());
+  }
+  return {};
+}
+
 double ResolutionState::MatchedNeighborFraction(EntityId a, EntityId b,
                                                 uint32_t cap) {
-  if (graph_ == nullptr) return 0.0;
-  auto na = graph_->Neighbors(a);
-  auto nb = graph_->Neighbors(b);
+  auto na = NeighborsOf(a);
+  auto nb = NeighborsOf(b);
   if (na.empty() || nb.empty()) return 0.0;
   const size_t la = std::min<size_t>(na.size(), cap);
   const size_t lb = std::min<size_t>(nb.size(), cap);
@@ -73,9 +92,8 @@ double ResolutionState::MatchedNeighborFraction(EntityId a, EntityId b,
 
 uint32_t ResolutionState::MatchedNeighborPairs(EntityId a, EntityId b,
                                                uint32_t cap) {
-  if (graph_ == nullptr) return 0;
-  auto na = graph_->Neighbors(a);
-  auto nb = graph_->Neighbors(b);
+  auto na = NeighborsOf(a);
+  auto nb = NeighborsOf(b);
   const size_t la = std::min<size_t>(na.size(), cap);
   const size_t lb = std::min<size_t>(nb.size(), cap);
   uint32_t matched = 0;

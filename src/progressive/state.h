@@ -9,6 +9,7 @@
 #define MINOAN_PROGRESSIVE_STATE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "kb/collection.h"
@@ -27,6 +28,21 @@ class ResolutionState {
   /// Records the match (a, b): merges clusters and cluster profiles.
   /// Returns true when the two were not already in the same cluster.
   bool RecordMatch(EntityId a, EntityId b);
+
+  /// Extends the state to cover entities appended to the collection after
+  /// construction (online mode): every id in [previous size, id] becomes a
+  /// singleton cluster whose profile is its own attribute values. No-op for
+  /// ids already covered.
+  void AddEntity(EntityId id);
+
+  /// Online alternative to the frozen NeighborGraph: a growable adjacency
+  /// (indexed by entity id) consulted when no graph was given at
+  /// construction. The pointee must outlive this state and may grow; order
+  /// within each list is irrelevant.
+  void SetDynamicNeighbors(
+      const std::vector<std::vector<EntityId>>* adjacency) {
+    dynamic_neighbors_ = adjacency;
+  }
 
   bool SameCluster(EntityId a, EntityId b) {
     return clusters_.SameSet(a, b);
@@ -54,8 +70,11 @@ class ResolutionState {
   uint64_t matches_recorded() const { return matches_recorded_; }
 
  private:
+  std::span<const EntityId> NeighborsOf(EntityId e) const;
+
   const EntityCollection* collection_;
   const NeighborGraph* graph_;  // may be null (no relationship reasoning)
+  const std::vector<std::vector<EntityId>>* dynamic_neighbors_ = nullptr;
   UnionFind clusters_;
   /// Per current root: sorted distinct value ids of the cluster profile.
   std::vector<std::vector<uint32_t>> values_;

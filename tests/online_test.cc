@@ -1,0 +1,617 @@
+// Unit tests for the online subsystem: post-finalize appends, incremental
+// blocking parity with a batch rebuild, resumable budgets, and Query
+// determinism.
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "blocking/blocking_method.h"
+#include "core/online_session.h"
+#include "datagen/lod_generator.h"
+#include "gtest/gtest.h"
+#include "online/incremental_block_index.h"
+#include "online/incremental_collection.h"
+#include "online/online_resolver.h"
+#include "progressive/state.h"
+#include "rdf/ntriples.h"
+#include "util/hash.h"
+
+namespace minoan {
+namespace {
+
+using online::DeltaPair;
+using online::IncrementalBlockIndex;
+using online::IncrementalCollection;
+using online::OnlineBlockingOptions;
+using online::OnlineOptions;
+using online::OnlineResolver;
+using online::OnlineStepResult;
+using online::QueryCandidate;
+using rdf::NTriplesParser;
+using rdf::Triple;
+
+std::vector<Triple> Parse(const std::string& doc) {
+  NTriplesParser parser;
+  auto result = parser.ParseString(doc);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+using online::GroupBySubject;
+
+// A small two-KB cloud with literal-only descriptions (so batch and online
+// ingestion classify every triple identically) plus one sameAs interlink.
+constexpr const char* kKbA = R"(
+<http://a.org/r/crete> <http://a.org/v/name> "Crete island history" .
+<http://a.org/r/knossos> <http://a.org/v/name> "Knossos bronze palace" .
+<http://a.org/r/heraklion> <http://a.org/v/name> "Heraklion port city" .
+<http://a.org/r/heraklion> <http://www.w3.org/2002/07/owl#sameAs> <http://b.org/p/heraklion> .
+<http://a.org/r/phaistos> <http://a.org/v/name> "Phaistos disc ruins" .
+)";
+
+constexpr const char* kKbB = R"(
+<http://b.org/p/crete> <http://b.org/v/label> "Crete island" .
+<http://b.org/p/heraklion> <http://b.org/v/label> "Heraklion city walls" .
+<http://b.org/p/phaistos> <http://b.org/v/label> "Phaistos palace disc" .
+<http://b.org/p/zakros> <http://b.org/v/label> "Zakros gorge" .
+)";
+
+using IriPair = std::pair<std::string, std::string>;
+
+IriPair MakeIriPair(const EntityCollection& c, EntityId a, EntityId b) {
+  std::string ia(c.EntityIri(a));
+  std::string ib(c.EntityIri(b));
+  if (ib < ia) std::swap(ia, ib);
+  return {ia, ib};
+}
+
+std::set<IriPair> BatchPairs(const EntityCollection& c,
+                             const BlockingMethod& method,
+                             ResolutionMode mode) {
+  BlockCollection blocks = method.Build(c);
+  std::set<IriPair> out;
+  for (const Comparison& cmp : blocks.DistinctComparisons(c, mode)) {
+    out.insert(MakeIriPair(c, cmp.a, cmp.b));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Post-finalize appends (IncrementalCollection)
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalCollectionTest, AppendAfterFinalize) {
+  IncrementalCollection inc;
+  const uint32_t kb = inc.EnsureKb("kbA");
+  EXPECT_EQ(inc.EnsureKb("kbA"), kb);  // idempotent
+
+  for (const auto& entity : GroupBySubject(Parse(kKbA))) {
+    ASSERT_TRUE(inc.Ingest(kb, entity).ok());
+  }
+  EXPECT_EQ(inc.num_entities(), 4u);
+  EXPECT_TRUE(inc.collection().finalized());
+
+  const EntityId crete = inc.collection().FindByIri("http://a.org/r/crete");
+  ASSERT_NE(crete, kInvalidEntity);
+  const uint32_t tok = inc.collection().tokens().Find("crete");
+  ASSERT_NE(tok, kInternNotFound);
+  EXPECT_EQ(inc.collection().TokenDf(tok), 1u);
+}
+
+TEST(IncrementalCollectionTest, DuplicateSubjectRejected) {
+  IncrementalCollection inc;
+  const uint32_t kb = inc.EnsureKb("kbA");
+  const auto entities = GroupBySubject(Parse(kKbA));
+  ASSERT_TRUE(inc.Ingest(kb, entities[0]).ok());
+  auto again = inc.Ingest(kb, entities[0]);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+
+  // The same IRI in a DIFFERENT KB is a distinct description.
+  const uint32_t other = inc.EnsureKb("kbB");
+  EXPECT_TRUE(inc.Ingest(other, entities[0]).ok());
+  EXPECT_EQ(inc.num_entities(), 2u);
+}
+
+TEST(IncrementalCollectionTest, BackwardRelationResolved) {
+  const char* doc = R"(
+<http://x/a> <http://x/v/name> "alpha settlement" .
+<http://x/b> <http://x/v/name> "beta harbor" .
+<http://x/b> <http://x/v/near> <http://x/a> .
+)";
+  IncrementalCollection inc;
+  const uint32_t kb = inc.EnsureKb("x");
+  for (const auto& entity : GroupBySubject(Parse(doc))) {
+    ASSERT_TRUE(inc.Ingest(kb, entity).ok());
+  }
+  const EntityId a = inc.collection().FindByIri("http://x/a");
+  const EntityId b = inc.collection().FindByIri("http://x/b");
+  ASSERT_EQ(inc.collection().entity(b).relations.size(), 1u);
+  EXPECT_EQ(inc.collection().entity(b).relations[0].target, a);
+}
+
+TEST(IncrementalCollectionTest, SameAsResolvedOnline) {
+  IncrementalCollection inc;
+  const uint32_t kb_b = inc.EnsureKb("kbB");
+  for (const auto& entity : GroupBySubject(Parse(kKbB))) {
+    ASSERT_TRUE(inc.Ingest(kb_b, entity).ok());
+  }
+  const uint32_t kb_a = inc.EnsureKb("kbA");
+  for (const auto& entity : GroupBySubject(Parse(kKbA))) {
+    ASSERT_TRUE(inc.Ingest(kb_a, entity).ok());
+  }
+  ASSERT_EQ(inc.collection().same_as_links().size(), 1u);
+  const SameAsLink link = inc.collection().same_as_links()[0];
+  EXPECT_EQ(inc.collection().EntityIri(link.a), "http://a.org/r/heraklion");
+  EXPECT_EQ(inc.collection().EntityIri(link.b), "http://b.org/p/heraklion");
+}
+
+// ---------------------------------------------------------------------------
+// Incremental blocking parity with a batch rebuild
+// ---------------------------------------------------------------------------
+
+/// Ingests both KBs in an interleaved order and returns (collection, union
+/// of all delta pairs as IRI pairs).
+std::pair<IncrementalCollection, std::set<IriPair>> IngestInterleaved(
+    const OnlineBlockingOptions& blocking) {
+  IncrementalCollection inc;
+  IncrementalBlockIndex index(blocking);
+  const uint32_t kb_a = inc.EnsureKb("kbA");
+  const uint32_t kb_b = inc.EnsureKb("kbB");
+  const auto ea = GroupBySubject(Parse(kKbA));
+  const auto eb = GroupBySubject(Parse(kKbB));
+
+  std::vector<std::pair<uint32_t, const std::vector<Triple>*>> order;
+  for (size_t i = 0; i < std::max(ea.size(), eb.size()); ++i) {
+    if (i < eb.size()) order.push_back({kb_b, &eb[i]});
+    if (i < ea.size()) order.push_back({kb_a, &ea[i]});
+  }
+
+  std::set<IriPair> emitted;
+  std::vector<DeltaPair> delta;
+  for (const auto& [kb, triples] : order) {
+    auto id = inc.Ingest(kb, *triples);
+    EXPECT_TRUE(id.ok()) << id.status();
+    delta.clear();
+    index.AddEntity(inc.collection(), *id, delta);
+    for (const DeltaPair& d : delta) {
+      const bool inserted =
+          emitted.insert(MakeIriPair(inc.collection(), d.a, d.b)).second;
+      EXPECT_TRUE(inserted) << "pair emitted twice";
+    }
+  }
+  return {std::move(inc), std::move(emitted)};
+}
+
+TEST(IncrementalBlockIndexTest, TokenParityWithBatchRebuild) {
+  OnlineBlockingOptions blocking;
+  blocking.token.max_df_fraction = 1.0;  // caps off: exact parity regime
+  blocking.mode = ResolutionMode::kCleanClean;
+  auto [inc, emitted] = IngestInterleaved(blocking);
+
+  // Batch reference over a batch-built collection of the same data.
+  EntityCollection batch;
+  ASSERT_TRUE(batch.AddKnowledgeBase("kbA", Parse(kKbA)).ok());
+  ASSERT_TRUE(batch.AddKnowledgeBase("kbB", Parse(kKbB)).ok());
+  ASSERT_TRUE(batch.Finalize().ok());
+  TokenBlocking::Options topts;
+  topts.max_df_fraction = 1.0;
+  const std::set<IriPair> expected =
+      BatchPairs(batch, TokenBlocking(topts), ResolutionMode::kCleanClean);
+
+  EXPECT_EQ(emitted, expected);
+  EXPECT_FALSE(expected.empty());
+  // Sanity: the crete/crete-island pair must be among them.
+  EXPECT_TRUE(expected.count({"http://a.org/r/crete", "http://b.org/p/crete"}));
+}
+
+TEST(IncrementalBlockIndexTest, TokenPlusPisParityWithBatchRebuild) {
+  OnlineBlockingOptions blocking;
+  blocking.token.max_df_fraction = 1.0;
+  blocking.use_pis_keys = true;
+  blocking.pis.max_block_size = 1u << 20;  // cap off
+  blocking.mode = ResolutionMode::kCleanClean;
+  auto [inc, emitted] = IngestInterleaved(blocking);
+
+  EntityCollection batch;
+  ASSERT_TRUE(batch.AddKnowledgeBase("kbA", Parse(kKbA)).ok());
+  ASSERT_TRUE(batch.AddKnowledgeBase("kbB", Parse(kKbB)).ok());
+  ASSERT_TRUE(batch.Finalize().ok());
+  TokenBlocking::Options topts;
+  topts.max_df_fraction = 1.0;
+  PisBlocking::Options popts;
+  popts.max_block_size = 1u << 20;
+  std::vector<std::unique_ptr<BlockingMethod>> methods;
+  methods.push_back(std::make_unique<TokenBlocking>(topts));
+  methods.push_back(std::make_unique<PisBlocking>(popts));
+  const std::set<IriPair> expected =
+      BatchPairs(batch, CompositeBlocking(std::move(methods)),
+                 ResolutionMode::kCleanClean);
+
+  EXPECT_EQ(emitted, expected);
+  // PIS must contribute: heraklion/phaistos share IRI suffixes across KBs.
+  EXPECT_TRUE(
+      emitted.count({"http://a.org/r/phaistos", "http://b.org/p/phaistos"}));
+}
+
+TEST(IncrementalBlockIndexTest, GeneratedCloudParity) {
+  // Realistic data: a small synthetic cloud ingested one entity at a time
+  // must produce exactly the candidate set of a batch rebuild over the
+  // final (incrementally built) collection.
+  datagen::LodCloudConfig cfg;
+  cfg.seed = 20260726;
+  cfg.num_real_entities = 120;
+  cfg.num_kbs = 3;
+  cfg.center_kbs = 2;
+  auto cloud = datagen::GenerateLodCloud(cfg);
+  ASSERT_TRUE(cloud.ok());
+
+  OnlineBlockingOptions blocking;
+  blocking.token.max_df_fraction = 1.0;
+  blocking.use_pis_keys = true;
+  blocking.pis.max_block_size = 1u << 20;
+  blocking.mode = ResolutionMode::kCleanClean;
+
+  IncrementalCollection inc;
+  IncrementalBlockIndex index(blocking);
+  std::set<uint64_t> emitted;
+  std::vector<DeltaPair> delta;
+  for (const datagen::GeneratedKb& kb : cloud->kbs) {
+    const uint32_t kb_id = inc.EnsureKb(kb.name);
+    for (const auto& entity : GroupBySubject(kb.triples)) {
+      auto id = inc.Ingest(kb_id, entity);
+      ASSERT_TRUE(id.ok()) << id.status();
+      delta.clear();
+      index.AddEntity(inc.collection(), *id, delta);
+      for (const DeltaPair& d : delta) {
+        EXPECT_TRUE(emitted.insert(PairKey(d.a, d.b)).second);
+      }
+    }
+  }
+
+  TokenBlocking::Options topts;
+  topts.max_df_fraction = 1.0;
+  PisBlocking::Options popts;
+  popts.max_block_size = 1u << 20;
+  std::vector<std::unique_ptr<BlockingMethod>> methods;
+  methods.push_back(std::make_unique<TokenBlocking>(topts));
+  methods.push_back(std::make_unique<PisBlocking>(popts));
+  BlockCollection blocks =
+      CompositeBlocking(std::move(methods)).Build(inc.collection());
+  std::set<uint64_t> expected;
+  for (const Comparison& cmp : blocks.DistinctComparisons(
+           inc.collection(), ResolutionMode::kCleanClean)) {
+    expected.insert(PairKey(cmp.a, cmp.b));
+  }
+
+  EXPECT_GT(expected.size(), 100u);  // non-trivial candidate set
+  EXPECT_EQ(emitted, expected);
+}
+
+TEST(IncrementalBlockIndexTest, CapWindowPairsRecoveredWhenCapLifts) {
+  // The df cap is evaluated against the CURRENT collection size, so a
+  // posting can be temporarily over-cap while the collection is small.
+  // The watermark must recover the skipped pairs at the next live
+  // insertion instead of losing them forever.
+  OnlineBlockingOptions blocking;
+  blocking.token.max_df_fraction = 0.5;
+  blocking.mode = ResolutionMode::kCleanClean;
+
+  IncrementalCollection inc;
+  IncrementalBlockIndex index(blocking);
+  const uint32_t kb0 = inc.EnsureKb("kb0");
+  const uint32_t kb1 = inc.EnsureKb("kb1");
+
+  // (kb, iri-suffix, value). "zeta" is the shared token; at insertions 2
+  // and 5 the collection is small enough that cap < posting size, so those
+  // arrivals emit nothing; insertion 9 is within cap and must catch up.
+  const std::vector<std::tuple<uint32_t, std::string, std::string>> feed = {
+      {kb0, "a0", "zeta alpha0"}, {kb1, "b0", "zeta beta0"},
+      {kb0, "a1", "filler1"},     {kb1, "b1", "filler2"},
+      {kb1, "b2", "zeta gamma0"}, {kb0, "a2", "filler3"},
+      {kb1, "b3", "filler4"},     {kb0, "a3", "filler5"},
+      {kb0, "a4", "zeta delta0"},
+  };
+
+  std::set<IriPair> emitted;
+  std::vector<DeltaPair> delta;
+  for (const auto& [kb, suffix, value] : feed) {
+    const std::string doc = "<http://" + std::to_string(kb) + ".org/" +
+                            suffix + "> <http://v/p> \"" + value + "\" .\n";
+    auto id = inc.Ingest(kb, Parse(doc));
+    ASSERT_TRUE(id.ok()) << id.status();
+    delta.clear();
+    index.AddEntity(inc.collection(), *id, delta);
+    for (const DeltaPair& d : delta) {
+      emitted.insert(MakeIriPair(inc.collection(), d.a, d.b));
+    }
+  }
+
+  // All four cross-KB "zeta" pairs, including the ones whose arrivals fell
+  // inside the capped window.
+  const std::set<IriPair> expected = {
+      {"http://0.org/a0", "http://1.org/b0"},
+      {"http://0.org/a0", "http://1.org/b2"},
+      {"http://0.org/a4", "http://1.org/b0"},
+      {"http://0.org/a4", "http://1.org/b2"},
+  };
+  EXPECT_EQ(emitted, expected);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineResolver: resumable budgets, Query, seeds
+// ---------------------------------------------------------------------------
+
+datagen::LodCloud SmallCloud() {
+  datagen::LodCloudConfig cfg;
+  cfg.seed = 99;
+  cfg.num_real_entities = 100;
+  cfg.num_kbs = 3;
+  cfg.center_kbs = 2;
+  auto cloud = datagen::GenerateLodCloud(cfg);
+  EXPECT_TRUE(cloud.ok());
+  return std::move(cloud).value();
+}
+
+void IngestCloud(OnlineResolver& resolver, const datagen::LodCloud& cloud) {
+  for (const datagen::GeneratedKb& kb : cloud.kbs) {
+    const uint32_t kb_id = resolver.EnsureKb(kb.name);
+    for (const auto& entity : GroupBySubject(kb.triples)) {
+      ASSERT_TRUE(resolver.Ingest(kb_id, entity).ok());
+    }
+  }
+}
+
+TEST(OnlineResolverTest, ResumableBudgets) {
+  const datagen::LodCloud cloud = SmallCloud();
+  OnlineOptions options;
+  options.matcher.threshold = 0.3;
+
+  OnlineResolver split(options);
+  IngestCloud(split, cloud);
+  const OnlineStepResult s1 = split.ResolveBudget(40);
+  const OnlineStepResult s2 = split.ResolveBudget(40);
+  EXPECT_EQ(s1.comparisons, 40u);
+  EXPECT_EQ(s2.comparisons, 40u);
+
+  OnlineResolver whole(options);
+  IngestCloud(whole, cloud);
+  const OnlineStepResult w = whole.ResolveBudget(80);
+  EXPECT_EQ(w.comparisons, 80u);
+
+  // Split and whole schedules must be identical, match for match.
+  ASSERT_EQ(s1.matches.size() + s2.matches.size(), w.matches.size());
+  std::vector<MatchEvent> split_matches = s1.matches;
+  split_matches.insert(split_matches.end(), s2.matches.begin(),
+                       s2.matches.end());
+  for (size_t i = 0; i < w.matches.size(); ++i) {
+    EXPECT_EQ(split_matches[i].a, w.matches[i].a);
+    EXPECT_EQ(split_matches[i].b, w.matches[i].b);
+    EXPECT_EQ(split_matches[i].comparisons_done, w.matches[i].comparisons_done);
+    EXPECT_DOUBLE_EQ(split_matches[i].similarity, w.matches[i].similarity);
+  }
+  EXPECT_EQ(split.run().comparisons_executed, whole.run().comparisons_executed);
+}
+
+TEST(OnlineResolverTest, BudgetExhaustionReported) {
+  const datagen::LodCloud cloud = SmallCloud();
+  OnlineResolver resolver{OnlineOptions{}};
+  IngestCloud(resolver, cloud);
+  const OnlineStepResult all = resolver.ResolveBudget(1u << 30);
+  EXPECT_TRUE(all.exhausted);
+  EXPECT_GT(all.comparisons, 0u);
+  EXPECT_EQ(resolver.pending_comparisons(), 0u);
+  // Nothing left: further budgets are free.
+  const OnlineStepResult more = resolver.ResolveBudget(10);
+  EXPECT_TRUE(more.exhausted);
+  EXPECT_EQ(more.comparisons, 0u);
+}
+
+TEST(OnlineResolverTest, QueryDeterministicAndIdempotent) {
+  const datagen::LodCloud cloud = SmallCloud();
+  OnlineOptions options;
+  options.matcher.threshold = 0.3;
+  OnlineResolver resolver(options);
+  IngestCloud(resolver, cloud);
+
+  // Pick an entity with candidates.
+  EntityId probe = kInvalidEntity;
+  for (EntityId e = 0; e < resolver.collection().num_entities(); ++e) {
+    if (!resolver.Query(e, 1).empty()) {
+      probe = e;
+      break;
+    }
+  }
+  ASSERT_NE(probe, kInvalidEntity);
+
+  const auto first = resolver.Query(probe, 5);
+  const auto second = resolver.Query(probe, 5);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, second[i].id);
+    EXPECT_DOUBLE_EQ(first[i].similarity, second[i].similarity);
+    EXPECT_EQ(first[i].matched, second[i].matched);
+  }
+  // Ranked by similarity, ties by id.
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_GE(first[i - 1].similarity, first[i].similarity);
+  }
+  // Query executed the probe's pending comparisons.
+  EXPECT_GT(resolver.run().comparisons_executed, 0u);
+}
+
+TEST(OnlineResolverTest, QueryAgreesWithResolution) {
+  const datagen::LodCloud cloud = SmallCloud();
+  OnlineOptions options;
+  options.matcher.threshold = 0.3;
+  OnlineResolver resolver(options);
+  IngestCloud(resolver, cloud);
+  resolver.ResolveBudget(1u << 30);
+
+  // After full resolution, every match partner shows up as `matched` in the
+  // partner's query results (clusters are transitive, so check SameCluster).
+  ASSERT_FALSE(resolver.run().matches.empty());
+  const MatchEvent m = resolver.run().matches.front();
+  const auto candidates = resolver.Query(m.a, 1000);
+  bool found = false;
+  for (const QueryCandidate& c : candidates) {
+    if (c.id == m.b) {
+      found = true;
+      EXPECT_TRUE(c.matched);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OnlineResolverTest, SameAsSeedsResolveAtZeroCost) {
+  OnlineOptions options;
+  options.use_same_as_seeds = true;
+  OnlineResolver resolver(options);
+  const uint32_t kb_b = resolver.EnsureKb("kbB");
+  for (const auto& entity : GroupBySubject(Parse(kKbB))) {
+    ASSERT_TRUE(resolver.Ingest(kb_b, entity).ok());
+  }
+  const uint32_t kb_a = resolver.EnsureKb("kbA");
+  for (const auto& entity : GroupBySubject(Parse(kKbA))) {
+    ASSERT_TRUE(resolver.Ingest(kb_a, entity).ok());
+  }
+  const EntityId a = resolver.collection().FindByIri("http://a.org/r/heraklion");
+  const EntityId b = resolver.collection().FindByIri("http://b.org/p/heraklion");
+  ASSERT_NE(a, kInvalidEntity);
+  ASSERT_NE(b, kInvalidEntity);
+  EXPECT_TRUE(resolver.state().SameCluster(a, b));
+  EXPECT_EQ(resolver.run().comparisons_executed, 0u);
+}
+
+TEST(OnlineResolverTest, DynamicNeighborsFeedRelationshipBenefit) {
+  // Without a frozen NeighborGraph, ResolutionState must read neighbors
+  // from the growable adjacency so relationship-aware benefit models work
+  // online.
+  const char* kb0_doc = R"(
+<http://x/na> <http://v/name> "north annex" .
+<http://x/a> <http://v/name> "alpha core" .
+<http://x/a> <http://v/near> <http://x/na> .
+)";
+  const char* kb1_doc = R"(
+<http://y/nb> <http://v/label> "north annex two" .
+<http://y/b> <http://v/label> "alpha kernel" .
+<http://y/b> <http://v/near> <http://y/nb> .
+)";
+  IncrementalCollection inc;
+  const uint32_t kb0 = inc.EnsureKb("kb0");
+  for (const auto& e : GroupBySubject(Parse(kb0_doc))) {
+    ASSERT_TRUE(inc.Ingest(kb0, e).ok());
+  }
+  const uint32_t kb1 = inc.EnsureKb("kb1");
+  for (const auto& e : GroupBySubject(Parse(kb1_doc))) {
+    ASSERT_TRUE(inc.Ingest(kb1, e).ok());
+  }
+  const EntityId a = inc.collection().FindByIri("http://x/a");
+  const EntityId na = inc.collection().FindByIri("http://x/na");
+  const EntityId b = inc.collection().FindByIri("http://y/b");
+  const EntityId nb = inc.collection().FindByIri("http://y/nb");
+
+  ResolutionState state(inc.collection(), nullptr);
+  std::vector<std::vector<EntityId>> adjacency(inc.num_entities());
+  adjacency[a].push_back(na);
+  adjacency[na].push_back(a);
+  adjacency[b].push_back(nb);
+  adjacency[nb].push_back(b);
+  state.SetDynamicNeighbors(&adjacency);
+
+  EXPECT_DOUBLE_EQ(state.MatchedNeighborFraction(a, b, 16), 0.0);
+  state.RecordMatch(na, nb);
+  EXPECT_DOUBLE_EQ(state.MatchedNeighborFraction(a, b, 16), 1.0);
+  EXPECT_EQ(state.MatchedNeighborPairs(a, b, 16), 1u);
+}
+
+TEST(OnlineResolverTest, WarmStartReproducesBatchCandidateSet) {
+  const datagen::LodCloud cloud = SmallCloud();
+  auto batch = cloud.BuildCollection();
+  ASSERT_TRUE(batch.ok());
+
+  // Batch reference over the same collection the warm engine adopts. Caps
+  // off — the incremental df cap is evaluated against the collection size
+  // at each insertion, not the final size.
+  TokenBlocking::Options topts;
+  topts.max_df_fraction = 1.0;
+  BlockCollection blocks = TokenBlocking(topts).Build(*batch);
+  const size_t expected =
+      blocks.DistinctComparisons(*batch, ResolutionMode::kCleanClean).size();
+
+  OnlineOptions options;
+  options.matcher.threshold = 0.3;
+  options.blocking.token.max_df_fraction = 1.0;
+  OnlineResolver warm(options, std::move(batch).value());
+
+  EXPECT_GT(expected, 0u);
+  EXPECT_EQ(warm.candidate_pairs_created(), expected);
+  EXPECT_EQ(warm.pending_comparisons(), expected);
+
+  // Cold entity-at-a-time ingestion classifies forward intra-KB references
+  // as attribute tokens (documented append-only semantics), so its
+  // candidate set is a superset of the batch one.
+  OnlineResolver cold(options);
+  IngestCloud(cold, cloud);
+  EXPECT_EQ(cold.collection().num_entities(), warm.collection().num_entities());
+  EXPECT_GE(cold.candidate_pairs_created(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineSession script replay
+// ---------------------------------------------------------------------------
+
+TEST(OnlineSessionTest, ScriptReplayIsDeterministic) {
+  const datagen::LodCloud cloud = SmallCloud();
+  const std::string script_text =
+      "# replayed twice, byte-identical output expected\n"
+      "ingest " + cloud.kbs[0].name + " 20\n"
+      "ingest " + cloud.kbs[1].name + " all\n"
+      "resolve 50\n"
+      "stats\n"
+      "ingest * all\n"
+      "resolve 100\n"
+      "stats\n";
+
+  auto run_once = [&]() {
+    online::OnlineOptions options;
+    options.matcher.threshold = 0.3;
+    OnlineSession session(options);
+    for (const datagen::GeneratedKb& kb : cloud.kbs) {
+      EXPECT_TRUE(session.AddSource(kb.name, kb.triples).ok());
+    }
+    std::istringstream in(script_text);
+    std::ostringstream out;
+    EXPECT_TRUE(session.RunScript(in, out).ok());
+    return out.str();
+  };
+
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The interleaving actually resolved something.
+  EXPECT_NE(first.find("matches"), std::string::npos);
+}
+
+TEST(OnlineSessionTest, UnknownCommandsAndSourcesAreErrors) {
+  OnlineSession session;
+  std::istringstream bad_cmd("frobnicate 3\n");
+  std::ostringstream out;
+  EXPECT_FALSE(session.RunScript(bad_cmd, out).ok());
+  std::istringstream bad_src("ingest nosuch 1\n");
+  EXPECT_FALSE(session.RunScript(bad_src, out).ok());
+  // Malformed numbers are Status errors, never exceptions.
+  std::istringstream bad_num("resolve ten\n");
+  EXPECT_FALSE(session.RunScript(bad_num, out).ok());
+  std::istringstream neg_num("resolve -5\n");
+  EXPECT_FALSE(session.RunScript(neg_num, out).ok());
+}
+
+}  // namespace
+}  // namespace minoan

@@ -12,6 +12,13 @@
 //       Resolves all KBs in DIR and writes discovered owl:sameAs links.
 //       Scores against DIR/ground_truth.tsv when present.
 //
+//   minoan online DIR [--script FILE] [--threshold F] [--pis] [--seeds]
+//                 [--benefit NAME]
+//       Serves the KBs in DIR through the online incremental engine,
+//       replaying an ingest/resolve/query command script (see
+//       core/online_session.h for the grammar). Without --script, every
+//       source is ingested, the queue is fully resolved, and stats print.
+//
 // All subcommands are deterministic for a fixed seed.
 
 #include <algorithm>
@@ -21,9 +28,12 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/minoan_er.h"
+#include "core/online_session.h"
 #include "datagen/lod_generator.h"
 #include "eval/cluster_metrics.h"
 #include "eval/ground_truth.h"
@@ -85,18 +95,28 @@ int Fail(const Status& status) {
   return 1;
 }
 
-Result<EntityCollection> LoadDirectory(const std::string& dir) {
+Result<std::vector<std::string>> ListRdfFiles(const std::string& dir) {
   std::vector<std::string> files;
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     const std::string ext = entry.path().extension().string();
     if (ext == ".nt" || ext == ".ttl" || ext == ".turtle") {
       files.push_back(entry.path().string());
     }
   }
+  if (ec) {
+    return Status::IoError("cannot read directory " + dir + ": " +
+                           ec.message());
+  }
   if (files.empty()) {
     return Status::NotFound("no .nt/.ttl files in " + dir);
   }
   std::sort(files.begin(), files.end());
+  return files;
+}
+
+Result<EntityCollection> LoadDirectory(const std::string& dir) {
+  MINOAN_ASSIGN_OR_RETURN(std::vector<std::string> files, ListRdfFiles(dir));
   EntityCollection collection;
   for (const std::string& file : files) {
     MINOAN_ASSIGN_OR_RETURN(std::vector<rdf::Triple> triples,
@@ -232,6 +252,50 @@ int CmdResolve(const Flags& flags) {
   return 0;
 }
 
+int CmdOnline(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "online requires a directory\n");
+    return 2;
+  }
+  const std::string dir = flags.positional()[0];
+
+  online::OnlineOptions options;
+  options.matcher.threshold = flags.GetDouble("threshold", 0.35);
+  options.blocking.use_pis_keys = flags.Has("pis");
+  options.use_same_as_seeds = flags.Has("seeds");
+  options.benefit = ParseBenefit(flags.Get("benefit", "quantity"));
+  OnlineSession session(options);
+
+  auto files = ListRdfFiles(dir);
+  if (!files.ok()) return Fail(files.status());
+  for (const std::string& file : *files) {
+    auto source = session.AddSourceFile(file);
+    if (!source.ok()) return Fail(source.status());
+    std::printf("source %-26s %6zu entities queued\n",
+                session.source_name(*source).c_str(),
+                session.PendingEntities(*source));
+  }
+
+  const std::string script_path = flags.Get("script", "");
+  Status status;
+  if (script_path.empty()) {
+    // Default serve loop: stream everything, resolve the whole queue.
+    std::istringstream script(
+        "ingest * all\n"
+        "resolve 1000000000\n"
+        "stats\n");
+    status = session.RunScript(script, std::cout);
+  } else {
+    std::ifstream script(script_path);
+    if (!script) {
+      return Fail(Status::IoError("cannot read " + script_path));
+    }
+    status = session.RunScript(script, std::cout);
+  }
+  if (!status.ok()) return Fail(status);
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage: minoan <command> [options]\n"
@@ -239,7 +303,9 @@ void Usage() {
                "--seed S]\n"
                "  stats DIR\n"
                "  resolve DIR [--threshold F --budget N --benefit "
-               "quantity|attr|coverage|relationship --seeds --out FILE]\n");
+               "quantity|attr|coverage|relationship --seeds --out FILE]\n"
+               "  online DIR [--script FILE --threshold F --pis --seeds "
+               "--benefit quantity|attr|coverage|relationship]\n");
 }
 
 }  // namespace
@@ -253,6 +319,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "generate") == 0) return CmdGenerate(flags);
   if (std::strcmp(argv[1], "stats") == 0) return CmdStats(flags);
   if (std::strcmp(argv[1], "resolve") == 0) return CmdResolve(flags);
+  if (std::strcmp(argv[1], "online") == 0) return CmdOnline(flags);
   Usage();
   return 2;
 }
