@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_progressive_recall.dir/bench/bench_f2_progressive_recall.cc.o"
+  "CMakeFiles/bench_f2_progressive_recall.dir/bench/bench_f2_progressive_recall.cc.o.d"
+  "bench_f2_progressive_recall"
+  "bench_f2_progressive_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_progressive_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

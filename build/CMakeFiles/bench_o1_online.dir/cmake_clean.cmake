@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_o1_online.dir/bench/bench_o1_online.cc.o"
+  "CMakeFiles/bench_o1_online.dir/bench/bench_o1_online.cc.o.d"
+  "bench_o1_online"
+  "bench_o1_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_o1_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_lod_stats.dir/bench/bench_t1_lod_stats.cc.o"
+  "CMakeFiles/bench_t1_lod_stats.dir/bench/bench_t1_lod_stats.cc.o.d"
+  "bench_t1_lod_stats"
+  "bench_t1_lod_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_lod_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

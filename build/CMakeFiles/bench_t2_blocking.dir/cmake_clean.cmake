@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_blocking.dir/bench/bench_t2_blocking.cc.o"
+  "CMakeFiles/bench_t2_blocking.dir/bench/bench_t2_blocking.cc.o.d"
+  "bench_t2_blocking"
+  "bench_t2_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_metablocking.dir/bench/bench_t3_metablocking.cc.o"
+  "CMakeFiles/bench_t3_metablocking.dir/bench/bench_t3_metablocking.cc.o.d"
+  "bench_t3_metablocking"
+  "bench_t3_metablocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_metablocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

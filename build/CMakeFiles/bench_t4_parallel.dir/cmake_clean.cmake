@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_parallel.dir/bench/bench_t4_parallel.cc.o"
+  "CMakeFiles/bench_t4_parallel.dir/bench/bench_t4_parallel.cc.o.d"
+  "bench_t4_parallel"
+  "bench_t4_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_quality_benefit.dir/bench/bench_t5_quality_benefit.cc.o"
+  "CMakeFiles/bench_t5_quality_benefit.dir/bench/bench_t5_quality_benefit.cc.o.d"
+  "bench_t5_quality_benefit"
+  "bench_t5_quality_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_quality_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_update_phase.dir/bench/bench_t6_update_phase.cc.o"
+  "CMakeFiles/bench_t6_update_phase.dir/bench/bench_t6_update_phase.cc.o.d"
+  "bench_t6_update_phase"
+  "bench_t6_update_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_update_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

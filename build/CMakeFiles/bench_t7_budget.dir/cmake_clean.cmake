@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_budget.dir/bench/bench_t7_budget.cc.o"
+  "CMakeFiles/bench_t7_budget.dir/bench/bench_t7_budget.cc.o.d"
+  "bench_t7_budget"
+  "bench_t7_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

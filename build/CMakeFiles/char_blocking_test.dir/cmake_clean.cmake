@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/char_blocking_test.dir/tests/char_blocking_test.cc.o"
+  "CMakeFiles/char_blocking_test.dir/tests/char_blocking_test.cc.o.d"
+  "char_blocking_test"
+  "char_blocking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/char_blocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lod_cloud_resolution.dir/examples/lod_cloud_resolution.cpp.o"
+  "CMakeFiles/example_lod_cloud_resolution.dir/examples/lod_cloud_resolution.cpp.o.d"
+  "example_lod_cloud_resolution"
+  "example_lod_cloud_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lod_cloud_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

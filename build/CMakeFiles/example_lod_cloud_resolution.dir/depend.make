@@ -1,0 +1,2 @@
+# Empty dependencies file for example_lod_cloud_resolution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_metablocking_tuning.dir/examples/metablocking_tuning.cpp.o"
+  "CMakeFiles/example_metablocking_tuning.dir/examples/metablocking_tuning.cpp.o.d"
+  "example_metablocking_tuning"
+  "example_metablocking_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_metablocking_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

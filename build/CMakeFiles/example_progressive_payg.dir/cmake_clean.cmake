@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_progressive_payg.dir/examples/progressive_payg.cpp.o"
+  "CMakeFiles/example_progressive_payg.dir/examples/progressive_payg.cpp.o.d"
+  "example_progressive_payg"
+  "example_progressive_payg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_progressive_payg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/schedulers.cc" "CMakeFiles/minoan.dir/src/baseline/schedulers.cc.o" "gcc" "CMakeFiles/minoan.dir/src/baseline/schedulers.cc.o.d"
+  "/root/repo/src/blocking/block.cc" "CMakeFiles/minoan.dir/src/blocking/block.cc.o" "gcc" "CMakeFiles/minoan.dir/src/blocking/block.cc.o.d"
+  "/root/repo/src/blocking/block_cleaning.cc" "CMakeFiles/minoan.dir/src/blocking/block_cleaning.cc.o" "gcc" "CMakeFiles/minoan.dir/src/blocking/block_cleaning.cc.o.d"
+  "/root/repo/src/blocking/blocking_method.cc" "CMakeFiles/minoan.dir/src/blocking/blocking_method.cc.o" "gcc" "CMakeFiles/minoan.dir/src/blocking/blocking_method.cc.o.d"
+  "/root/repo/src/blocking/char_blocking.cc" "CMakeFiles/minoan.dir/src/blocking/char_blocking.cc.o" "gcc" "CMakeFiles/minoan.dir/src/blocking/char_blocking.cc.o.d"
+  "/root/repo/src/core/minoan_er.cc" "CMakeFiles/minoan.dir/src/core/minoan_er.cc.o" "gcc" "CMakeFiles/minoan.dir/src/core/minoan_er.cc.o.d"
+  "/root/repo/src/core/online_session.cc" "CMakeFiles/minoan.dir/src/core/online_session.cc.o" "gcc" "CMakeFiles/minoan.dir/src/core/online_session.cc.o.d"
+  "/root/repo/src/datagen/corpus.cc" "CMakeFiles/minoan.dir/src/datagen/corpus.cc.o" "gcc" "CMakeFiles/minoan.dir/src/datagen/corpus.cc.o.d"
+  "/root/repo/src/datagen/lod_generator.cc" "CMakeFiles/minoan.dir/src/datagen/lod_generator.cc.o" "gcc" "CMakeFiles/minoan.dir/src/datagen/lod_generator.cc.o.d"
+  "/root/repo/src/eval/cluster_metrics.cc" "CMakeFiles/minoan.dir/src/eval/cluster_metrics.cc.o" "gcc" "CMakeFiles/minoan.dir/src/eval/cluster_metrics.cc.o.d"
+  "/root/repo/src/eval/ground_truth.cc" "CMakeFiles/minoan.dir/src/eval/ground_truth.cc.o" "gcc" "CMakeFiles/minoan.dir/src/eval/ground_truth.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/minoan.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/minoan.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/progressive_metrics.cc" "CMakeFiles/minoan.dir/src/eval/progressive_metrics.cc.o" "gcc" "CMakeFiles/minoan.dir/src/eval/progressive_metrics.cc.o.d"
+  "/root/repo/src/kb/collection.cc" "CMakeFiles/minoan.dir/src/kb/collection.cc.o" "gcc" "CMakeFiles/minoan.dir/src/kb/collection.cc.o.d"
+  "/root/repo/src/kb/neighbor_graph.cc" "CMakeFiles/minoan.dir/src/kb/neighbor_graph.cc.o" "gcc" "CMakeFiles/minoan.dir/src/kb/neighbor_graph.cc.o.d"
+  "/root/repo/src/kb/stats.cc" "CMakeFiles/minoan.dir/src/kb/stats.cc.o" "gcc" "CMakeFiles/minoan.dir/src/kb/stats.cc.o.d"
+  "/root/repo/src/mapreduce/parallel_blocking.cc" "CMakeFiles/minoan.dir/src/mapreduce/parallel_blocking.cc.o" "gcc" "CMakeFiles/minoan.dir/src/mapreduce/parallel_blocking.cc.o.d"
+  "/root/repo/src/mapreduce/parallel_matching.cc" "CMakeFiles/minoan.dir/src/mapreduce/parallel_matching.cc.o" "gcc" "CMakeFiles/minoan.dir/src/mapreduce/parallel_matching.cc.o.d"
+  "/root/repo/src/mapreduce/parallel_meta_blocking.cc" "CMakeFiles/minoan.dir/src/mapreduce/parallel_meta_blocking.cc.o" "gcc" "CMakeFiles/minoan.dir/src/mapreduce/parallel_meta_blocking.cc.o.d"
+  "/root/repo/src/matching/matcher.cc" "CMakeFiles/minoan.dir/src/matching/matcher.cc.o" "gcc" "CMakeFiles/minoan.dir/src/matching/matcher.cc.o.d"
+  "/root/repo/src/matching/similarity_evaluator.cc" "CMakeFiles/minoan.dir/src/matching/similarity_evaluator.cc.o" "gcc" "CMakeFiles/minoan.dir/src/matching/similarity_evaluator.cc.o.d"
+  "/root/repo/src/matching/union_find.cc" "CMakeFiles/minoan.dir/src/matching/union_find.cc.o" "gcc" "CMakeFiles/minoan.dir/src/matching/union_find.cc.o.d"
+  "/root/repo/src/metablocking/blocking_graph.cc" "CMakeFiles/minoan.dir/src/metablocking/blocking_graph.cc.o" "gcc" "CMakeFiles/minoan.dir/src/metablocking/blocking_graph.cc.o.d"
+  "/root/repo/src/metablocking/meta_blocking.cc" "CMakeFiles/minoan.dir/src/metablocking/meta_blocking.cc.o" "gcc" "CMakeFiles/minoan.dir/src/metablocking/meta_blocking.cc.o.d"
+  "/root/repo/src/online/incremental_block_index.cc" "CMakeFiles/minoan.dir/src/online/incremental_block_index.cc.o" "gcc" "CMakeFiles/minoan.dir/src/online/incremental_block_index.cc.o.d"
+  "/root/repo/src/online/incremental_collection.cc" "CMakeFiles/minoan.dir/src/online/incremental_collection.cc.o" "gcc" "CMakeFiles/minoan.dir/src/online/incremental_collection.cc.o.d"
+  "/root/repo/src/online/online_resolver.cc" "CMakeFiles/minoan.dir/src/online/online_resolver.cc.o" "gcc" "CMakeFiles/minoan.dir/src/online/online_resolver.cc.o.d"
+  "/root/repo/src/progressive/benefit.cc" "CMakeFiles/minoan.dir/src/progressive/benefit.cc.o" "gcc" "CMakeFiles/minoan.dir/src/progressive/benefit.cc.o.d"
+  "/root/repo/src/progressive/resolver.cc" "CMakeFiles/minoan.dir/src/progressive/resolver.cc.o" "gcc" "CMakeFiles/minoan.dir/src/progressive/resolver.cc.o.d"
+  "/root/repo/src/progressive/scheduler.cc" "CMakeFiles/minoan.dir/src/progressive/scheduler.cc.o" "gcc" "CMakeFiles/minoan.dir/src/progressive/scheduler.cc.o.d"
+  "/root/repo/src/progressive/state.cc" "CMakeFiles/minoan.dir/src/progressive/state.cc.o" "gcc" "CMakeFiles/minoan.dir/src/progressive/state.cc.o.d"
+  "/root/repo/src/rdf/iri.cc" "CMakeFiles/minoan.dir/src/rdf/iri.cc.o" "gcc" "CMakeFiles/minoan.dir/src/rdf/iri.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "CMakeFiles/minoan.dir/src/rdf/ntriples.cc.o" "gcc" "CMakeFiles/minoan.dir/src/rdf/ntriples.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "CMakeFiles/minoan.dir/src/rdf/term.cc.o" "gcc" "CMakeFiles/minoan.dir/src/rdf/term.cc.o.d"
+  "/root/repo/src/rdf/turtle.cc" "CMakeFiles/minoan.dir/src/rdf/turtle.cc.o" "gcc" "CMakeFiles/minoan.dir/src/rdf/turtle.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "CMakeFiles/minoan.dir/src/text/normalize.cc.o" "gcc" "CMakeFiles/minoan.dir/src/text/normalize.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "CMakeFiles/minoan.dir/src/text/similarity.cc.o" "gcc" "CMakeFiles/minoan.dir/src/text/similarity.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "CMakeFiles/minoan.dir/src/text/tokenizer.cc.o" "gcc" "CMakeFiles/minoan.dir/src/text/tokenizer.cc.o.d"
+  "/root/repo/src/util/interner.cc" "CMakeFiles/minoan.dir/src/util/interner.cc.o" "gcc" "CMakeFiles/minoan.dir/src/util/interner.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/minoan.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/minoan.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/minoan.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/minoan.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/minoan.dir/src/util/status.cc.o" "gcc" "CMakeFiles/minoan.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/minoan.dir/src/util/table.cc.o" "gcc" "CMakeFiles/minoan.dir/src/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/minoan.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/minoan.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minoan_cli.dir/tools/minoan_cli.cc.o"
+  "CMakeFiles/minoan_cli.dir/tools/minoan_cli.cc.o.d"
+  "minoan"
+  "minoan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minoan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

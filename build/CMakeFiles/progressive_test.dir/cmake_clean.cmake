@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_test.dir/tests/progressive_test.cc.o"
+  "CMakeFiles/progressive_test.dir/tests/progressive_test.cc.o.d"
+  "progressive_test"
+  "progressive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

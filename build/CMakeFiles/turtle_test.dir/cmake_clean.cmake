@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turtle_test.dir/tests/turtle_test.cc.o"
+  "CMakeFiles/turtle_test.dir/tests/turtle_test.cc.o.d"
+  "turtle_test"
+  "turtle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turtle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
