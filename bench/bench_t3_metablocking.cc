@@ -1,4 +1,5 @@
-// Experiment T3 — meta-blocking: weighting × pruning grid.
+// Experiment T3 — meta-blocking: weighting × pruning grid, plus the
+// sharded-pruning thread sweep.
 //
 // The poster: "we accompany blocking with meta-blocking, which prunes …
 // repeated comparisons [and] comparisons between descriptions that share few
@@ -8,9 +9,20 @@
 // Expected shape: 1-2 orders of magnitude fewer comparisons at single-digit
 // PC loss; cardinality schemes (CEP/CNP) prune harder than weight schemes
 // (WEP/WNP); node-centric schemes retain more recall than edge-centric.
+//
+// The thread sweep times MetaBlockingOptions::num_threads ∈ {1, 2, 4, 8}
+// per pruning scheme, asserts byte-identical output at every count, and
+// writes BENCH_t3_metablocking.json. Expected shape: near-linear speedup up
+// to the physical core count (flat on single-core machines — see the
+// recorded hardware_concurrency), identical retained lists throughout.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.h"
 #include "eval/metrics.h"
@@ -20,6 +32,23 @@
 
 using namespace minoan;        // NOLINT
 using namespace minoan::bench; // NOLINT
+
+namespace {
+
+double MedianOfThree(const std::function<double()>& run) {
+  double a = run(), b = run(), c = run();
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+bool SameRetained(const std::vector<WeightedComparison>& a,
+                  const std::vector<WeightedComparison>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(WeightedComparison)) ==
+                           0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const uint32_t scale = ParseScale(argc, argv);
@@ -88,5 +117,80 @@ int main(int argc, char** argv) {
     }
   }
   recip.Print(std::cout);
+
+  // ---- Sharded pruning thread sweep ---------------------------------------
+  // ECBS weighting (the Web-of-Data default), all four pruning schemes.
+  // Output must be byte-identical at every thread count; wall time is the
+  // median of three runs.
+  std::printf("\nsharded pruning thread sweep (ECBS weighting, median of 3; "
+              "hardware_concurrency %u):\n",
+              std::thread::hardware_concurrency());
+  Table sweep({"pruning", "threads", "ms", "speedup", "identical"});
+  std::string json = "{\n";
+  json += "  \"bench\": \"t3_metablocking\",\n";
+  json += "  \"scale\": " + std::to_string(scale) + ",\n";
+  json += "  \"entities\": " +
+          std::to_string(w.collection->num_entities()) + ",\n";
+  json += "  \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"weighting\": \"ECBS\",\n";
+  json += "  \"sweep\": [\n";
+  bool first_entry = true;
+  bool all_identical = true;
+  for (uint32_t ps = 0; ps < kNumPruningSchemes; ++ps) {
+    MetaBlockingOptions opts;
+    opts.pruning = static_cast<PruningScheme>(ps);
+    opts.num_threads = 1;
+    std::vector<WeightedComparison> reference;
+    const double seq_ms = MedianOfThree([&] {
+      Stopwatch watch;
+      reference = MetaBlocking(opts).Prune(blocks, *w.collection);
+      return watch.ElapsedMillis();
+    });
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      opts.num_threads = threads;
+      std::vector<WeightedComparison> retained;
+      const double ms =
+          threads == 1 ? seq_ms : MedianOfThree([&] {
+            Stopwatch watch;
+            retained = MetaBlocking(opts).Prune(blocks, *w.collection);
+            return watch.ElapsedMillis();
+          });
+      const bool identical =
+          threads == 1 || SameRetained(reference, retained);
+      all_identical = all_identical && identical;
+      const double speedup = seq_ms / std::max(0.01, ms);
+      char speedup_s[32];
+      std::snprintf(speedup_s, sizeof(speedup_s), "%.2f", speedup);
+      sweep.AddRow()
+          .Cell(PruningSchemeName(opts.pruning))
+          .Cell(uint64_t{threads})
+          .Cell(ms, 1)
+          .Cell(speedup_s)
+          .Cell(identical ? "yes" : "NO");
+      char entry[256];
+      std::snprintf(entry, sizeof(entry),
+                    "    %s{\"pruning\": \"%s\", \"threads\": %u, "
+                    "\"ms\": %.2f, \"speedup\": %.3f, \"identical\": %s}",
+                    first_entry ? "" : ",", // valid JSON either way
+                    std::string(PruningSchemeName(opts.pruning)).c_str(),
+                    threads, ms, speedup, identical ? "true" : "false");
+      json += entry;
+      json += "\n";
+      first_entry = false;
+    }
+  }
+  json += "  ]\n}\n";
+  sweep.Print(std::cout);
+  const char* json_path = "BENCH_t3_metablocking.json";
+  std::ofstream out(json_path);
+  out << json;
+  std::printf("wrote %s\n", json_path);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel pruning diverged from the sequential "
+                 "reference (see 'identical' column)\n");
+    return 1;
+  }
   return 0;
 }

@@ -4,7 +4,10 @@
 // cluster via Hadoop MapReduce". The cluster is simulated by the in-process
 // engine; this harness reports wall time and speedup versus workers for
 // parallel token blocking and 3-stage parallel meta-blocking, and verifies
-// output equality against the sequential reference.
+// output equality against the sequential reference. Meta-blocking stages 2-3
+// run through the sharded pruning core (metablocking/sharded_prune.h) on the
+// engine's pool, so the parallel output is byte-identical to the sequential
+// MetaBlocking, not merely equal after weight quantization.
 // Expected shape: near-linear speedup until the physical core count, then a
 // plateau; outputs identical at every worker count.
 

@@ -47,8 +47,9 @@ CleaningStats AutoPurge(BlockCollection& blocks,
   const uint64_t comparisons_before =
       blocks.AggregateComparisons(collection, mode);
 
-  // Per distinct block size: total comparisons and total block assignments.
-  std::map<uint64_t, std::pair<uint64_t, uint64_t>> by_size;  // size -> (cmp, assign)
+  // Per distinct block size: total comparisons and total block assignments,
+  // as a size -> (cmp, assign) map.
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> by_size;
   for (const Block& b : blocks.blocks()) {
     auto& [cmp, assign] = by_size[b.size()];
     cmp += b.NumComparisons(collection, mode);

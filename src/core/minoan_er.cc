@@ -1,10 +1,14 @@
 #include "core/minoan_er.h"
 
+#include <algorithm>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace minoan {
 
@@ -33,7 +37,8 @@ std::unique_ptr<BlockingMethod> MinoanEr::MakeBlocker() const {
           options_.attr_options);
     case BlockerChoice::kTokenPlusPis: {
       std::vector<std::unique_ptr<BlockingMethod>> methods;
-      methods.push_back(std::make_unique<TokenBlocking>(options_.token_options));
+      methods.push_back(
+          std::make_unique<TokenBlocking>(options_.token_options));
       methods.push_back(std::make_unique<PisBlocking>(options_.pis_options));
       return std::make_unique<CompositeBlocking>(std::move(methods));
     }
@@ -82,12 +87,37 @@ Result<ResolutionReport> MinoanEr::Run(
   report.phases.push_back(
       {"block-cleaning", watch.ElapsedMillis(), report.blocks_after_cleaning});
 
+  // Fan the workflow-wide thread count out to phases left at their default.
+  MetaBlockingOptions meta_options = options_.meta;
+  if (options_.num_threads != 1 && meta_options.num_threads == 1) {
+    meta_options.num_threads = options_.num_threads;
+  }
+  ProgressiveOptions progressive_options = options_.progressive;
+  if (options_.num_threads != 1 && progressive_options.num_threads == 1) {
+    progressive_options.num_threads = options_.num_threads;
+  }
+  // One pool serves every parallel phase of this run (thread spawn/join is
+  // per-run overhead, not per-phase). Phases that stay at num_threads == 1
+  // keep running inline — with identical results either way.
+  const auto resolve_threads = [](uint32_t t) {
+    return t == 0 ? std::max(1u, std::thread::hardware_concurrency()) : t;
+  };
+  const uint32_t meta_threads = resolve_threads(meta_options.num_threads);
+  const uint32_t prog_threads =
+      resolve_threads(progressive_options.num_threads);
+  std::optional<ThreadPool> pool;
+  if (std::max(meta_threads, prog_threads) > 1) {
+    pool.emplace(std::max(meta_threads, prog_threads));
+  }
+
   // ---- Meta-blocking ------------------------------------------------------
   watch.Restart();
   std::vector<WeightedComparison> candidates;
   if (options_.enable_meta_blocking) {
-    MetaBlocking meta(options_.meta);
-    candidates = meta.Prune(raw, collection, &report.meta_stats);
+    MetaBlocking meta(meta_options);
+    candidates = pool && meta_threads > 1
+                     ? meta.Prune(raw, collection, *pool, &report.meta_stats)
+                     : meta.Prune(raw, collection, &report.meta_stats);
   } else {
     // Distinct comparisons with CBS weights (no pruning).
     raw.BuildEntityIndex(collection.num_entities());
@@ -109,7 +139,8 @@ Result<ResolutionReport> MinoanEr::Run(
 
   watch.Restart();
   ProgressiveResolver resolver(collection, graph, evaluator,
-                               options_.progressive);
+                               progressive_options,
+                               pool ? &*pool : nullptr);
   if (options_.use_same_as_seeds && !collection.same_as_links().empty()) {
     std::vector<Comparison> seeds;
     seeds.reserve(collection.same_as_links().size());

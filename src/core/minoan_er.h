@@ -60,6 +60,13 @@ struct WorkflowOptions {
   /// warm-start seeds: they enter the resolution state at zero budget cost
   /// and their neighborhoods gain evidence before matching starts.
   bool use_same_as_seeds = false;
+
+  /// Workflow-wide worker-thread count, applied to every phase that still
+  /// has its own knob at the default (meta.num_threads,
+  /// progressive.num_threads). 1 = single-threaded (default), 0 = hardware
+  /// concurrency. Every phase is deterministic in the thread count, so the
+  /// report is identical for every value.
+  uint32_t num_threads = 1;
 };
 
 /// Wall-time and cardinality accounting per pipeline phase.

@@ -86,7 +86,8 @@ void BuildRealGraph(std::vector<RealEntity>& reals, double mean_degree,
     ++attempts;
     const uint32_t a = static_cast<uint32_t>(rng.Below(n));
     uint32_t b;
-    if (!pa_pool.empty() && rng.Chance(attachment_bias / (1.0 + attachment_bias))) {
+    if (!pa_pool.empty() &&
+        rng.Chance(attachment_bias / (1.0 + attachment_bias))) {
       b = pa_pool[rng.Below(pa_pool.size())];
     } else {
       b = static_cast<uint32_t>(rng.Below(n));

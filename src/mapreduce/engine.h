@@ -77,6 +77,10 @@ class Engine {
 
   uint32_t num_workers() const { return num_workers_; }
 
+  /// The engine's worker pool, for jobs that bypass the map/reduce shape
+  /// (e.g. sharded pruning) but should share the same threads.
+  ThreadPool& pool() { return pool_; }
+
   /// Runs one job. Template parameters:
   ///   In  — input record type; K/V — intermediate key/value (totally
   ///   ordered); Out — reduce output type.

@@ -1,67 +1,20 @@
 #include "mapreduce/parallel_meta_blocking.h"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
+#include <utility>
+#include <vector>
 
 #include "metablocking/blocking_graph.h"
 #include "metablocking/meta_blocking.h"
+#include "metablocking/sharded_prune.h"
 #include "util/hash.h"
-#include "util/topk.h"
 
 namespace minoan {
 namespace mapreduce {
-
-namespace {
-
-/// Order-stable partial aggregate for the WEP global mean.
-struct PartialSum {
-  double sum = 0.0;
-  uint64_t count = 0;
-  bool operator<(const PartialSum& o) const {
-    return sum != o.sum ? sum < o.sum : count < o.count;
-  }
-  bool operator==(const PartialSum& o) const {
-    return sum == o.sum && count == o.count;
-  }
-};
-
-/// (weight, pair) rank with the canonical deterministic order.
-struct WeightRank {
-  double weight;
-  uint64_t key;
-  bool operator<(const WeightRank& o) const {
-    if (weight != o.weight) return weight < o.weight;
-    return key > o.key;
-  }
-  bool operator==(const WeightRank& o) const {
-    return weight == o.weight && key == o.key;
-  }
-};
-
-/// Per-thread scratch sized for the current collection.
-NeighborScratch& TlsScratch(uint32_t num_entities) {
-  thread_local std::unique_ptr<NeighborScratch> scratch;
-  if (!scratch || scratch->size() != num_entities) {
-    scratch = std::make_unique<NeighborScratch>(num_entities);
-  }
-  return *scratch;
-}
-
-std::vector<EntityId> AllEntities(const EntityCollection& collection) {
-  std::vector<EntityId> ids(collection.num_entities());
-  for (uint32_t i = 0; i < ids.size(); ++i) ids[i] = i;
-  return ids;
-}
-
-}  // namespace
 
 std::vector<WeightedComparison> ParallelMetaBlocking(
     BlockCollection& blocks, const EntityCollection& collection,
     const MetaBlockingOptions& options, Engine& engine,
     ParallelMetaBlockingStats* stats) {
-  const uint32_t n = collection.num_entities();
-
   // ---- Stage 1: entity-block index as a MapReduce job --------------------
   // map: block -> (entity, block); reduce: entity -> its block list. The
   // CSR index the view consumes is rebuilt from this job's output.
@@ -83,175 +36,37 @@ std::vector<WeightedComparison> ParallelMetaBlocking(
     (void)index;  // equivalent structure; the view keeps its own CSR
     if (stats) stats->stage1 = c1;
   }
+
+  // ---- Stages 2 + 3: sharded pruning on the engine's pool ----------------
+  // Weighting + local pruning (stage 2) and vote aggregation (stage 3) run
+  // through the shared sharded core — the same implementation the
+  // sequential MetaBlocking uses, so outputs are bit-identical to it at
+  // every worker count. Counters are synthesized from the core's stats to
+  // keep the 3-stage decomposition of [4] observable.
   const BlockingGraphView view(blocks, collection, options.weighting,
-                               options.mode);
+                               options.mode, &engine.pool());
+  MetaBlockingStats totals;
+  std::vector<WeightedComparison> retained =
+      ShardedPrune(view, options, &engine.pool(), &totals);
 
-  std::vector<EntityId> entities = AllEntities(collection);
-  std::vector<WeightedComparison> retained;
-  Counters c2, c3;
-
-  switch (options.pruning) {
-    case PruningScheme::kWep: {
-      // Job A: global mean via per-entity partial sums (values are globally
-      // sorted before reduction, so the FP mean is stable across worker
-      // counts).
-      auto map_mean = [&view, n](const EntityId& e,
-                                 Emitter<uint32_t, PartialSum>& emitter) {
-        NeighborScratch& scratch = TlsScratch(n);
-        PartialSum partial;
-        view.ForNeighbors(scratch, e, /*only_greater=*/true,
-                          [&](EntityId nb, uint32_t common, double arcs) {
-                            partial.sum += view.EdgeWeight(e, nb, common,
-                                                           arcs);
-                            ++partial.count;
-                          });
-        if (partial.count > 0) emitter.Emit(0u, partial);
-      };
-      auto reduce_mean = [](const uint32_t&, std::span<const PartialSum> vs,
-                            std::vector<PartialSum>& out) {
-        PartialSum total;
-        for (const PartialSum& v : vs) {
-          total.sum += v.sum;
-          total.count += v.count;
-        }
-        out.push_back(total);
-      };
-      auto totals = engine.Run<EntityId, uint32_t, PartialSum, PartialSum>(
-          entities, map_mean, reduce_mean, nullptr, &c2);
-      PartialSum total;
-      for (const PartialSum& t : totals) {  // at most one
-        total.sum += t.sum;
-        total.count += t.count;
-      }
-      const double mean =
-          total.count > 0 ? total.sum / static_cast<double>(total.count) : 0.0;
-
-      // Job B: filter edges at or above the mean.
-      auto map_filter = [&view, n, mean](const EntityId& e,
-                                         Emitter<uint64_t, double>& emitter) {
-        NeighborScratch& scratch = TlsScratch(n);
-        view.ForNeighbors(scratch, e, true,
-                          [&](EntityId nb, uint32_t common, double arcs) {
-                            const double w =
-                                view.EdgeWeight(e, nb, common, arcs);
-                            if (w >= mean) emitter.Emit(PairKey(e, nb), w);
-                          });
-      };
-      auto reduce_filter = [](const uint64_t& key, std::span<const double> ws,
-                              std::vector<WeightedComparison>& out) {
-        out.push_back(
-            {PairKeyFirst(key), PairKeySecond(key), ws.front()});
-      };
-      retained = engine.Run<EntityId, uint64_t, double, WeightedComparison>(
-          entities, map_filter, reduce_filter, nullptr, &c3);
-      if (stats) {
-        stats->totals.graph_edges = total.count;
-        stats->totals.mean_weight = mean;
-      }
-      break;
-    }
-    case PruningScheme::kCep: {
-      // Weight computation in parallel; exact global top-K selection on the
-      // driver (the selection is linear and cheap relative to weighting).
-      auto map_edges = [&view, n](const EntityId& e,
-                                  Emitter<uint32_t, WeightRank>& emitter) {
-        NeighborScratch& scratch = TlsScratch(n);
-        view.ForNeighbors(scratch, e, /*only_greater=*/true,
-                          [&](EntityId nb, uint32_t common, double arcs) {
-                            const double w =
-                                view.EdgeWeight(e, nb, common, arcs);
-                            emitter.Emit(
-                                static_cast<uint32_t>(PairKey(e, nb) & 0xff),
-                                WeightRank{w, PairKey(e, nb)});
-                          });
-      };
-      auto reduce_edges = [](const uint32_t&, std::span<const WeightRank> vs,
-                             std::vector<WeightRank>& out) {
-        out.insert(out.end(), vs.begin(), vs.end());
-      };
-      auto all_edges = engine.Run<EntityId, uint32_t, WeightRank, WeightRank>(
-          entities, map_edges, reduce_edges, nullptr, &c2);
-      const uint64_t k =
-          std::max<uint64_t>(1, view.total_block_assignments() / 2);
-      TopK<WeightRank> top(k);
-      double weight_sum = 0.0;
-      for (const WeightRank& e : all_edges) {
-        weight_sum += e.weight;
-        top.Push(e);
-      }
-      for (const WeightRank& e : top.TakeSortedDescending()) {
-        retained.push_back(
-            {PairKeyFirst(e.key), PairKeySecond(e.key), e.weight});
-      }
-      if (stats) {
-        stats->totals.graph_edges = all_edges.size();
-        stats->totals.mean_weight =
-            all_edges.empty()
-                ? 0.0
-                : weight_sum / static_cast<double>(all_edges.size());
-      }
-      break;
-    }
-    case PruningScheme::kWnp:
-    case PruningScheme::kCnp: {
-      // Stage 2: per-node local pruning, emitting (pair, weight) votes.
-      const uint64_t placed = std::max<uint64_t>(
-          1, static_cast<uint64_t>(view.num_nodes()));
-      const uint64_t cnp_k = std::max<uint64_t>(
-          1, static_cast<uint64_t>(
-                 std::llround(static_cast<double>(
-                                  view.total_block_assignments()) /
-                              static_cast<double>(placed))));
-      const bool is_wnp = options.pruning == PruningScheme::kWnp;
-      auto map_votes = [&view, n, cnp_k, is_wnp](
-                           const EntityId& e,
-                           Emitter<uint64_t, double>& emitter) {
-        NeighborScratch& scratch = TlsScratch(n);
-        std::vector<std::pair<EntityId, double>> local;
-        double local_sum = 0.0;
-        view.ForNeighbors(scratch, e, /*only_greater=*/false,
-                          [&](EntityId nb, uint32_t common, double arcs) {
-                            const double w =
-                                view.EdgeWeight(e, nb, common, arcs);
-                            local.emplace_back(nb, w);
-                            local_sum += w;
-                          });
-        if (local.empty()) return;
-        if (is_wnp) {
-          const double mean = local_sum / static_cast<double>(local.size());
-          for (const auto& [nb, w] : local) {
-            if (w >= mean) emitter.Emit(PairKey(e, nb), w);
-          }
-        } else {
-          TopK<WeightRank> top(cnp_k);
-          for (const auto& [nb, w] : local) {
-            top.Push(WeightRank{w, PairKey(e, nb)});
-          }
-          for (const WeightRank& edge : top.TakeSortedDescending()) {
-            emitter.Emit(edge.key, edge.weight);
-          }
-        }
-      };
-      // Stage 3: aggregate votes per pair.
-      const size_t needed = options.reciprocal ? 2 : 1;
-      auto reduce_votes = [needed](const uint64_t& key,
-                                   std::span<const double> ws,
-                                   std::vector<WeightedComparison>& out) {
-        if (ws.size() >= needed) {
-          out.push_back({PairKeyFirst(key), PairKeySecond(key), ws.front()});
-        }
-      };
-      retained = engine.Run<EntityId, uint64_t, double, WeightedComparison>(
-          entities, map_votes, reduce_votes, nullptr, &c2);
-      break;
-    }
-  }
-
-  SortByWeightDescending(retained);
   if (stats) {
-    stats->stage2 = c2;
-    stats->stage3 = c3;
-    stats->totals.retained_edges = retained.size();
+    stats->totals = totals;
+    const bool node_centric = options.pruning == PruningScheme::kWnp ||
+                              options.pruning == PruningScheme::kCnp;
+    // Stage 2 maps every entity and emits its local-pruning output: votes
+    // for the node-centric schemes, weighted edges for the edge-centric
+    // ones. Stage 3 then aggregates only what stage 2 emitted — for
+    // WEP/CEP that is the already-filtered edge set, i.e. the retained
+    // list, one group per surviving pair.
+    stats->stage2.map_input_records = collection.num_entities();
+    stats->stage2.map_output_records =
+        node_centric ? totals.nominations : retained.size();
+    stats->stage2.combine_output_records = stats->stage2.map_output_records;
+    stats->stage3.map_input_records = stats->stage2.map_output_records;
+    stats->stage3.map_output_records = stats->stage2.map_output_records;
+    stats->stage3.reduce_groups =
+        node_centric ? totals.distinct_pairs : retained.size();
+    stats->stage3.reduce_output_records = retained.size();
   }
   return retained;
 }

@@ -14,10 +14,11 @@
 //   Stage 3 — vote aggregation: reduce per pair id, keeping edges nominated
 //             by either (standard) or both (reciprocal) endpoints.
 //
-// Results are identical to the sequential MetaBlocking (same weights, same
-// deterministic tie-breaking); for continuous weighting schemes the WEP mean
-// may differ in the last ulp across worker counts, which is observable only
-// if an edge weight equals the mean exactly.
+// Stage 1 runs as a real MapReduce job; stages 2 and 3 are realized by the
+// sharded pruning core (metablocking/sharded_prune.h) on the engine's
+// thread pool — the same implementation the sequential MetaBlocking driver
+// uses. Results are therefore bit-identical to the sequential path at every
+// worker count, including the WEP mean (fixed-order chunk reduction).
 
 #ifndef MINOAN_MAPREDUCE_PARALLEL_META_BLOCKING_H_
 #define MINOAN_MAPREDUCE_PARALLEL_META_BLOCKING_H_

@@ -1,13 +1,24 @@
 #include "metablocking/blocking_graph.h"
 
 #include <cmath>
+#include <memory>
+
+#include "util/thread_pool.h"
 
 namespace minoan {
+
+NeighborScratch& TlsNeighborScratch(uint32_t num_entities) {
+  thread_local std::unique_ptr<NeighborScratch> scratch;
+  if (!scratch || scratch->size() != num_entities) {
+    scratch = std::make_unique<NeighborScratch>(num_entities);
+  }
+  return *scratch;
+}
 
 BlockingGraphView::BlockingGraphView(BlockCollection& blocks,
                                      const EntityCollection& collection,
                                      WeightingScheme weighting,
-                                     ResolutionMode mode)
+                                     ResolutionMode mode, ThreadPool* pool)
     : blocks_(&blocks),
       collection_(&collection),
       weighting_(weighting),
@@ -24,15 +35,44 @@ BlockingGraphView::BlockingGraphView(BlockCollection& blocks,
     total_assignments_ += blocks.block(bi).size();
   }
   if (weighting == WeightingScheme::kEjs) {
-    degree_.assign(collection.num_entities(), 0);
-    NeighborScratch scratch(collection.num_entities());
-    for (EntityId e = 0; e < collection.num_entities(); ++e) {
+    const uint32_t n = collection.num_entities();
+    degree_.assign(n, 0);
+    const auto degree_of = [this, n](EntityId e) {
       uint32_t deg = 0;
-      ForNeighbors(scratch, e, /*only_greater=*/false,
+      ForNeighbors(TlsNeighborScratch(n), e, /*only_greater=*/false,
                    [&](EntityId, uint32_t, double) { ++deg; });
-      degree_[e] = deg;
+      return deg;
+    };
+    if (pool != nullptr && n > 0) {
+      // Disjoint per-entity writes; counts are integers, so the result is
+      // identical to the sequential pass.
+      pool->ParallelFor(n, [this, &degree_of](size_t e) {
+        degree_[e] = degree_of(static_cast<EntityId>(e));
+      });
+    } else {
+      for (EntityId e = 0; e < n; ++e) degree_[e] = degree_of(e);
     }
   }
+}
+
+double BlockingGraphView::PairWeight(EntityId a, EntityId b) const {
+  if (a == b) return 0.0;
+  if (mode_ == ResolutionMode::kCleanClean && !collection_->CrossKb(a, b)) {
+    return 0.0;
+  }
+  uint32_t common = 0;
+  double arcs = 0.0;
+  for (uint32_t bi : blocks_->BlocksOf(a)) {
+    const Block& block = blocks_->block(bi);
+    for (EntityId n : block.entities) {
+      if (n == b) {
+        ++common;
+        arcs += arcs_term_[bi];
+        break;
+      }
+    }
+  }
+  return common == 0 ? 0.0 : EdgeWeight(a, b, common, arcs);
 }
 
 double BlockingGraphView::EdgeWeight(EntityId a, EntityId b, uint32_t common,

@@ -46,15 +46,20 @@ class NeighborScratch {
   uint64_t generation_ = 0;
 };
 
+class ThreadPool;
+
 /// Immutable view over (blocks, collection) exposing weighted-edge
 /// enumeration. Construction precomputes ARCS terms and (for EJS) node
 /// degrees; thereafter the view is read-only.
 class BlockingGraphView {
  public:
   /// Builds the entity index of `blocks` if missing (the only mutation).
+  /// `pool` (optional) parallelizes the EJS degree precomputation — the one
+  /// construction step that enumerates the whole graph.
   BlockingGraphView(BlockCollection& blocks,
                     const EntityCollection& collection,
-                    WeightingScheme weighting, ResolutionMode mode);
+                    WeightingScheme weighting, ResolutionMode mode,
+                    ThreadPool* pool = nullptr);
 
   double num_blocks() const { return num_blocks_; }
   double num_nodes() const { return num_nodes_; }
@@ -103,6 +108,14 @@ class BlockingGraphView {
     }
   }
 
+  /// Weight of the single edge (a, b), or 0 when the edge is absent (no
+  /// common block; same-KB pair in clean-clean mode). Scans only a's blocks
+  /// and tests each for b's membership — O(Σ_{β ∈ B_a} |β|) worst case,
+  /// stopping each block scan at the first hit — instead of materializing
+  /// a's whole neighborhood the way a ForNeighbors pass would. Needs no
+  /// scratch, so point probes stay cheap for per-candidate callers.
+  double PairWeight(EntityId a, EntityId b) const;
+
   /// Total block assignments Σ|b| (the BC quantity of cardinality pruning).
   uint64_t total_block_assignments() const { return total_assignments_; }
 
@@ -117,6 +130,12 @@ class BlockingGraphView {
   std::vector<double> arcs_term_;
   std::vector<uint32_t> degree_;  // EJS only
 };
+
+/// This thread's NeighborScratch, (re)sized for `num_entities`. Lets pool
+/// workers enumerate the graph without per-task allocation; safe because a
+/// thread runs one enumeration at a time and generation stamps survive
+/// reuse.
+NeighborScratch& TlsNeighborScratch(uint32_t num_entities);
 
 }  // namespace minoan
 

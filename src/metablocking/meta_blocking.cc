@@ -1,12 +1,12 @@
 #include "metablocking/meta_blocking.h"
 
 #include <algorithm>
-#include <cmath>
-#include <unordered_map>
+#include <thread>
 
 #include "metablocking/blocking_graph.h"
+#include "metablocking/sharded_prune.h"
 #include "util/hash.h"
-#include "util/topk.h"
+#include "util/thread_pool.h"
 
 namespace minoan {
 
@@ -40,20 +40,6 @@ std::string_view PruningSchemeName(PruningScheme scheme) {
   return "?";
 }
 
-namespace {
-
-/// Deterministic strict-weak order: higher weight first, then smaller pair.
-struct EdgeRank {
-  double weight;
-  uint64_t key;
-  bool operator<(const EdgeRank& o) const {
-    if (weight != o.weight) return weight < o.weight;
-    return key > o.key;
-  }
-};
-
-}  // namespace
-
 void SortByWeightDescending(std::vector<WeightedComparison>& comparisons) {
   std::sort(comparisons.begin(), comparisons.end(),
             [](const WeightedComparison& x, const WeightedComparison& y) {
@@ -65,129 +51,25 @@ void SortByWeightDescending(std::vector<WeightedComparison>& comparisons) {
 std::vector<WeightedComparison> MetaBlocking::Prune(
     BlockCollection& blocks, const EntityCollection& collection,
     MetaBlockingStats* stats) const {
+  uint32_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads <= 1) {
+    const BlockingGraphView view(blocks, collection, options_.weighting,
+                                 options_.mode);
+    return ShardedPrune(view, options_, nullptr, stats);
+  }
+  ThreadPool pool(threads);
+  return Prune(blocks, collection, pool, stats);
+}
+
+std::vector<WeightedComparison> MetaBlocking::Prune(
+    BlockCollection& blocks, const EntityCollection& collection,
+    ThreadPool& pool, MetaBlockingStats* stats) const {
   const BlockingGraphView view(blocks, collection, options_.weighting,
-                               options_.mode);
-  NeighborScratch scratch(collection.num_entities());
-  const uint32_t n = collection.num_entities();
-  std::vector<WeightedComparison> retained;
-
-  uint64_t graph_edges = 0;
-  double weight_sum = 0.0;
-
-  switch (options_.pruning) {
-    case PruningScheme::kWep: {
-      // Pass 1: global mean weight.
-      for (EntityId e = 0; e < n; ++e) {
-        view.ForNeighbors(scratch, e, /*only_greater=*/true,
-                          [&](EntityId nb, uint32_t common, double arcs) {
-                            weight_sum += view.EdgeWeight(e, nb, common, arcs);
-                            ++graph_edges;
-                          });
-      }
-      const double mean = graph_edges > 0
-                              ? weight_sum / static_cast<double>(graph_edges)
-                              : 0.0;
-      // Pass 2: retain edges at or above the mean.
-      for (EntityId e = 0; e < n; ++e) {
-        view.ForNeighbors(scratch, e, true,
-                          [&](EntityId nb, uint32_t common, double arcs) {
-                            const double w =
-                                view.EdgeWeight(e, nb, common, arcs);
-                            if (w >= mean) retained.push_back({e, nb, w});
-                          });
-      }
-      break;
-    }
-    case PruningScheme::kCep: {
-      // K = half the total block assignments (BC/2, Papadakis).
-      const uint64_t k =
-          std::max<uint64_t>(1, view.total_block_assignments() / 2);
-      TopK<EdgeRank> top(k);
-      for (EntityId e = 0; e < n; ++e) {
-        view.ForNeighbors(scratch, e, true,
-                          [&](EntityId nb, uint32_t common, double arcs) {
-                            const double w =
-                                view.EdgeWeight(e, nb, common, arcs);
-                            weight_sum += w;
-                            ++graph_edges;
-                            top.Push(EdgeRank{w, PairKey(e, nb)});
-                          });
-      }
-      for (const EdgeRank& edge : top.TakeSortedDescending()) {
-        retained.push_back(
-            {PairKeyFirst(edge.key), PairKeySecond(edge.key), edge.weight});
-      }
-      break;
-    }
-    case PruningScheme::kWnp:
-    case PruningScheme::kCnp: {
-      // Node-centric: each node nominates edges; an edge survives when
-      // nominated by either endpoint (standard) or both (reciprocal).
-      std::unordered_map<uint64_t, std::pair<double, uint8_t>> votes;
-      const uint64_t placed = std::max<uint64_t>(
-          1, static_cast<uint64_t>(view.num_nodes()));
-      const uint64_t cnp_k = std::max<uint64_t>(
-          1, static_cast<uint64_t>(
-                 std::llround(static_cast<double>(
-                                  view.total_block_assignments()) /
-                              static_cast<double>(placed))));
-      std::vector<std::pair<EntityId, double>> local;
-      for (EntityId e = 0; e < n; ++e) {
-        local.clear();
-        double local_sum = 0.0;
-        view.ForNeighbors(scratch, e, /*only_greater=*/false,
-                          [&](EntityId nb, uint32_t common, double arcs) {
-                            const double w =
-                                view.EdgeWeight(e, nb, common, arcs);
-                            local.emplace_back(nb, w);
-                            local_sum += w;
-                          });
-        if (local.empty()) continue;
-        graph_edges += local.size();  // each edge counted twice; halved below
-        weight_sum += local_sum;
-        if (options_.pruning == PruningScheme::kWnp) {
-          const double mean = local_sum / static_cast<double>(local.size());
-          for (const auto& [nb, w] : local) {
-            if (w >= mean) {
-              auto& vote = votes[PairKey(e, nb)];
-              vote.first = w;
-              ++vote.second;
-            }
-          }
-        } else {
-          TopK<EdgeRank> top(cnp_k);
-          for (const auto& [nb, w] : local) {
-            top.Push(EdgeRank{w, PairKey(e, nb)});
-          }
-          for (const EdgeRank& edge : top.TakeSortedDescending()) {
-            auto& vote = votes[edge.key];
-            vote.first = edge.weight;
-            ++vote.second;
-          }
-        }
-      }
-      graph_edges /= 2;
-      weight_sum /= 2.0;
-      const uint8_t needed = options_.reciprocal ? 2 : 1;
-      retained.reserve(votes.size());
-      for (const auto& [key, vote] : votes) {
-        if (vote.second >= needed) {
-          retained.push_back(
-              {PairKeyFirst(key), PairKeySecond(key), vote.first});
-        }
-      }
-      break;
-    }
-  }
-
-  SortByWeightDescending(retained);
-  if (stats) {
-    stats->graph_edges = graph_edges;
-    stats->retained_edges = retained.size();
-    stats->mean_weight =
-        graph_edges > 0 ? weight_sum / static_cast<double>(graph_edges) : 0.0;
-  }
-  return retained;
+                               options_.mode, &pool);
+  return ShardedPrune(view, options_, &pool, stats);
 }
 
 double ComputePairWeight(BlockCollection& blocks,
@@ -195,15 +77,7 @@ double ComputePairWeight(BlockCollection& blocks,
                          WeightingScheme scheme, ResolutionMode mode,
                          EntityId a, EntityId b) {
   const BlockingGraphView view(blocks, collection, scheme, mode);
-  NeighborScratch scratch(collection.num_entities());
-  double weight = 0.0;
-  view.ForNeighbors(scratch, a, /*only_greater=*/false,
-                    [&](EntityId nb, uint32_t common, double arcs) {
-                      if (nb == b) {
-                        weight = view.EdgeWeight(a, b, common, arcs);
-                      }
-                    });
-  return weight;
+  return view.PairWeight(a, b);
 }
 
 }  // namespace minoan

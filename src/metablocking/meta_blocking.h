@@ -26,8 +26,12 @@
 
 namespace minoan {
 
-/// Executes weighting + pruning over a block collection (sequential
-/// reference implementation).
+class ThreadPool;
+
+/// Executes weighting + pruning over a block collection. Runs on the
+/// calling thread by default; set MetaBlockingOptions::num_threads (or pass
+/// a pool) to shard the pruning across workers — the output is bit-identical
+/// either way (see sharded_prune.h).
 class MetaBlocking {
  public:
   explicit MetaBlocking(MetaBlockingOptions options) : options_(options) {}
@@ -35,9 +39,20 @@ class MetaBlocking {
 
   /// Prunes the blocking graph of `blocks` (builds its entity index when
   /// missing). Returns retained comparisons sorted by descending weight
-  /// (ties broken by pair id for determinism).
+  /// (ties broken by pair id for determinism). Spawns a worker pool when
+  /// options().num_threads != 1.
   std::vector<WeightedComparison> Prune(BlockCollection& blocks,
                                         const EntityCollection& collection,
+                                        MetaBlockingStats* stats = nullptr)
+      const;
+
+  /// Same, on a caller-owned pool. Lets long-lived drivers (MapReduce
+  /// engine, benches) reuse their threads. (Takes a reference, not a
+  /// pointer, so `Prune(b, c, nullptr)` stays an unambiguous spelling of
+  /// the stats-only overload.)
+  std::vector<WeightedComparison> Prune(BlockCollection& blocks,
+                                        const EntityCollection& collection,
+                                        ThreadPool& pool,
                                         MetaBlockingStats* stats = nullptr)
       const;
 
@@ -47,8 +62,13 @@ class MetaBlocking {
   MetaBlockingOptions options_;
 };
 
-/// Computes the weight of one specific pair under `scheme` (test helper;
-/// O(blocks of a)).
+/// Computes the weight of one specific pair under `scheme`. Point probe:
+/// scans only a's blocks for b (BlockingGraphView::PairWeight) instead of
+/// materializing a's full neighborhood — still O(Σ_{β ∈ B_a} |β|) worst
+/// case because every common block must be counted, but with early exit per
+/// block and no scratch allocation. View construction itself is O(|blocks|)
+/// (plus a full degree pass for EJS); per-candidate callers should hold one
+/// view and call PairWeight directly.
 double ComputePairWeight(BlockCollection& blocks,
                          const EntityCollection& collection,
                          WeightingScheme scheme, ResolutionMode mode,

@@ -49,6 +49,10 @@ struct MetaBlockingOptions {
   /// (reciprocal) instead of either (standard).
   bool reciprocal = false;
   ResolutionMode mode = ResolutionMode::kCleanClean;
+  /// Pruning parallelism: 1 = run on the calling thread (default), N > 1 =
+  /// use a pool of N workers, 0 = hardware concurrency. The retained edge
+  /// list is bit-identical for every value (see sharded_prune.h).
+  uint32_t num_threads = 1;
 };
 
 /// Summary counters of one meta-blocking run.
@@ -56,6 +60,8 @@ struct MetaBlockingStats {
   uint64_t graph_edges = 0;     // distinct comparisons before pruning
   uint64_t retained_edges = 0;  // after pruning
   double mean_weight = 0.0;     // global mean edge weight
+  uint64_t nominations = 0;     // node-centric vote emissions (else 0)
+  uint64_t distinct_pairs = 0;  // distinct nominated pairs (else 0)
 };
 
 }  // namespace minoan

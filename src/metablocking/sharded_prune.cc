@@ -1,0 +1,294 @@
+#include "metablocking/sharded_prune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+
+#include "metablocking/meta_blocking.h"
+#include "util/hash.h"
+#include "util/topk.h"
+
+namespace minoan {
+namespace {
+
+/// Deterministic strict-weak order: higher weight first, then smaller pair.
+struct EdgeRank {
+  double weight;
+  uint64_t key;
+  bool operator<(const EdgeRank& o) const {
+    if (weight != o.weight) return weight < o.weight;
+    return key > o.key;
+  }
+};
+
+/// One node-centric vote: `nominator` kept an edge to the other endpoint of
+/// `key`. Sorting by (key, nominator) groups votes per pair with the larger
+/// endpoint last — the endpoint whose weight the sequential vote table would
+/// have kept (last writer over an ascending entity scan).
+struct Nomination {
+  uint64_t key;
+  EntityId nominator;
+  double weight;
+  bool operator<(const Nomination& o) const {
+    if (key != o.key) return key < o.key;
+    return nominator < o.nominator;
+  }
+};
+
+/// Order-fixed partial aggregate of one entity chunk.
+struct ChunkPartial {
+  double weight_sum = 0.0;
+  uint64_t edges = 0;
+};
+
+/// Runs fn(i) for i in [0, count) — on the pool when given, inline
+/// otherwise. Each i is a fixed unit of work (an entity chunk or a vote
+/// shard), so results never depend on which thread ran it.
+void RunTasks(ThreadPool* pool, size_t count,
+              const std::function<void(size_t)>& fn) {
+  if (pool != nullptr && count > 1) {
+    pool->ParallelFor(count, fn);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) fn(i);
+}
+
+/// Flattens per-task result vectors in task order.
+template <typename T>
+std::vector<T> Concatenate(std::vector<std::vector<T>>& parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<T> out;
+  out.reserve(total);
+  for (auto& p : parts) {
+    out.insert(out.end(), p.begin(), p.end());
+    p.clear();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
+                                             const MetaBlockingOptions& options,
+                                             ThreadPool* pool,
+                                             MetaBlockingStats* stats) {
+  const uint32_t n = view.collection().num_entities();
+  const size_t num_chunks =
+      (static_cast<size_t>(n) + kPruneChunkEntities - 1) / kPruneChunkEntities;
+  const auto chunk_range = [n](size_t c) {
+    const EntityId begin = static_cast<EntityId>(c * kPruneChunkEntities);
+    const EntityId end = static_cast<EntityId>(
+        std::min<size_t>(n, (c + 1) * kPruneChunkEntities));
+    return std::pair<EntityId, EntityId>(begin, end);
+  };
+
+  std::vector<WeightedComparison> retained;
+  uint64_t graph_edges = 0;
+  double weight_sum = 0.0;
+  uint64_t nominations = 0;
+  uint64_t distinct_pairs = 0;
+
+  switch (options.pruning) {
+    case PruningScheme::kWep: {
+      // Pass 1: per-chunk partial sums, folded in chunk order so the global
+      // mean is one fixed floating-point reduction for every thread count.
+      std::vector<ChunkPartial> partials(num_chunks);
+      RunTasks(pool, num_chunks, [&](size_t c) {
+        NeighborScratch& scratch = TlsNeighborScratch(n);
+        ChunkPartial partial;
+        const auto [begin, end] = chunk_range(c);
+        for (EntityId e = begin; e < end; ++e) {
+          view.ForNeighbors(scratch, e, /*only_greater=*/true,
+                            [&](EntityId nb, uint32_t common, double arcs) {
+                              partial.weight_sum +=
+                                  view.EdgeWeight(e, nb, common, arcs);
+                              ++partial.edges;
+                            });
+        }
+        partials[c] = partial;
+      });
+      for (const ChunkPartial& p : partials) {
+        weight_sum += p.weight_sum;
+        graph_edges += p.edges;
+      }
+      const double mean = graph_edges > 0
+                              ? weight_sum / static_cast<double>(graph_edges)
+                              : 0.0;
+      // Pass 2: retain edges at or above the mean, chunk-local then merged.
+      std::vector<std::vector<WeightedComparison>> kept(num_chunks);
+      RunTasks(pool, num_chunks, [&](size_t c) {
+        NeighborScratch& scratch = TlsNeighborScratch(n);
+        const auto [begin, end] = chunk_range(c);
+        for (EntityId e = begin; e < end; ++e) {
+          view.ForNeighbors(scratch, e, true,
+                            [&](EntityId nb, uint32_t common, double arcs) {
+                              const double w =
+                                  view.EdgeWeight(e, nb, common, arcs);
+                              if (w >= mean) kept[c].push_back({e, nb, w});
+                            });
+        }
+      });
+      retained = Concatenate(kept);
+      break;
+    }
+    case PruningScheme::kCep: {
+      // K = half the total block assignments (BC/2, Papadakis). Per-chunk
+      // top-K heaps merge into one exact global selection; the (weight, key)
+      // total order makes the selected set insertion-order independent.
+      const uint64_t k =
+          std::max<uint64_t>(1, view.total_block_assignments() / 2);
+      std::vector<TopK<EdgeRank>> tops(num_chunks, TopK<EdgeRank>(k));
+      std::vector<ChunkPartial> partials(num_chunks);
+      RunTasks(pool, num_chunks, [&](size_t c) {
+        NeighborScratch& scratch = TlsNeighborScratch(n);
+        ChunkPartial partial;
+        const auto [begin, end] = chunk_range(c);
+        for (EntityId e = begin; e < end; ++e) {
+          view.ForNeighbors(scratch, e, true,
+                            [&](EntityId nb, uint32_t common, double arcs) {
+                              const double w =
+                                  view.EdgeWeight(e, nb, common, arcs);
+                              partial.weight_sum += w;
+                              ++partial.edges;
+                              tops[c].Push(EdgeRank{w, PairKey(e, nb)});
+                            });
+        }
+        partials[c] = partial;
+      });
+      for (const ChunkPartial& p : partials) {
+        weight_sum += p.weight_sum;
+        graph_edges += p.edges;
+      }
+      TopK<EdgeRank> top(k);
+      for (TopK<EdgeRank>& chunk_top : tops) {
+        for (const EdgeRank& edge : chunk_top.TakeSortedDescending()) {
+          top.Push(edge);
+        }
+      }
+      for (const EdgeRank& edge : top.TakeSortedDescending()) {
+        retained.push_back(
+            {PairKeyFirst(edge.key), PairKeySecond(edge.key), edge.weight});
+      }
+      break;
+    }
+    case PruningScheme::kWnp:
+    case PruningScheme::kCnp: {
+      // Node-centric: each node nominates edges; an edge survives when
+      // nominated by either endpoint (standard) or both (reciprocal).
+      // Phase A routes nominations into PairKey-hashed shards (chunk-local
+      // buffers, no shared state); phase B aggregates each shard.
+      const uint64_t placed = std::max<uint64_t>(
+          1, static_cast<uint64_t>(view.num_nodes()));
+      const uint64_t cnp_k = std::max<uint64_t>(
+          1, static_cast<uint64_t>(
+                 std::llround(static_cast<double>(
+                                  view.total_block_assignments()) /
+                              static_cast<double>(placed))));
+      const bool is_wnp = options.pruning == PruningScheme::kWnp;
+      std::vector<std::vector<std::vector<Nomination>>> chunk_noms(
+          num_chunks,
+          std::vector<std::vector<Nomination>>(kPruneVoteShards));
+      std::vector<ChunkPartial> partials(num_chunks);
+      RunTasks(pool, num_chunks, [&](size_t c) {
+        NeighborScratch& scratch = TlsNeighborScratch(n);
+        auto& shards = chunk_noms[c];
+        ChunkPartial partial;
+        std::vector<std::pair<EntityId, double>> local;
+        const auto nominate = [&shards](EntityId e, uint64_t key, double w) {
+          shards[Mix64(key) & (kPruneVoteShards - 1)].push_back(
+              Nomination{key, e, w});
+        };
+        const auto [begin, end] = chunk_range(c);
+        for (EntityId e = begin; e < end; ++e) {
+          local.clear();
+          double local_sum = 0.0;
+          view.ForNeighbors(scratch, e, /*only_greater=*/false,
+                            [&](EntityId nb, uint32_t common, double arcs) {
+                              const double w =
+                                  view.EdgeWeight(e, nb, common, arcs);
+                              local.emplace_back(nb, w);
+                              local_sum += w;
+                            });
+          if (local.empty()) continue;
+          partial.edges += local.size();  // counted twice; halved below
+          partial.weight_sum += local_sum;
+          if (is_wnp) {
+            const double mean = local_sum / static_cast<double>(local.size());
+            for (const auto& [nb, w] : local) {
+              if (w >= mean) nominate(e, PairKey(e, nb), w);
+            }
+          } else {
+            TopK<EdgeRank> top(cnp_k);
+            for (const auto& [nb, w] : local) {
+              top.Push(EdgeRank{w, PairKey(e, nb)});
+            }
+            for (const EdgeRank& edge : top.TakeSortedDescending()) {
+              nominate(e, edge.key, edge.weight);
+            }
+          }
+        }
+        partials[c] = partial;
+      });
+      for (const ChunkPartial& p : partials) {
+        weight_sum += p.weight_sum;
+        graph_edges += p.edges;
+      }
+      graph_edges /= 2;
+      weight_sum /= 2.0;
+
+      // Phase B: per-shard vote aggregation. A pair receives at most one
+      // nomination per endpoint, so a (key, nominator)-sorted run is the
+      // pair's complete vote set and its last entry is the larger endpoint.
+      const size_t needed = options.reciprocal ? 2 : 1;
+      std::vector<std::vector<WeightedComparison>> shard_kept(
+          kPruneVoteShards);
+      std::vector<std::pair<uint64_t, uint64_t>> shard_counts(
+          kPruneVoteShards);
+      RunTasks(pool, kPruneVoteShards, [&](size_t s) {
+        std::vector<Nomination> votes;
+        size_t total = 0;
+        for (const auto& chunk : chunk_noms) total += chunk[s].size();
+        votes.reserve(total);
+        for (const auto& chunk : chunk_noms) {
+          votes.insert(votes.end(), chunk[s].begin(), chunk[s].end());
+        }
+        std::sort(votes.begin(), votes.end());
+        uint64_t pairs = 0;
+        size_t i = 0;
+        while (i < votes.size()) {
+          size_t j = i;
+          while (j < votes.size() && votes[j].key == votes[i].key) ++j;
+          ++pairs;
+          if (j - i >= needed) {
+            shard_kept[s].push_back({PairKeyFirst(votes[i].key),
+                                     PairKeySecond(votes[i].key),
+                                     votes[j - 1].weight});
+          }
+          i = j;
+        }
+        shard_counts[s] = {votes.size(), pairs};
+      });
+      for (const auto& [votes, pairs] : shard_counts) {
+        nominations += votes;
+        distinct_pairs += pairs;
+      }
+      retained = Concatenate(shard_kept);
+      break;
+    }
+  }
+
+  SortByWeightDescending(retained);
+  if (stats) {
+    stats->graph_edges = graph_edges;
+    stats->retained_edges = retained.size();
+    stats->mean_weight =
+        graph_edges > 0 ? weight_sum / static_cast<double>(graph_edges) : 0.0;
+    stats->nominations = nominations;
+    stats->distinct_pairs = distinct_pairs;
+  }
+  return retained;
+}
+
+}  // namespace minoan

@@ -128,7 +128,9 @@ class OnlineResolver {
   uint64_t evidence_assisted_matches() const {
     return evidence_assisted_matches_;
   }
-  uint64_t candidate_pairs_created() const { return index_.num_pairs_emitted(); }
+  uint64_t candidate_pairs_created() const {
+    return index_.num_pairs_emitted();
+  }
   ResolutionState& state() { return *state_; }
   const OnlineOptions& options() const { return options_; }
 

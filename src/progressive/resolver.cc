@@ -2,22 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace minoan {
 
 ProgressiveResolver::ProgressiveResolver(const EntityCollection& collection,
                                          const NeighborGraph& graph,
                                          const SimilarityEvaluator& evaluator,
-                                         ProgressiveOptions options)
+                                         ProgressiveOptions options,
+                                         ThreadPool* pool)
     : collection_(&collection),
       graph_(&graph),
       evaluator_(&evaluator),
       options_(options),
-      estimator_(options.benefit, options.max_neighbors_per_side) {}
+      estimator_(options.benefit, options.max_neighbors_per_side),
+      pool_(pool) {}
 
 double ProgressiveResolver::Likelihood(uint64_t pair) const {
   const auto it = likelihood_.find(pair);
@@ -58,10 +62,36 @@ ProgressiveResult ProgressiveResolver::ResolveWithSeeds(
     max_weight = std::max(max_weight, c.weight);
   }
   const double scale = max_weight > 0.0 ? 1.0 / max_weight : 1.0;
-  for (const WeightedComparison& c : candidates) {
-    const uint64_t pair = PairKey(c.a, c.b);
-    likelihood_[pair] = c.weight * scale;
-    scheduler.Push(pair, Priority(c.a, c.b, pair, state));
+  std::vector<uint64_t> pairs(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    pairs[i] = PairKey(candidates[i].a, candidates[i].b);
+    likelihood_[pairs[i]] = candidates[i].weight * scale;
+  }
+  // Score the candidates. Safe to fan out: the state is pristine (no match
+  // recorded yet — seeds apply below), so every cluster is a singleton and
+  // Priority() only reads (union-find Find() takes no compression step, the
+  // likelihood/evidence tables are frozen). Scores land in a per-index
+  // array, so the schedule is identical for every thread count.
+  std::vector<double> priorities(candidates.size());
+  const auto score = [&](size_t i) {
+    priorities[i] =
+        Priority(candidates[i].a, candidates[i].b, pairs[i], state);
+  };
+  uint32_t threads = options_.num_threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : options_.num_threads;
+  if (threads > 1 && candidates.size() >= 2048) {
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(candidates.size(), score);
+    } else {
+      ThreadPool pool(threads);
+      pool.ParallelFor(candidates.size(), score);
+    }
+  } else {
+    for (size_t i = 0; i < candidates.size(); ++i) score(i);
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scheduler.Push(pairs[i], priorities[i]);
   }
 
   // Apply warm-start seeds: trusted matches at zero budget cost, propagated

@@ -70,6 +70,11 @@ struct ProgressiveOptions {
   /// instead of executed.
   double staleness_tolerance = 0.25;
   ResolutionMode mode = ResolutionMode::kCleanClean;
+  /// Worker threads for the batch-parallel setup phase (scoring the initial
+  /// candidates against the pristine state); the iterative schedule/match/
+  /// update loop itself is inherently sequential. 1 = inline (default),
+  /// 0 = hardware concurrency. Results are identical for every value.
+  uint32_t num_threads = 1;
 };
 
 /// Outcome of a progressive run.
@@ -88,13 +93,18 @@ struct ProgressiveResult {
   uint64_t scheduler_pushes = 0;
 };
 
+class ThreadPool;
+
 /// Drives the scheduling / matching / update loop over one collection.
 class ProgressiveResolver {
  public:
+  /// `pool` (optional, caller-owned, must outlive the resolver) serves the
+  /// batch-parallel setup phase; without it a transient pool is spawned
+  /// when options.num_threads calls for one.
   ProgressiveResolver(const EntityCollection& collection,
                       const NeighborGraph& graph,
                       const SimilarityEvaluator& evaluator,
-                      ProgressiveOptions options);
+                      ProgressiveOptions options, ThreadPool* pool = nullptr);
 
   /// Resolves from the given initial candidates (meta-blocking output:
   /// weighted comparisons). Weights are normalized to [0, 1] likelihoods.
@@ -123,6 +133,7 @@ class ProgressiveResolver {
   const SimilarityEvaluator* evaluator_;
   ProgressiveOptions options_;
   BenefitEstimator estimator_;
+  ThreadPool* pool_;  // optional, not owned
 
   // Per-run scratch (reset by Resolve).
   std::unordered_map<uint64_t, double> likelihood_;

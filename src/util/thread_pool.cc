@@ -20,6 +20,8 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // A pending exception nobody collected dies with the pool; destructors
+  // must not throw.
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -32,11 +34,25 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr pending;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    pending = std::exchange(first_exception_, nullptr);
+  }
+  if (pending) std::rethrow_exception(pending);
 }
 
 void ThreadPool::WorkerLoop() {
+  // Guarantees the in_flight_ decrement on every path out of a task,
+  // including exceptional ones — otherwise Wait() deadlocks forever.
+  struct TaskGuard {
+    ThreadPool* pool;
+    ~TaskGuard() {
+      std::unique_lock<std::mutex> lock(pool->mu_);
+      if (--pool->in_flight_ == 0) pool->idle_cv_.notify_all();
+    }
+  };
   for (;;) {
     std::function<void()> task;
     {
@@ -49,10 +65,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) idle_cv_.notify_all();
+      TaskGuard guard{this};
+      try {
+        task();
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!first_exception_) first_exception_ = std::current_exception();
+      }
     }
   }
 }

@@ -7,16 +7,19 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace minoan {
 
-/// A minimal fixed-size thread pool. Tasks are void() callables; exceptions
-/// escaping a task terminate the process (library code reports failures via
-/// Status instead of throwing).
+/// A minimal fixed-size thread pool. Tasks are void() callables. An
+/// exception escaping a task is captured (first one wins; later ones are
+/// dropped) and rethrown from the next Wait()/ParallelFor on the submitting
+/// thread; the worker itself survives and keeps serving tasks.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -31,13 +34,16 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any of them raised (if one did).
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
   /// Work is dealt in contiguous chunks to limit scheduling overhead.
+  /// Rethrows the first exception thrown by any iteration (remaining chunks
+  /// still run to completion before the rethrow).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
@@ -50,6 +56,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;   // signals Wait()
   size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_exception_;  // set by workers, drained by Wait()
 };
 
 }  // namespace minoan

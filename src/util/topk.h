@@ -20,7 +20,10 @@ class TopK {
  public:
   explicit TopK(size_t k, Compare cmp = Compare())
       : k_(k), cmp_(std::move(cmp)) {
-    heap_.reserve(k > 0 ? k : 1);
+    // Cap the up-front reservation: k may be huge (e.g. CEP's BC/2) while
+    // the stream is short, and sharded pruning keeps many TopK instances
+    // alive at once.
+    heap_.reserve(std::max<size_t>(1, std::min<size_t>(k, 1024)));
   }
 
   /// Offers one item; keeps it only if it is among the k largest so far.

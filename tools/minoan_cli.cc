@@ -8,7 +8,7 @@
 //       Prints the cloud-structure statistics of the .nt/.ttl files in DIR.
 //
 //   minoan resolve DIR [--threshold F] [--budget N] [--benefit NAME]
-//                  [--seeds] [--out FILE]
+//                  [--seeds] [--threads N] [--out FILE]
 //       Resolves all KBs in DIR and writes discovered owl:sameAs links.
 //       Scores against DIR/ground_truth.tsv when present.
 //
@@ -22,6 +22,7 @@
 // All subcommands are deterministic for a fixed seed.
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -216,6 +217,21 @@ int CmdResolve(const Flags& flags) {
   options.progressive.benefit =
       ParseBenefit(flags.Get("benefit", "coverage"));
   options.use_same_as_seeds = flags.Has("seeds");
+  // --threads N: workflow-wide worker count (0 = hardware concurrency).
+  // Deterministic: the resolution result is identical for every value.
+  const std::string threads_arg = flags.Get("threads", "1");
+  uint64_t threads = 0;
+  const auto [end, ec] = std::from_chars(
+      threads_arg.data(), threads_arg.data() + threads_arg.size(), threads);
+  if (ec != std::errc() || end != threads_arg.data() + threads_arg.size() ||
+      threads > 1024) {
+    std::fprintf(stderr,
+                 "resolve: --threads must be an integer in [0, 1024], "
+                 "got \"%s\"\n",
+                 threads_arg.c_str());
+    return 2;
+  }
+  options.num_threads = static_cast<uint32_t>(threads);
 
   MinoanEr er(options);
   auto report = er.Run(*collection);
@@ -303,7 +319,8 @@ void Usage() {
                "--seed S]\n"
                "  stats DIR\n"
                "  resolve DIR [--threshold F --budget N --benefit "
-               "quantity|attr|coverage|relationship --seeds --out FILE]\n"
+               "quantity|attr|coverage|relationship --seeds --threads N "
+               "--out FILE]\n"
                "  online DIR [--script FILE --threshold F --pis --seeds "
                "--benefit quantity|attr|coverage|relationship]\n");
 }
