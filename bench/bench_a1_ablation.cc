@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     Table t({"evidence_priority", "recall", "precision", "AUC"});
     for (double ep : {0.0, 0.2, 0.4, 0.7, 1.0}) {
       const Scores s =
-          run_with([&](ProgressiveOptions& o) { o.evidence_priority = ep; });
+          run_with([&](ProgressiveOptions& o) { o.evidence.priority = ep; });
       t.AddRow().Cell(ep, 1).Cell(s.recall, 4).Cell(s.precision, 4).Cell(
           s.auc, 4);
     }
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
     Table t({"evidence_weight", "recall", "precision", "AUC"});
     for (double ew : {0.0, 0.15, 0.3, 0.4}) {
       const Scores s =
-          run_with([&](ProgressiveOptions& o) { o.evidence_weight = ew; });
+          run_with([&](ProgressiveOptions& o) { o.evidence.weight = ew; });
       t.AddRow().Cell(ew, 2).Cell(s.recall, 4).Cell(s.precision, 4).Cell(
           s.auc, 4);
     }
@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
     for (uint32_t cap : {2u, 8u, 16u, 64u}) {
       ProgressiveOptions opts;
       opts.matcher.threshold = 0.35;
-      opts.max_neighbors_per_side = cap;
+      opts.evidence.max_neighbors_per_side = cap;
       ProgressiveResolver resolver(*w.collection, *w.graph, *w.evaluator,
                                    opts);
       const ProgressiveResult result = resolver.Resolve(candidates);

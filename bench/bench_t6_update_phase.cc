@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
       opts.matcher.threshold = 0.3;
       // Periphery-tuned evidence: a double-confirmed neighbor pair may
       // clear the threshold even with near-zero profile similarity.
-      opts.evidence_weight = 0.4;
+      opts.evidence.weight = 0.4;
       opts.matcher.budget = budget;
       ProgressiveResolver resolver(*w.collection, *w.graph, *w.evaluator,
                                    opts);

@@ -1,10 +1,11 @@
 // Scenario: pay-as-you-go resolution under a comparison budget.
 //
 // The poster's core interaction model: "this iterative process continues
-// until the cost budget is consumed". This example resolves the same cloud
-// under a series of growing budgets and shows how each benefit model
-// front-loads its target quality aspect — the dashboard a budget-constrained
-// data steward would watch.
+// until the cost budget is consumed". This example drives the Session API
+// the way a budget-constrained data steward would: open one session, buy
+// resolution in installments with Step, and read the quality dashboard
+// after every installment — the work below each row is already banked, and
+// the session can be checkpointed to disk between installments (also shown).
 //
 // Usage:
 //   ./build/examples/progressive_payg [benefit]
@@ -14,16 +15,14 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 
-#include "blocking/blocking_method.h"
+#include "core/session.h"
 #include "datagen/lod_generator.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
 #include "eval/progressive_metrics.h"
 #include "kb/neighbor_graph.h"
-#include "matching/similarity_evaluator.h"
-#include "metablocking/meta_blocking.h"
-#include "progressive/resolver.h"
 #include "util/table.h"
 
 using namespace minoan;  // NOLINT
@@ -64,39 +63,67 @@ int main(int argc, char** argv) {
   }
   EntityCollection collection = std::move(collection_result).value();
   auto truth = GroundTruth::FromCloud(*cloud, collection);
-
-  // Candidate comparisons: token blocking + ECBS/WNP meta-blocking.
-  BlockCollection blocks = TokenBlocking().Build(collection);
-  std::vector<WeightedComparison> candidates =
-      MetaBlocking().Prune(blocks, collection);
   NeighborGraph graph(collection);
-  SimilarityEvaluator evaluator(collection);
-  std::printf("candidate comparisons: %zu (truth pairs: %llu)\n\n",
-              candidates.size(),
+
+  WorkflowOptions options;
+  options.blocker = BlockerChoice::kToken;
+  options.progressive.benefit = benefit;
+  options.progressive.benefit_weight = 2.0;
+  options.progressive.matcher.threshold = 0.35;
+
+  // Dry run to learn the total cost of full resolution, so the installments
+  // below can be phrased as fractions of it. (A real consumer would just
+  // pick absolute installment sizes.)
+  auto probe = ResolutionSession::Open(collection, options);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "%s\n", probe.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t total = probe->Step(0).comparisons;
+  std::printf("candidate comparisons: %llu executed at full budget "
+              "(truth pairs: %llu)\n\n",
+              static_cast<unsigned long long>(total),
               static_cast<unsigned long long>(truth->num_pairs()));
 
-  // One full progressive run; every budget is a prefix of it — exactly how
-  // a pay-as-you-go consumer would stop the process at any point.
-  ProgressiveOptions options;
-  options.benefit = benefit;
-  options.benefit_weight = 2.0;
-  options.matcher.threshold = 0.35;
-  ProgressiveResolver resolver(collection, graph, evaluator, options);
-  const ProgressiveResult full = resolver.Resolve(candidates);
-
+  // The actual pay-as-you-go session: each loop iteration buys resolution
+  // up to the next fraction of the total and evaluates what is banked so
+  // far. Between installments the session round-trips through a checkpoint
+  // buffer — a process restart at any row would lose nothing.
+  auto session = ResolutionSession::Open(collection, options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
   Table table({"budget", "comparisons", "matches", "recall",
                "attr_completeness", "entity_coverage", "rel_completeness"});
   for (double fraction : {0.02, 0.05, 0.10, 0.20, 0.40, 0.70, 1.00}) {
-    const uint64_t budget = static_cast<uint64_t>(
-        fraction * static_cast<double>(full.run.comparisons_executed));
-    const ResolutionRun cut = TruncateRun(full.run, budget);
-    const MatchingMetrics m = EvaluateMatches(cut.matches, *truth);
-    const QualityAspects q =
-        EvaluateQualityAspects(cut, *truth, collection, graph);
+    const uint64_t target =
+        static_cast<uint64_t>(fraction * static_cast<double>(total));
+    if (target > session->comparisons_spent()) {
+      session->Step(target - session->comparisons_spent());
+    }
+
+    std::stringstream state;
+    if (Status st = session->Checkpoint(state); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto restored = ResolutionSession::Restore(collection, options, state);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "%s\n", restored.status().ToString().c_str());
+      return 1;
+    }
+    session = std::move(restored);
+
+    const ResolutionReport report = session->Report();
+    const MatchingMetrics m =
+        EvaluateMatches(report.progressive.run.matches, *truth);
+    const QualityAspects q = EvaluateQualityAspects(
+        report.progressive.run, *truth, collection, graph);
     table.AddRow()
         .Cell(FormatPercent(fraction, 0))
-        .Cell(cut.comparisons_executed)
-        .Cell(static_cast<uint64_t>(cut.matches.size()))
+        .Cell(report.progressive.run.comparisons_executed)
+        .Cell(static_cast<uint64_t>(report.progressive.run.matches.size()))
         .Cell(m.recall, 3)
         .Cell(q.attribute_completeness, 3)
         .Cell(q.entity_coverage, 3)
@@ -104,12 +131,14 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
 
+  const ResolutionReport full = session->Report();
   std::printf("\nupdate phase: %llu pairs discovered beyond blocking, "
               "%llu matches needed neighbor evidence\n",
-              static_cast<unsigned long long>(full.discovered_pairs),
               static_cast<unsigned long long>(
-                  full.evidence_assisted_matches));
-  std::printf("stop anywhere in the table: the work above that row is "
-              "already banked.\n");
+                  full.progressive.discovered_pairs),
+              static_cast<unsigned long long>(
+                  full.progressive.evidence_assisted_matches));
+  std::printf("stop after any installment: the work above that row is "
+              "already banked, and the checkpoint survives restarts.\n");
   return 0;
 }

@@ -3,7 +3,9 @@
 //   1. Get Linked Data into an EntityCollection (here: the bundled
 //      synthetic LOD-cloud generator; see lod_cloud_resolution.cpp for
 //      loading real N-Triples files).
-//   2. Configure a Workflow and run MinoanEr.
+//   2. Open a ResolutionSession and spend the comparison budget in steps
+//      (Step(0) once is the classic one-shot run; MinoanEr::Run is sugar
+//      for exactly that).
 //   3. Inspect the report: per-phase stats, matches, quality.
 //
 // Build & run:  ./build/examples/quickstart
@@ -11,7 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/minoan_er.h"
+#include "core/session.h"
 #include "datagen/lod_generator.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
@@ -40,30 +42,41 @@ int main() {
               collection->num_entities(), collection->num_kbs(),
               static_cast<unsigned long long>(collection->total_triples()));
 
-  // --- 2. Resolve ----------------------------------------------------------
+  // --- 2. Resolve, pay-as-you-go -------------------------------------------
   WorkflowOptions options;
   options.blocker = BlockerChoice::kTokenPlusPis;  // schema-agnostic blocking
   options.meta.weighting = WeightingScheme::kEcbs; // meta-blocking scheme
   options.meta.pruning = PruningScheme::kWnp;
   options.progressive.benefit = BenefitModel::kEntityCoverage;
   options.progressive.matcher.threshold = 0.35;    // match decision
-  options.progressive.matcher.budget = 0;          // 0 = run to completion
+  options.progressive.matcher.budget = 0;          // 0 = no overall cap
 
-  MinoanEr er(options);
-  auto report = er.Run(*collection);
-  if (!report.ok()) {
-    std::fprintf(stderr, "resolve: %s\n", report.status().ToString().c_str());
+  // Open runs the static phases (blocking -> cleaning -> meta-blocking);
+  // each Step then spends part of the comparison budget and streams back
+  // what it found. Stop whenever the matches so far are good enough —
+  // or call Step(0) once for the classic run-to-completion behavior.
+  auto session = ResolutionSession::Open(*collection, options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "open: %s\n", session.status().ToString().c_str());
     return 1;
   }
+  while (!session->finished()) {
+    const StepResult step = session->Step(2000);
+    std::printf("  step: +%llu comparisons -> +%zu matches (%llu total)\n",
+                static_cast<unsigned long long>(step.comparisons),
+                step.matches.size(),
+                static_cast<unsigned long long>(session->matches_found()));
+  }
+  const ResolutionReport report = session->Report();
 
   // --- 3. Results ----------------------------------------------------------
-  std::cout << report->Summary();
+  std::cout << report.Summary();
 
   // The generator ships exhaustive ground truth, so we can score the run.
   auto truth = GroundTruth::FromCloud(*cloud, *collection);
   if (truth.ok()) {
     const MatchingMetrics m =
-        EvaluateMatches(report->progressive.run.matches, *truth);
+        EvaluateMatches(report.progressive.run.matches, *truth);
     std::printf("precision %.3f | recall %.3f | F1 %.3f\n", m.precision,
                 m.recall, m.f1);
   }
@@ -71,7 +84,7 @@ int main() {
   // Print a couple of resolved pairs with their IRIs.
   std::printf("\nsample matches:\n");
   size_t shown = 0;
-  for (const MatchEvent& m : report->progressive.run.matches) {
+  for (const MatchEvent& m : report.progressive.run.matches) {
     std::printf("  %.3f  %s  <->  %s\n", m.similarity,
                 std::string(collection->EntityIri(m.a)).c_str(),
                 std::string(collection->EntityIri(m.b)).c_str());

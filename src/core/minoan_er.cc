@@ -1,14 +1,11 @@
 #include "core/minoan_er.h"
 
-#include <algorithm>
-#include <optional>
+#include <cmath>
 #include <sstream>
-#include <thread>
 
+#include "core/session.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
-#include "util/thread_pool.h"
 
 namespace minoan {
 
@@ -26,29 +23,103 @@ std::string_view BlockerChoiceName(BlockerChoice choice) {
   return "?";
 }
 
-std::unique_ptr<BlockingMethod> MinoanEr::MakeBlocker() const {
-  switch (options_.blocker) {
+namespace {
+
+std::string FormatValue(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Status WorkflowOptions::Validate() const {
+  if (!std::isfinite(filter_ratio) || filter_ratio <= 0.0 ||
+      filter_ratio > 1.0) {
+    return Status::InvalidArgument("filter_ratio must be in (0, 1], got " +
+                                   FormatValue(filter_ratio) +
+                                   " (1 disables filtering)");
+  }
+  constexpr uint32_t kMaxThreads = 1024;
+  if (num_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "num_threads must be in [0, 1024] (0 = hardware concurrency), got " +
+        std::to_string(num_threads));
+  }
+  if (meta.num_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "meta.num_threads must be in [0, 1024], got " +
+        std::to_string(meta.num_threads));
+  }
+  if (progressive.num_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "progressive.num_threads must be in [0, 1024], got " +
+        std::to_string(progressive.num_threads));
+  }
+  const double threshold = progressive.matcher.threshold;
+  if (!std::isfinite(threshold) || threshold < 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument(
+        "progressive.matcher.threshold must be in [0, 1], got " +
+        FormatValue(threshold));
+  }
+  if (!std::isfinite(progressive.benefit_weight) ||
+      progressive.benefit_weight < 0.0) {
+    return Status::InvalidArgument(
+        "progressive.benefit_weight must be >= 0, got " +
+        FormatValue(progressive.benefit_weight));
+  }
+  const EvidenceOptions& ev = progressive.evidence;
+  if (!std::isfinite(ev.increment) || ev.increment < 0.0) {
+    return Status::InvalidArgument("evidence.increment must be >= 0, got " +
+                                   FormatValue(ev.increment));
+  }
+  if (!std::isfinite(ev.weight) || ev.weight < 0.0) {
+    return Status::InvalidArgument("evidence.weight must be >= 0, got " +
+                                   FormatValue(ev.weight));
+  }
+  if (!std::isfinite(ev.priority) || ev.priority < 0.0) {
+    return Status::InvalidArgument("evidence.priority must be >= 0, got " +
+                                   FormatValue(ev.priority));
+  }
+  if (!std::isfinite(ev.staleness_tolerance) || ev.staleness_tolerance < 0.0 ||
+      ev.staleness_tolerance > 1.0) {
+    return Status::InvalidArgument(
+        "evidence.staleness_tolerance must be in [0, 1], got " +
+        FormatValue(ev.staleness_tolerance));
+  }
+  if (!std::isfinite(similarity.tfidf_weight) ||
+      similarity.tfidf_weight < 0.0 || similarity.tfidf_weight > 1.0) {
+    return Status::InvalidArgument(
+        "similarity.tfidf_weight must be in [0, 1], got " +
+        FormatValue(similarity.tfidf_weight));
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<BlockingMethod> MakeWorkflowBlocker(
+    const WorkflowOptions& options) {
+  switch (options.blocker) {
     case BlockerChoice::kToken:
-      return std::make_unique<TokenBlocking>(options_.token_options);
+      return std::make_unique<TokenBlocking>(options.token_options);
     case BlockerChoice::kPis:
-      return std::make_unique<PisBlocking>(options_.pis_options);
+      return std::make_unique<PisBlocking>(options.pis_options);
     case BlockerChoice::kAttributeClustering:
       return std::make_unique<AttributeClusteringBlocking>(
-          options_.attr_options);
+          options.attr_options);
     case BlockerChoice::kTokenPlusPis: {
       std::vector<std::unique_ptr<BlockingMethod>> methods;
       methods.push_back(
-          std::make_unique<TokenBlocking>(options_.token_options));
-      methods.push_back(std::make_unique<PisBlocking>(options_.pis_options));
+          std::make_unique<TokenBlocking>(options.token_options));
+      methods.push_back(std::make_unique<PisBlocking>(options.pis_options));
       return std::make_unique<CompositeBlocking>(std::move(methods));
     }
   }
-  return std::make_unique<TokenBlocking>(options_.token_options);
+  return std::make_unique<TokenBlocking>(options.token_options);
 }
 
 BlockCollection MinoanEr::BuildBlocks(
     const EntityCollection& collection) const {
-  BlockCollection blocks = MakeBlocker()->Build(collection);
+  BlockCollection blocks = MakeWorkflowBlocker(options_)->Build(collection);
   if (options_.auto_purge) {
     AutoPurge(blocks, collection, options_.meta.mode);
   }
@@ -61,99 +132,12 @@ BlockCollection MinoanEr::BuildBlocks(
 
 Result<ResolutionReport> MinoanEr::Run(
     const EntityCollection& collection) const {
-  if (!collection.finalized()) {
-    return Status::FailedPrecondition("collection not finalized");
-  }
-  ResolutionReport report;
-  Stopwatch watch;
-
-  // ---- Blocking + cleaning ----------------------------------------------
-  watch.Restart();
-  BlockCollection raw = MakeBlocker()->Build(collection);
-  report.blocks_built = raw.num_blocks();
-  report.phases.push_back(
-      {"blocking", watch.ElapsedMillis(), report.blocks_built});
-
-  watch.Restart();
-  if (options_.auto_purge) {
-    AutoPurge(raw, collection, options_.meta.mode);
-  }
-  if (options_.filter_ratio > 0.0 && options_.filter_ratio < 1.0) {
-    FilterBlocks(raw, options_.filter_ratio, collection, options_.meta.mode);
-  }
-  report.blocks_after_cleaning = raw.num_blocks();
-  report.comparisons_before_meta =
-      raw.AggregateComparisons(collection, options_.meta.mode);
-  report.phases.push_back(
-      {"block-cleaning", watch.ElapsedMillis(), report.blocks_after_cleaning});
-
-  // Fan the workflow-wide thread count out to phases left at their default.
-  MetaBlockingOptions meta_options = options_.meta;
-  if (options_.num_threads != 1 && meta_options.num_threads == 1) {
-    meta_options.num_threads = options_.num_threads;
-  }
-  ProgressiveOptions progressive_options = options_.progressive;
-  if (options_.num_threads != 1 && progressive_options.num_threads == 1) {
-    progressive_options.num_threads = options_.num_threads;
-  }
-  // One pool serves every parallel phase of this run (thread spawn/join is
-  // per-run overhead, not per-phase). Phases that stay at num_threads == 1
-  // keep running inline — with identical results either way.
-  const auto resolve_threads = [](uint32_t t) {
-    return t == 0 ? std::max(1u, std::thread::hardware_concurrency()) : t;
-  };
-  const uint32_t meta_threads = resolve_threads(meta_options.num_threads);
-  const uint32_t prog_threads =
-      resolve_threads(progressive_options.num_threads);
-  std::optional<ThreadPool> pool;
-  if (std::max(meta_threads, prog_threads) > 1) {
-    pool.emplace(std::max(meta_threads, prog_threads));
-  }
-
-  // ---- Meta-blocking ------------------------------------------------------
-  watch.Restart();
-  std::vector<WeightedComparison> candidates;
-  if (options_.enable_meta_blocking) {
-    MetaBlocking meta(meta_options);
-    candidates = pool && meta_threads > 1
-                     ? meta.Prune(raw, collection, *pool, &report.meta_stats)
-                     : meta.Prune(raw, collection, &report.meta_stats);
-  } else {
-    // Distinct comparisons with CBS weights (no pruning).
-    raw.BuildEntityIndex(collection.num_entities());
-    for (const Comparison& c :
-         raw.DistinctComparisons(collection, options_.meta.mode)) {
-      candidates.push_back({c.a, c.b, 1.0});
-    }
-  }
-  report.comparisons_after_meta = candidates.size();
-  report.phases.push_back(
-      {"meta-blocking", watch.ElapsedMillis(), candidates.size()});
-
-  // ---- Scheduling / Matching / Update loop -------------------------------
-  watch.Restart();
-  const NeighborGraph graph(collection);
-  const SimilarityEvaluator evaluator(collection, options_.similarity);
-  report.phases.push_back(
-      {"graph+evaluator", watch.ElapsedMillis(), graph.num_edges()});
-
-  watch.Restart();
-  ProgressiveResolver resolver(collection, graph, evaluator,
-                               progressive_options,
-                               pool ? &*pool : nullptr);
-  if (options_.use_same_as_seeds && !collection.same_as_links().empty()) {
-    std::vector<Comparison> seeds;
-    seeds.reserve(collection.same_as_links().size());
-    for (const SameAsLink& link : collection.same_as_links()) {
-      seeds.emplace_back(link.a, link.b);
-    }
-    report.progressive = resolver.ResolveWithSeeds(candidates, seeds);
-  } else {
-    report.progressive = resolver.Resolve(candidates);
-  }
-  report.phases.push_back({"progressive-resolution", watch.ElapsedMillis(),
-                           report.progressive.run.matches.size()});
-
+  // The one-shot workflow is a degenerate session: open, spend the whole
+  // budget in one step, assemble the report.
+  MINOAN_ASSIGN_OR_RETURN(ResolutionSession session,
+                          ResolutionSession::Open(collection, options_));
+  session.Step(0);
+  ResolutionReport report = session.Report();
   MINOAN_LOG(kInfo) << "MinoanER run: " << report.progressive.run.matches.size()
                     << " matches in "
                     << report.progressive.run.comparisons_executed

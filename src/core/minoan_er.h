@@ -47,7 +47,8 @@ struct WorkflowOptions {
 
   /// Block cleaning between blocking and meta-blocking.
   bool auto_purge = true;
-  /// Block-filtering ratio in (0,1]; >= 1 disables.
+  /// Block-filtering ratio in (0, 1]; exactly 1 disables filtering.
+  /// Values outside (0, 1] are rejected by Validate().
   double filter_ratio = 0.8;
 
   bool enable_meta_blocking = true;
@@ -67,7 +68,17 @@ struct WorkflowOptions {
   /// concurrency. Every phase is deterministic in the thread count, so the
   /// report is identical for every value.
   uint32_t num_threads = 1;
+
+  /// Range-checks every knob and returns the first violation with a
+  /// specific message (e.g. "filter_ratio must be in (0, 1], got -2").
+  /// Called by ResolutionSession::Open and the CLI; library users building
+  /// options programmatically should call it too.
+  Status Validate() const;
 };
+
+/// Instantiates the configured blocking method(s) for one workflow run.
+std::unique_ptr<BlockingMethod> MakeWorkflowBlocker(
+    const WorkflowOptions& options);
 
 /// Wall-time and cardinality accounting per pipeline phase.
 struct PhaseStats {
@@ -90,7 +101,10 @@ struct ResolutionReport {
   std::string Summary() const;
 };
 
-/// The pipeline driver. Reusable across collections; stateless between runs.
+/// The one-shot pipeline driver: a thin wrapper over ResolutionSession
+/// (Open + Step to exhaustion + Report). Reusable across collections;
+/// stateless between runs. For budgeted stepping, streaming output, or
+/// checkpoint/restore, use ResolutionSession (core/session.h) directly.
 class MinoanEr {
  public:
   explicit MinoanEr(WorkflowOptions options) : options_(options) {}
@@ -105,7 +119,6 @@ class MinoanEr {
   const WorkflowOptions& options() const { return options_; }
 
  private:
-  std::unique_ptr<BlockingMethod> MakeBlocker() const;
   WorkflowOptions options_;
 };
 

@@ -37,7 +37,7 @@ OnlineResolver::OnlineResolver(OnlineOptions options)
     : options_(options),
       coll_(options.collection),
       index_(options.blocking),
-      estimator_(options.benefit, options.max_neighbors_per_side),
+      estimator_(options.benefit, options.evidence.max_neighbors_per_side),
       state_(std::make_unique<ResolutionState>(coll_.collection(), nullptr)) {
   // Relationship-aware benefit models read neighbors from the growable
   // adjacency (there is no frozen NeighborGraph in online mode).
@@ -48,7 +48,7 @@ OnlineResolver::OnlineResolver(OnlineOptions options, EntityCollection&& warm)
     : options_(options),
       coll_(std::move(warm)),
       index_(options.blocking),
-      estimator_(options.benefit, options.max_neighbors_per_side),
+      estimator_(options.benefit, options.evidence.max_neighbors_per_side),
       state_(std::make_unique<ResolutionState>(coll_.collection(), nullptr)) {
   state_->SetDynamicNeighbors(&neighbors_);
   const uint32_t n = coll_.num_entities();
@@ -131,7 +131,7 @@ void OnlineResolver::ConsumeSameAsSeeds() {
 double OnlineResolver::Likelihood(const PairState& ps) const {
   if (ps.evidence <= 0.0) return ps.likelihood;
   return ps.likelihood +
-         options_.evidence_priority * std::min(1.0, ps.evidence);
+         options_.evidence.priority * std::min(1.0, ps.evidence);
 }
 
 double OnlineResolver::Priority(EntityId a, EntityId b,
@@ -159,7 +159,7 @@ double OnlineResolver::ProfileSimilarity(EntityId a, EntityId b) const {
 
 double OnlineResolver::EvidenceBonus(const PairState& ps) const {
   if (ps.evidence <= 0.0) return 0.0;
-  return options_.evidence_weight * std::min(1.0, ps.evidence);
+  return options_.evidence.weight * std::min(1.0, ps.evidence);
 }
 
 bool OnlineResolver::ExecuteComparison(uint64_t pair) {
@@ -190,9 +190,9 @@ void OnlineResolver::UpdatePhase(EntityId a, EntityId b) {
   const auto& na = neighbors_[a];
   const auto& nb = neighbors_[b];
   const size_t la =
-      std::min<size_t>(na.size(), options_.max_neighbors_per_side);
+      std::min<size_t>(na.size(), options_.evidence.max_neighbors_per_side);
   const size_t lb =
-      std::min<size_t>(nb.size(), options_.max_neighbors_per_side);
+      std::min<size_t>(nb.size(), options_.evidence.max_neighbors_per_side);
   const bool clean = options_.blocking.mode == ResolutionMode::kCleanClean;
   for (size_t i = 0; i < la; ++i) {
     for (size_t j = 0; j < lb; ++j) {
@@ -205,7 +205,7 @@ void OnlineResolver::UpdatePhase(EntityId a, EntityId b) {
       bool first_sighting = false;
       PairState& ps = PairRef(pair, &first_sighting);
       if (ps.executed) continue;
-      ps.evidence += options_.evidence_increment;
+      ps.evidence += options_.evidence.increment;
       if (first_sighting) ++discovered_pairs_;
       scheduler_.Push(pair, Priority(x, y, ps));
     }
@@ -214,29 +214,23 @@ void OnlineResolver::UpdatePhase(EntityId a, EntityId b) {
 
 OnlineStepResult OnlineResolver::ResolveBudget(uint64_t max_comparisons) {
   OnlineStepResult out;
+  // A zero budget spends nothing (the shared core treats 0 as "uncapped").
+  if (max_comparisons == 0) return out;
   const size_t match_mark = run_.matches.size();
-  uint64_t pair = 0;
-  double popped_priority = 0.0;
-  while (out.comparisons < max_comparisons) {
-    if (!scheduler_.Pop(pair, popped_priority)) {
-      out.exhausted = true;
-      break;
-    }
-    const auto it = pairs_.find(pair);
-    if (it == pairs_.end() || it->second.executed) continue;
-    const EntityId a = PairKeyFirst(pair);
-    const EntityId b = PairKeySecond(pair);
-    // Staleness rule, as in the batch resolver: re-queue entries whose
-    // priority has drifted down since they were pushed.
-    const double current = Priority(a, b, it->second);
-    if (current + 1e-12 <
-        popped_priority * (1.0 - options_.staleness_tolerance)) {
-      scheduler_.Push(pair, current);
-      continue;
-    }
-    ExecuteComparison(pair);
-    ++out.comparisons;
-  }
+  out = RunScheduledComparisons(
+      scheduler_, max_comparisons, options_.evidence.staleness_tolerance,
+      /*should_stop=*/[] { return false; },
+      /*already_executed=*/
+      [&](uint64_t pair) {
+        const auto it = pairs_.find(pair);
+        return it == pairs_.end() || it->second.executed;
+      },
+      /*current_priority=*/
+      [&](EntityId a, EntityId b, uint64_t pair) {
+        return Priority(a, b, pairs_.find(pair)->second);
+      },
+      /*execute=*/
+      [&](uint64_t pair, EntityId, EntityId) { ExecuteComparison(pair); });
   out.matches.assign(run_.matches.begin() + match_mark, run_.matches.end());
   return out;
 }

@@ -39,8 +39,10 @@
 #include "online/incremental_block_index.h"
 #include "online/incremental_collection.h"
 #include "progressive/benefit.h"
+#include "progressive/evidence_options.h"
 #include "progressive/scheduler.h"
 #include "progressive/state.h"
+#include "progressive/step_core.h"
 #include "util/status.h"
 
 namespace minoan {
@@ -57,26 +59,15 @@ struct OnlineOptions {
   SimilarityOptions similarity;
   BenefitModel benefit = BenefitModel::kQuantity;
   double benefit_weight = 1.0;
-  /// Evidence knobs, as in ProgressiveOptions.
-  double evidence_increment = 0.5;
-  double evidence_weight = 0.3;
-  double evidence_priority = 0.4;
-  uint32_t max_neighbors_per_side = 16;
-  double staleness_tolerance = 0.25;
+  /// Evidence-propagation knobs, shared with ProgressiveOptions.
+  EvidenceOptions evidence;
   /// Treat ingested owl:sameAs links as trusted zero-cost matches.
   bool use_same_as_seeds = false;
 };
 
-/// Outcome of one ResolveBudget call.
-struct OnlineStepResult {
-  /// Comparisons executed by THIS call.
-  uint64_t comparisons = 0;
-  /// Matches confirmed by this call (comparisons_done stamps are cumulative
-  /// across the session).
-  std::vector<MatchEvent> matches;
-  /// True when the queue drained before the budget was spent.
-  bool exhausted = false;
-};
+/// Outcome of one ResolveBudget call — the same pay-as-you-go currency the
+/// batch ResolutionSession returns from Step.
+using OnlineStepResult = ::minoan::StepResult;
 
 /// One ranked candidate returned by Query.
 struct QueryCandidate {

@@ -1,0 +1,40 @@
+// Copyright 2026 The MinoanER Authors.
+// Evidence-propagation knobs shared by every progressive driver.
+//
+// The batch ProgressiveResolver and the online OnlineResolver run the same
+// schedule/match/update loop; these five knobs govern how neighbor evidence
+// from confirmed matches feeds back into similarity and scheduling. They
+// used to be duplicated field-by-field in ProgressiveOptions and
+// OnlineOptions — one struct keeps the defaults (and their calibration
+// rationale) in a single place.
+
+#ifndef MINOAN_PROGRESSIVE_EVIDENCE_OPTIONS_H_
+#define MINOAN_PROGRESSIVE_EVIDENCE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace minoan {
+
+/// How neighbor evidence accumulates and influences matching + scheduling.
+struct EvidenceOptions {
+  /// Evidence added to a neighbor pair per confirming match.
+  double increment = 0.5;
+  /// Similarity bonus: sim' = sim + weight · min(1, evidence).
+  /// Keep below the match threshold so evidence complements weak profile
+  /// signal instead of fabricating matches from nothing.
+  double weight = 0.3;
+  /// Priority contribution of evidence for scheduling. Calibrated so that
+  /// update-discovered pairs slot behind strong blocking candidates but
+  /// ahead of weak ones (1.0 would let them preempt the best candidates and
+  /// flatten the early recall curve).
+  double priority = 0.4;
+  /// Fan-out cap: neighbors considered per side during an update.
+  uint32_t max_neighbors_per_side = 16;
+  /// Tolerated relative priority drift before a popped entry is re-queued
+  /// instead of executed.
+  double staleness_tolerance = 0.25;
+};
+
+}  // namespace minoan
+
+#endif  // MINOAN_PROGRESSIVE_EVIDENCE_OPTIONS_H_

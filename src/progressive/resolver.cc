@@ -6,10 +6,18 @@
 
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/serde.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace minoan {
+
+namespace {
+
+/// Format tag of the serialized loop state; bump on layout changes.
+constexpr std::string_view kStateMagic = "MNER-PROG-v1";
+
+}  // namespace
 
 ProgressiveResolver::ProgressiveResolver(const EntityCollection& collection,
                                          const NeighborGraph& graph,
@@ -20,7 +28,7 @@ ProgressiveResolver::ProgressiveResolver(const EntityCollection& collection,
       graph_(&graph),
       evaluator_(&evaluator),
       options_(options),
-      estimator_(options.benefit, options.max_neighbors_per_side),
+      estimator_(options.benefit, options.evidence.max_neighbors_per_side),
       pool_(pool) {}
 
 double ProgressiveResolver::Likelihood(uint64_t pair) const {
@@ -28,7 +36,7 @@ double ProgressiveResolver::Likelihood(uint64_t pair) const {
   const double base = it == likelihood_.end() ? 0.0 : it->second;
   const auto ev = evidence_.find(pair);
   if (ev == evidence_.end()) return base;
-  return base + options_.evidence_priority * std::min(1.0, ev->second);
+  return base + options_.evidence.priority * std::min(1.0, ev->second);
 }
 
 double ProgressiveResolver::Priority(EntityId a, EntityId b, uint64_t pair,
@@ -38,12 +46,7 @@ double ProgressiveResolver::Priority(EntityId a, EntityId b, uint64_t pair,
          (1.0 + options_.benefit_weight * benefit);
 }
 
-ProgressiveResult ProgressiveResolver::Resolve(
-    const std::vector<WeightedComparison>& candidates) {
-  return ResolveWithSeeds(candidates, {});
-}
-
-ProgressiveResult ProgressiveResolver::ResolveWithSeeds(
+void ProgressiveResolver::Begin(
     const std::vector<WeightedComparison>& candidates,
     const std::vector<Comparison>& seeds) {
   likelihood_.clear();
@@ -51,10 +54,12 @@ ProgressiveResult ProgressiveResolver::ResolveWithSeeds(
   executed_.clear();
   likelihood_.reserve(candidates.size() * 2);
   executed_.reserve(candidates.size() * 2);
-
-  ProgressiveResult result;
-  ResolutionState state(*collection_, graph_);
-  ComparisonScheduler scheduler;
+  scheduler_ = ComparisonScheduler();
+  result_ = ProgressiveResult();
+  seeds_.clear();
+  cumulative_benefit_ = 0.0;
+  exhausted_ = false;
+  state_ = std::make_unique<ResolutionState>(*collection_, graph_);
 
   // Normalize blocking-graph weights into [0, 1] likelihoods.
   double max_weight = 0.0;
@@ -75,7 +80,7 @@ ProgressiveResult ProgressiveResolver::ResolveWithSeeds(
   std::vector<double> priorities(candidates.size());
   const auto score = [&](size_t i) {
     priorities[i] =
-        Priority(candidates[i].a, candidates[i].b, pairs[i], state);
+        Priority(candidates[i].a, candidates[i].b, pairs[i], *state_);
   };
   uint32_t threads = options_.num_threads == 0
                          ? std::max(1u, std::thread::hardware_concurrency())
@@ -91,90 +96,133 @@ ProgressiveResult ProgressiveResolver::ResolveWithSeeds(
     for (size_t i = 0; i < candidates.size(); ++i) score(i);
   }
   for (size_t i = 0; i < candidates.size(); ++i) {
-    scheduler.Push(pairs[i], priorities[i]);
+    scheduler_.Push(pairs[i], priorities[i]);
   }
 
   // Apply warm-start seeds: trusted matches at zero budget cost, propagated
-  // so their neighborhoods get evidence before anything is compared.
+  // so their neighborhoods get evidence before anything is compared. Only
+  // the seeds actually applied are retained, so a state replay on restore
+  // issues the identical RecordMatch sequence.
   for (const Comparison& seed : seeds) {
     const uint64_t pair = PairKey(seed.a, seed.b);
     if (!executed_.insert(pair).second) continue;
-    scheduler.Erase(pair);
-    state.RecordMatch(seed.a, seed.b);
+    seeds_.push_back(seed);
+    scheduler_.Erase(pair);
+    state_->RecordMatch(seed.a, seed.b);
     if (options_.enable_update_phase) {
-      UpdatePhase(seed.a, seed.b, state, scheduler, result);
+      UpdatePhase(seed.a, seed.b);
     }
   }
-
-  double cumulative_benefit = 0.0;
-  const uint64_t budget = options_.matcher.budget;
-  const Stopwatch watch;
-  uint64_t pair = 0;
-  double popped_priority = 0.0;
-  while ((budget == 0 || result.run.comparisons_executed < budget) &&
-         (options_.budget_millis == 0 ||
-          watch.ElapsedMillis() <
-              static_cast<double>(options_.budget_millis)) &&
-         scheduler.Pop(pair, popped_priority)) {
-    const EntityId a = PairKeyFirst(pair);
-    const EntityId b = PairKeySecond(pair);
-    if (executed_.count(pair)) continue;
-
-    // Benefit drift: the state may have changed since this entry was
-    // pushed. Re-queue significantly stale entries instead of executing.
-    const double current = Priority(a, b, pair, state);
-    if (current + 1e-12 <
-        popped_priority * (1.0 - options_.staleness_tolerance)) {
-      scheduler.Push(pair, current);
-      continue;
-    }
-
-    // ---- Matching phase -------------------------------------------------
-    executed_.insert(pair);
-    ++result.run.comparisons_executed;
-    const double profile_sim = evaluator_->Similarity(a, b);
-    const auto ev = evidence_.find(pair);
-    const double bonus =
-        ev == evidence_.end()
-            ? 0.0
-            : options_.evidence_weight * std::min(1.0, ev->second);
-    const double sim = profile_sim + bonus;
-    if (sim < options_.matcher.threshold) continue;
-
-    // ---- Confirmed match ------------------------------------------------
-    const double realized = estimator_.RealizedBenefit(a, b, state);
-    state.RecordMatch(a, b);
-    cumulative_benefit += realized;
-    result.run.matches.push_back(
-        MatchEvent{result.run.comparisons_executed, a, b, sim});
-    result.benefit_trace.push_back(cumulative_benefit);
-    if (profile_sim < options_.matcher.threshold) {
-      ++result.evidence_assisted_matches;
-    }
-    if (likelihood_.find(pair) == likelihood_.end()) {
-      ++result.discovered_matches;
-    }
-
-    // ---- Update phase ---------------------------------------------------
-    if (options_.enable_update_phase) {
-      UpdatePhase(a, b, state, scheduler, result);
-    }
-  }
-
-  result.scheduler_pushes = scheduler.total_pushes();
-  return result;
+  result_.scheduler_pushes = scheduler_.total_pushes();
+  begun_ = true;
 }
 
-void ProgressiveResolver::UpdatePhase(EntityId a, EntityId b,
-                                      ResolutionState& state,
-                                      ComparisonScheduler& scheduler,
-                                      ProgressiveResult& result) {
+StepResult ProgressiveResolver::Step(uint64_t max_comparisons) {
+  StepResult out;
+  if (!begun_ || exhausted_) {
+    out.exhausted = exhausted_;
+    return out;
+  }
+  const size_t match_mark = result_.run.matches.size();
+  const uint64_t budget = options_.matcher.budget;
+  const Stopwatch watch;
+  const StepResult stats = RunScheduledComparisons(
+      scheduler_, max_comparisons, options_.evidence.staleness_tolerance,
+      /*should_stop=*/
+      [&] {
+        if (budget != 0 && result_.run.comparisons_executed >= budget) {
+          return true;
+        }
+        return options_.budget_millis != 0 &&
+               watch.ElapsedMillis() >=
+                   static_cast<double>(options_.budget_millis);
+      },
+      /*already_executed=*/
+      [&](uint64_t pair) { return executed_.count(pair) > 0; },
+      /*current_priority=*/
+      [&](EntityId a, EntityId b, uint64_t pair) {
+        return Priority(a, b, pair, *state_);
+      },
+      /*execute=*/
+      [&](uint64_t pair, EntityId a, EntityId b) {
+        ExecuteComparison(pair, a, b);
+      });
+  out.comparisons = stats.comparisons;
+  out.exhausted = stats.exhausted;
+  exhausted_ = stats.exhausted;
+  out.matches.assign(result_.run.matches.begin() + match_mark,
+                     result_.run.matches.end());
+  result_.scheduler_pushes = scheduler_.total_pushes();
+  return out;
+}
+
+void ProgressiveResolver::ExecuteComparison(uint64_t pair, EntityId a,
+                                            EntityId b) {
+  // ---- Matching phase -----------------------------------------------------
+  executed_.insert(pair);
+  ++result_.run.comparisons_executed;
+  const double profile_sim = evaluator_->Similarity(a, b);
+  const auto ev = evidence_.find(pair);
+  const double bonus =
+      ev == evidence_.end()
+          ? 0.0
+          : options_.evidence.weight * std::min(1.0, ev->second);
+  const double sim = profile_sim + bonus;
+  if (sim < options_.matcher.threshold) return;
+
+  // ---- Confirmed match ----------------------------------------------------
+  const double realized = estimator_.RealizedBenefit(a, b, *state_);
+  state_->RecordMatch(a, b);
+  cumulative_benefit_ += realized;
+  result_.run.matches.push_back(
+      MatchEvent{result_.run.comparisons_executed, a, b, sim});
+  result_.benefit_trace.push_back(cumulative_benefit_);
+  if (profile_sim < options_.matcher.threshold) {
+    ++result_.evidence_assisted_matches;
+  }
+  if (likelihood_.find(pair) == likelihood_.end()) {
+    ++result_.discovered_matches;
+  }
+  if (on_match_) on_match_(result_.run.matches.back());
+
+  // ---- Update phase -------------------------------------------------------
+  if (options_.enable_update_phase) {
+    UpdatePhase(a, b);
+  }
+}
+
+ProgressiveResult ProgressiveResolver::Resolve(
+    const std::vector<WeightedComparison>& candidates) {
+  return ResolveWithSeeds(candidates, {});
+}
+
+ProgressiveResult ProgressiveResolver::ResolveWithSeeds(
+    const std::vector<WeightedComparison>& candidates,
+    const std::vector<Comparison>& seeds) {
+  Begin(candidates, seeds);
+  Step(0);
+  ProgressiveResult out = std::move(result_);
+  // One-shot semantics: the run is over, so drop the loop state instead of
+  // carrying O(candidates) of scratch until the next Begin (pre-refactor
+  // these were function locals freed on return).
+  begun_ = false;
+  likelihood_ = {};
+  evidence_ = {};
+  executed_ = {};
+  scheduler_ = ComparisonScheduler();
+  state_.reset();
+  seeds_.clear();
+  result_ = ProgressiveResult();
+  return out;
+}
+
+void ProgressiveResolver::UpdatePhase(EntityId a, EntityId b) {
   const auto na = graph_->Neighbors(a);
   const auto nb = graph_->Neighbors(b);
   const size_t la =
-      std::min<size_t>(na.size(), options_.max_neighbors_per_side);
+      std::min<size_t>(na.size(), options_.evidence.max_neighbors_per_side);
   const size_t lb =
-      std::min<size_t>(nb.size(), options_.max_neighbors_per_side);
+      std::min<size_t>(nb.size(), options_.evidence.max_neighbors_per_side);
   const bool clean = options_.mode == ResolutionMode::kCleanClean;
   for (size_t i = 0; i < la; ++i) {
     for (size_t j = 0; j < lb; ++j) {
@@ -184,20 +232,227 @@ void ProgressiveResolver::UpdatePhase(EntityId a, EntityId b,
       if (clean && !collection_->CrossKb(x, y)) continue;
       const uint64_t pair = PairKey(x, y);
       if (executed_.count(pair)) continue;
-      if (state.SameCluster(x, y)) continue;
+      if (state_->SameCluster(x, y)) continue;
       // Accumulate similarity evidence: the matched pair (a, b) vouches for
       // its aligned neighbors.
       double& ev = evidence_[pair];
       const bool first_sighting =
           ev == 0.0 && likelihood_.find(pair) == likelihood_.end();
-      ev += options_.evidence_increment;
+      ev += options_.evidence.increment;
       if (first_sighting) {
         // A candidate blocking never produced: discovered via the graph.
-        ++result.discovered_pairs;
+        ++result_.discovered_pairs;
       }
-      scheduler.Push(pair, Priority(x, y, pair, state));
+      scheduler_.Push(pair, Priority(x, y, pair, *state_));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Writes an unordered (pair -> double) map in canonical ascending-key order.
+void WritePairDoubleMap(std::ostream& out,
+                        const std::unordered_map<uint64_t, double>& map) {
+  std::vector<std::pair<uint64_t, double>> entries(map.begin(), map.end());
+  std::sort(entries.begin(), entries.end());
+  serde::WriteU64(out, entries.size());
+  for (const auto& [pair, value] : entries) {
+    serde::WriteU64(out, pair);
+    serde::WriteDouble(out, value);
+  }
+}
+
+/// Reserve clamp for count fields read from an untrusted checkpoint: a
+/// corrupt 64-bit count must not trigger a giant upfront allocation (the
+/// element-read loop then fails fast at the real end of the stream).
+constexpr uint64_t kMaxUpfrontReserve = 1 << 20;
+
+/// `pair` must decode to two valid entity ids; anything else is a corrupt
+/// or hostile checkpoint and would index out of bounds once stepped on.
+bool ValidPairKey(uint64_t pair, uint32_t num_entities) {
+  return PairKeyFirst(pair) < num_entities &&
+         PairKeySecond(pair) < num_entities;
+}
+
+bool ReadPairDoubleMap(std::istream& in, uint32_t num_entities,
+                       std::unordered_map<uint64_t, double>& map) {
+  uint64_t n;
+  if (!serde::ReadU64(in, n)) return false;
+  map.clear();
+  map.reserve(std::min(n, kMaxUpfrontReserve) * 2);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t pair;
+    double value;
+    if (!serde::ReadU64(in, pair) || !serde::ReadDouble(in, value) ||
+        !ValidPairKey(pair, num_entities)) {
+      return false;
+    }
+    map.emplace(pair, value);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ProgressiveResolver::SaveState(std::ostream& out) const {
+  if (!begun_) {
+    return Status::FailedPrecondition(
+        "no active resolution to save (call Begin first)");
+  }
+  serde::WriteString(out, kStateMagic);
+  WritePairDoubleMap(out, likelihood_);
+  WritePairDoubleMap(out, evidence_);
+
+  std::vector<uint64_t> executed(executed_.begin(), executed_.end());
+  std::sort(executed.begin(), executed.end());
+  serde::WriteU64(out, executed.size());
+  for (const uint64_t pair : executed) serde::WriteU64(out, pair);
+
+  const auto live = scheduler_.LiveEntries();
+  serde::WriteU64(out, live.size());
+  for (const auto& [pair, priority] : live) {
+    serde::WriteU64(out, pair);
+    serde::WriteDouble(out, priority);
+  }
+  serde::WriteU64(out, scheduler_.total_pushes());
+
+  serde::WriteU64(out, seeds_.size());
+  for (const Comparison& seed : seeds_) {
+    serde::WriteU32(out, seed.a);
+    serde::WriteU32(out, seed.b);
+  }
+
+  serde::WriteU64(out, result_.run.comparisons_executed);
+  serde::WriteU64(out, result_.run.matches.size());
+  for (const MatchEvent& m : result_.run.matches) {
+    serde::WriteU64(out, m.comparisons_done);
+    serde::WriteU32(out, m.a);
+    serde::WriteU32(out, m.b);
+    serde::WriteDouble(out, m.similarity);
+  }
+  serde::WriteU64(out, result_.benefit_trace.size());
+  for (const double v : result_.benefit_trace) serde::WriteDouble(out, v);
+  serde::WriteU64(out, result_.discovered_pairs);
+  serde::WriteU64(out, result_.discovered_matches);
+  serde::WriteU64(out, result_.evidence_assisted_matches);
+  serde::WriteDouble(out, cumulative_benefit_);
+  serde::WriteU8(out, exhausted_ ? 1 : 0);
+  if (!out) return Status::IoError("checkpoint write failed");
+  return Status::Ok();
+}
+
+Status ProgressiveResolver::LoadState(std::istream& in) {
+  const auto truncated = [] {
+    return Status::ParseError("truncated or corrupt resolver state");
+  };
+  const uint32_t num_entities = collection_->num_entities();
+  std::string magic;
+  if (!serde::ReadString(in, magic, kStateMagic.size())) return truncated();
+  if (magic != kStateMagic) {
+    return Status::ParseError("bad resolver-state magic: \"" + magic + "\"");
+  }
+  if (!ReadPairDoubleMap(in, num_entities, likelihood_)) return truncated();
+  if (!ReadPairDoubleMap(in, num_entities, evidence_)) return truncated();
+
+  uint64_t n_executed;
+  if (!serde::ReadU64(in, n_executed)) return truncated();
+  executed_.clear();
+  executed_.reserve(std::min(n_executed, kMaxUpfrontReserve) * 2);
+  for (uint64_t i = 0; i < n_executed; ++i) {
+    uint64_t pair;
+    if (!serde::ReadU64(in, pair) || !ValidPairKey(pair, num_entities)) {
+      return truncated();
+    }
+    executed_.insert(pair);
+  }
+
+  uint64_t n_live;
+  if (!serde::ReadU64(in, n_live)) return truncated();
+  std::vector<std::pair<uint64_t, double>> live;
+  live.reserve(std::min(n_live, kMaxUpfrontReserve));
+  for (uint64_t i = 0; i < n_live; ++i) {
+    uint64_t pair;
+    double priority;
+    if (!serde::ReadU64(in, pair) || !serde::ReadDouble(in, priority) ||
+        !ValidPairKey(pair, num_entities)) {
+      return truncated();
+    }
+    live.emplace_back(pair, priority);
+  }
+  uint64_t total_pushes;
+  if (!serde::ReadU64(in, total_pushes)) return truncated();
+
+  uint64_t n_seeds;
+  if (!serde::ReadU64(in, n_seeds)) return truncated();
+  seeds_.clear();
+  seeds_.reserve(std::min(n_seeds, kMaxUpfrontReserve));
+  for (uint64_t i = 0; i < n_seeds; ++i) {
+    uint32_t a, b;
+    if (!serde::ReadU32(in, a) || !serde::ReadU32(in, b)) return truncated();
+    if (a >= num_entities || b >= num_entities) {
+      return Status::ParseError("seed entity id out of range");
+    }
+    seeds_.emplace_back(a, b);
+  }
+
+  ProgressiveResult result;
+  uint64_t n_matches;
+  if (!serde::ReadU64(in, result.run.comparisons_executed) ||
+      !serde::ReadU64(in, n_matches)) {
+    return truncated();
+  }
+  result.run.matches.reserve(std::min(n_matches, kMaxUpfrontReserve));
+  for (uint64_t i = 0; i < n_matches; ++i) {
+    MatchEvent m;
+    if (!serde::ReadU64(in, m.comparisons_done) || !serde::ReadU32(in, m.a) ||
+        !serde::ReadU32(in, m.b) || !serde::ReadDouble(in, m.similarity)) {
+      return truncated();
+    }
+    if (m.a >= num_entities || m.b >= num_entities) {
+      return Status::ParseError("match entity id out of range");
+    }
+    result.run.matches.push_back(m);
+  }
+  uint64_t n_trace;
+  if (!serde::ReadU64(in, n_trace)) return truncated();
+  if (n_trace != n_matches) {
+    return Status::ParseError("benefit trace length mismatch");
+  }
+  result.benefit_trace.resize(n_trace);
+  for (uint64_t i = 0; i < n_trace; ++i) {
+    if (!serde::ReadDouble(in, result.benefit_trace[i])) return truncated();
+  }
+  double cumulative_benefit;
+  uint8_t exhausted;
+  if (!serde::ReadU64(in, result.discovered_pairs) ||
+      !serde::ReadU64(in, result.discovered_matches) ||
+      !serde::ReadU64(in, result.evidence_assisted_matches) ||
+      !serde::ReadDouble(in, cumulative_benefit) ||
+      !serde::ReadU8(in, exhausted)) {
+    return truncated();
+  }
+
+  // Rebuild the mutable cluster state by replaying the recorded matches:
+  // RecordMatch is deterministic in call order, so the union-find layout and
+  // cluster profiles come out identical to the uninterrupted run's.
+  state_ = std::make_unique<ResolutionState>(*collection_, graph_);
+  for (const Comparison& seed : seeds_) {
+    state_->RecordMatch(seed.a, seed.b);
+  }
+  for (const MatchEvent& m : result.run.matches) {
+    state_->RecordMatch(m.a, m.b);
+  }
+  scheduler_.RestoreFrom(live, total_pushes);
+  result.scheduler_pushes = total_pushes;
+  result_ = std::move(result);
+  cumulative_benefit_ = cumulative_benefit;
+  exhausted_ = exhausted != 0;
+  begun_ = true;
+  return Status::Ok();
 }
 
 }  // namespace minoan

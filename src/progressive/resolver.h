@@ -19,11 +19,23 @@
 //   Budget:      "this iterative process continues until the cost budget is
 //                consumed" — the budget is a comparison count (similarity
 //                evaluations), the standard cost unit of progressive ER.
+//
+// The resolver is a stateful begin/step core: Begin() ingests the candidate
+// schedule, Step(n) spends up to n more comparisons, and the loop state
+// (scheduler, evidence, partial clusters) persists between calls, so
+// Step(n/2) twice is byte-identical to Step(n). The legacy run-to-completion
+// Resolve()/ResolveWithSeeds() are thin wrappers, and SaveState/LoadState
+// round-trip the loop state for checkpointable sessions
+// (core/session.h).
 
 #ifndef MINOAN_PROGRESSIVE_RESOLVER_H_
 #define MINOAN_PROGRESSIVE_RESOLVER_H_
 
 #include <cstdint>
+#include <functional>
+#include <istream>
+#include <memory>
+#include <ostream>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -34,8 +46,11 @@
 #include "matching/similarity_evaluator.h"
 #include "metablocking/meta_blocking_types.h"
 #include "progressive/benefit.h"
+#include "progressive/evidence_options.h"
 #include "progressive/scheduler.h"
 #include "progressive/state.h"
+#include "progressive/step_core.h"
+#include "util/status.h"
 
 namespace minoan {
 
@@ -50,25 +65,12 @@ struct ProgressiveOptions {
   /// Optional wall-clock budget in milliseconds (0 = unlimited); whichever
   /// of the two budgets is hit first ends the run. Comparison counts are
   /// the reproducible unit; wall time is for latency-bound deployments.
+  /// In step mode, bounds each Step call.
   uint64_t budget_millis = 0;
   /// Master switch of the update phase (T6 ablation).
   bool enable_update_phase = true;
-  /// Evidence added to a neighbor pair per confirming match.
-  double evidence_increment = 0.5;
-  /// Similarity bonus: sim' = sim + evidence_weight · min(1, evidence).
-  /// Keep below the match threshold so evidence complements weak profile
-  /// signal instead of fabricating matches from nothing.
-  double evidence_weight = 0.3;
-  /// Priority contribution of evidence for scheduling. Calibrated so that
-  /// update-discovered pairs slot behind strong blocking candidates but
-  /// ahead of weak ones (1.0 would let them preempt the best candidates and
-  /// flatten the early recall curve).
-  double evidence_priority = 0.4;
-  /// Fan-out cap: neighbors considered per side during an update.
-  uint32_t max_neighbors_per_side = 16;
-  /// Tolerated relative priority drift before a popped entry is re-queued
-  /// instead of executed.
-  double staleness_tolerance = 0.25;
+  /// Evidence-propagation knobs, shared with the online engine.
+  EvidenceOptions evidence;
   ResolutionMode mode = ResolutionMode::kCleanClean;
   /// Worker threads for the batch-parallel setup phase (scoring the initial
   /// candidates against the pristine state); the iterative schedule/match/
@@ -98,6 +100,10 @@ class ThreadPool;
 /// Drives the scheduling / matching / update loop over one collection.
 class ProgressiveResolver {
  public:
+  /// Streaming sink for confirmed matches (invoked in discovery order,
+  /// synchronously from within Step).
+  using MatchCallback = std::function<void(const MatchEvent&)>;
+
   /// `pool` (optional, caller-owned, must outlive the resolver) serves the
   /// batch-parallel setup phase; without it a transient pool is spawned
   /// when options.num_threads calls for one.
@@ -106,8 +112,56 @@ class ProgressiveResolver {
                       const SimilarityEvaluator& evaluator,
                       ProgressiveOptions options, ThreadPool* pool = nullptr);
 
-  /// Resolves from the given initial candidates (meta-blocking output:
-  /// weighted comparisons). Weights are normalized to [0, 1] likelihoods.
+  // --- Stateful pay-as-you-go interface -----------------------------------
+
+  /// Initializes a resolution from the given candidates (meta-blocking
+  /// output: weighted comparisons; weights are normalized to [0, 1]
+  /// likelihoods) plus optional warm-start seeds (see ResolveWithSeeds).
+  /// Resets any previous run.
+  void Begin(const std::vector<WeightedComparison>& candidates,
+             const std::vector<Comparison>& seeds = {});
+
+  /// Spends up to `max_comparisons` more comparisons (0 = until the overall
+  /// options budget or the queue is exhausted). Resumable: Step(n/2) twice
+  /// executes the byte-identical schedule as Step(n) once.
+  StepResult Step(uint64_t max_comparisons);
+
+  /// True after Begin/LoadState, until the result is taken by Resolve.
+  bool begun() const { return begun_; }
+  /// True once the schedule drained (further Steps are no-ops).
+  bool exhausted() const { return exhausted_; }
+  /// True once the overall options budget (matcher.budget, if any) is
+  /// spent. Distinct from exhausted(): the queue may still hold work.
+  bool budget_spent() const {
+    return options_.matcher.budget != 0 &&
+           result_.run.comparisons_executed >= options_.matcher.budget;
+  }
+  /// Nothing left to spend: queue drained OR overall budget consumed.
+  /// The correct condition for "keep stepping" loops.
+  bool finished() const { return exhausted_ || budget_spent(); }
+  /// Cumulative outcome of every Step so far.
+  const ProgressiveResult& result() const { return result_; }
+
+  /// Installs (or clears) the streaming match sink.
+  void set_match_callback(MatchCallback callback) {
+    on_match_ = std::move(callback);
+  }
+
+  // --- Checkpoint / restore ------------------------------------------------
+
+  /// Serializes the complete loop state (schedule, evidence, executed set,
+  /// partial result). Requires an active run (Begin was called). The
+  /// collection/graph/evaluator are NOT serialized — a restoring process
+  /// rebuilds them deterministically and calls LoadState.
+  Status SaveState(std::ostream& out) const;
+
+  /// Restores the loop state saved by SaveState against the same collection;
+  /// stepping then continues exactly where the saved run left off.
+  Status LoadState(std::istream& in);
+
+  // --- Legacy run-to-completion interface ----------------------------------
+
+  /// Resolves from the given initial candidates: Begin + Step to exhaustion.
   ProgressiveResult Resolve(const std::vector<WeightedComparison>& candidates);
 
   /// Warm start: `seeds` are trusted equivalences known before matching —
@@ -125,8 +179,8 @@ class ProgressiveResolver {
   double Likelihood(uint64_t pair) const;
   double Priority(EntityId a, EntityId b, uint64_t pair,
                   ResolutionState& state) const;
-  void UpdatePhase(EntityId a, EntityId b, ResolutionState& state,
-                   ComparisonScheduler& scheduler, ProgressiveResult& result);
+  void ExecuteComparison(uint64_t pair, EntityId a, EntityId b);
+  void UpdatePhase(EntityId a, EntityId b);
 
   const EntityCollection* collection_;
   const NeighborGraph* graph_;
@@ -134,11 +188,21 @@ class ProgressiveResolver {
   ProgressiveOptions options_;
   BenefitEstimator estimator_;
   ThreadPool* pool_;  // optional, not owned
+  MatchCallback on_match_;
 
-  // Per-run scratch (reset by Resolve).
+  // Loop state (reset by Begin, serialized by SaveState).
   std::unordered_map<uint64_t, double> likelihood_;
   std::unordered_map<uint64_t, double> evidence_;
   std::unordered_set<uint64_t> executed_;
+  std::unique_ptr<ResolutionState> state_;
+  ComparisonScheduler scheduler_;
+  ProgressiveResult result_;
+  /// Seeds actually applied by Begin (deduplicated), kept for state replay
+  /// on restore.
+  std::vector<Comparison> seeds_;
+  double cumulative_benefit_ = 0.0;
+  bool begun_ = false;
+  bool exhausted_ = false;
 };
 
 }  // namespace minoan

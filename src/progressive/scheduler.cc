@@ -1,5 +1,7 @@
 #include "progressive/scheduler.h"
 
+#include <algorithm>
+
 namespace minoan {
 
 void ComparisonScheduler::Push(uint64_t pair, double priority) {
@@ -23,6 +25,31 @@ bool ComparisonScheduler::Pop(uint64_t& pair, double& priority) {
     return true;
   }
   return false;
+}
+
+std::vector<std::pair<uint64_t, double>> ComparisonScheduler::LiveEntries()
+    const {
+  std::vector<std::pair<uint64_t, double>> entries;
+  entries.reserve(versions_.size());
+  for (const auto& [pair, live] : versions_) {
+    entries.emplace_back(pair, live.priority);
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+void ComparisonScheduler::RestoreFrom(
+    const std::vector<std::pair<uint64_t, double>>& entries,
+    uint64_t total_pushes) {
+  heap_ = {};
+  versions_.clear();
+  next_version_ = 0;
+  for (const auto& [pair, priority] : entries) {
+    const uint64_t version = ++next_version_;
+    versions_[pair] = Live{version, priority};
+    heap_.push(Entry{priority, pair, version});
+  }
+  total_pushes_ = total_pushes;
 }
 
 double ComparisonScheduler::PriorityOf(uint64_t pair) const {

@@ -44,6 +44,17 @@ class ComparisonScheduler {
   /// entries die lazily.
   void Erase(uint64_t pair) { versions_.erase(pair); }
 
+  /// Live (pair, priority) entries in canonical (ascending pair) order —
+  /// the checkpointable essence of the schedule. Pop order depends only on
+  /// (priority, pair), so a scheduler rebuilt from this list pops the exact
+  /// same sequence as the original, even though version stamps differ.
+  std::vector<std::pair<uint64_t, double>> LiveEntries() const;
+
+  /// Resets to exactly `entries` live pairs (one heap entry each) and
+  /// restores the push counter, completing a checkpoint round trip.
+  void RestoreFrom(const std::vector<std::pair<uint64_t, double>>& entries,
+                   uint64_t total_pushes);
+
  private:
   struct Entry {
     double priority;

@@ -208,7 +208,7 @@ TEST(SeededResolveTest, SeedsImproveRecallOfRemainingPairs) {
   }
   ProgressiveOptions opts;
   opts.matcher.threshold = 0.3;
-  opts.evidence_weight = 0.4;
+  opts.evidence.weight = 0.4;
   ProgressiveResolver resolver(*w.collection, *w.graph, *w.evaluator, opts);
   const ProgressiveResult cold = resolver.Resolve(w.candidates);
   const ProgressiveResult warm =

@@ -8,9 +8,22 @@
 //       Prints the cloud-structure statistics of the .nt/.ttl files in DIR.
 //
 //   minoan resolve DIR [--threshold F] [--budget N] [--benefit NAME]
-//                  [--seeds] [--threads N] [--out FILE]
+//                  [--seeds] [--threads N] [--filter-ratio F] [--out FILE]
+//                  [--step-budget N] [--stream]
 //       Resolves all KBs in DIR and writes discovered owl:sameAs links.
-//       Scores against DIR/ground_truth.tsv when present.
+//       Scores against DIR/ground_truth.tsv when present. With
+//       --step-budget N the comparison budget is spent in increments of N
+//       through the pay-as-you-go Session API (identical results); with
+//       --stream every confirmed match is printed as it is discovered.
+//
+//   minoan session checkpoint DIR --state FILE [--step-budget N] [opts]
+//   minoan session resume     DIR --state FILE [--step-budget N] [opts]
+//       Budgeted resolution that survives process restarts: `checkpoint`
+//       opens a session, spends --step-budget comparisons, and saves the
+//       loop state to FILE; `resume` restores it (same DIR and options
+//       required), spends the next increment, and re-saves — repeat until
+//       the queue drains, at which point the final report prints. The match
+//       sequence is byte-identical to one uninterrupted run.
 //
 //   minoan online DIR [--script FILE] [--threshold F] [--pis] [--seeds]
 //                 [--benefit NAME]
@@ -24,6 +37,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -31,10 +45,12 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/minoan_er.h"
 #include "core/online_session.h"
+#include "core/session.h"
 #include "datagen/lod_generator.h"
 #include "eval/cluster_metrics.h"
 #include "eval/ground_truth.h"
@@ -63,7 +79,10 @@ class Flags {
       const size_t eq = arg.find('=');
       if (eq != std::string::npos) {
         values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) !=
+                                     0) {
+        // Everything up to the next --flag is this flag's value; a single
+        // leading dash is allowed so negative numbers parse as values.
         values_[arg] = argv[++i];
       } else {
         values_[arg] = "true";
@@ -75,13 +94,34 @@ class Flags {
     auto it = values_.find(name);
     return it == values_.end() ? fallback : it->second;
   }
+  /// Numeric accessors exit with a specific message on malformed input
+  /// (never throw): "--threshold abc" is a usage error, not a crash.
   double GetDouble(const std::string& name, double fallback) const {
     auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr, "error: --%s expects a number, got \"%s\"\n",
+                   name.c_str(), it->second.c_str());
+      std::exit(2);
+    }
+    return v;
   }
   uint64_t GetInt(const std::string& name, uint64_t fallback) const {
     auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::stoull(it->second);
+    if (it == values_.end()) return fallback;
+    uint64_t v = 0;
+    const char* begin = it->second.data();
+    const char* end = begin + it->second.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc() || ptr != end) {
+      std::fprintf(stderr,
+                   "error: --%s expects a non-negative integer, got \"%s\"\n",
+                   name.c_str(), it->second.c_str());
+      std::exit(2);
+    }
+    return v;
   }
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
   const std::vector<std::string>& positional() const { return positional_; }
@@ -202,21 +242,18 @@ BenefitModel ParseBenefit(const std::string& name) {
   return BenefitModel::kEntityCoverage;
 }
 
-int CmdResolve(const Flags& flags) {
-  if (flags.positional().empty()) {
-    std::fprintf(stderr, "resolve requires a directory\n");
-    return 2;
-  }
-  const std::string dir = flags.positional()[0];
-  auto collection = LoadDirectory(dir);
-  if (!collection.ok()) return Fail(collection.status());
-
+/// Workflow options shared by `resolve` and `session`; exits via non-OK
+/// Status on invalid flag values (specific message, non-zero exit code).
+Result<WorkflowOptions> ParseWorkflowOptions(const std::string& verb,
+                                             const Flags& flags) {
   WorkflowOptions options;
   options.progressive.matcher.threshold = flags.GetDouble("threshold", 0.35);
   options.progressive.matcher.budget = flags.GetInt("budget", 0);
   options.progressive.benefit =
       ParseBenefit(flags.Get("benefit", "coverage"));
   options.use_same_as_seeds = flags.Has("seeds");
+  options.filter_ratio =
+      flags.GetDouble("filter-ratio", options.filter_ratio);
   // --threads N: workflow-wide worker count (0 = hardware concurrency).
   // Deterministic: the resolution result is identical for every value.
   const std::string threads_arg = flags.Get("threads", "1");
@@ -225,27 +262,56 @@ int CmdResolve(const Flags& flags) {
       threads_arg.data(), threads_arg.data() + threads_arg.size(), threads);
   if (ec != std::errc() || end != threads_arg.data() + threads_arg.size() ||
       threads > 1024) {
-    std::fprintf(stderr,
-                 "resolve: --threads must be an integer in [0, 1024], "
-                 "got \"%s\"\n",
-                 threads_arg.c_str());
-    return 2;
+    return Status::InvalidArgument(verb +
+                                   ": --threads must be an integer in "
+                                   "[0, 1024], got \"" +
+                                   threads_arg + "\"");
   }
   options.num_threads = static_cast<uint32_t>(threads);
+  if (Status st = options.Validate(); !st.ok()) {
+    return Status(st.code(), verb + ": " + st.message());
+  }
+  return options;
+}
 
-  MinoanEr er(options);
-  auto report = er.Run(*collection);
-  if (!report.ok()) return Fail(report.status());
-  std::cout << report->Summary();
+/// --stream sink: prints every confirmed match the moment it lands.
+class StreamingObserver : public MatchObserver {
+ public:
+  explicit StreamingObserver(const EntityCollection& collection)
+      : collection_(&collection) {}
+
+  void OnPhase(const PhaseStats& phase) override {
+    std::printf("phase %-22s %10.2f ms  %llu\n", phase.name.c_str(),
+                phase.millis,
+                static_cast<unsigned long long>(phase.output_cardinality));
+  }
+
+  void OnMatch(const MatchEvent& event) override {
+    std::printf("match @%-8llu %.3f  %s  <->  %s\n",
+                static_cast<unsigned long long>(event.comparisons_done),
+                event.similarity,
+                std::string(collection_->EntityIri(event.a)).c_str(),
+                std::string(collection_->EntityIri(event.b)).c_str());
+  }
+
+ private:
+  const EntityCollection* collection_;
+};
+
+/// Shared tail of `resolve` and `session resume`: summary, scoring against
+/// ground truth when present, and the discovered-links file.
+int ReportAndWriteLinks(const std::string& dir, const Flags& flags,
+                        const EntityCollection& collection,
+                        const ResolutionReport& report) {
+  std::cout << report.Summary();
 
   const std::string truth_path = dir + "/ground_truth.tsv";
   if (std::filesystem::exists(truth_path)) {
-    auto truth = GroundTruth::FromTsv(truth_path, *collection);
+    auto truth = GroundTruth::FromTsv(truth_path, collection);
     if (truth.ok()) {
       const MatchingMetrics m =
-          EvaluateMatches(report->progressive.run.matches, *truth);
-      const ClusterMetrics c =
-          EvaluateClusters(report->progressive.run, *truth);
+          EvaluateMatches(report.progressive.run.matches, *truth);
+      const ClusterMetrics c = EvaluateClusters(report.progressive.run, *truth);
       std::printf("pairs:   precision %.4f recall %.4f F1 %.4f\n",
                   m.precision, m.recall, m.f1);
       std::printf("b-cubed: precision %.4f recall %.4f F1 %.4f\n",
@@ -255,16 +321,117 @@ int CmdResolve(const Flags& flags) {
 
   const std::string out = flags.Get("out", "discovered_links.nt");
   const auto links =
-      UniqueMappingClustering(report->progressive.run.matches, *collection);
+      UniqueMappingClustering(report.progressive.run.matches, collection);
   std::ofstream stream(out);
   if (!stream) return Fail(Status::IoError("cannot write " + out));
   rdf::NTriplesWriter writer(stream);
   for (const MatchEvent& m : links) {
-    writer.Write({rdf::Term::Iri(std::string(collection->EntityIri(m.a))),
+    writer.Write({rdf::Term::Iri(std::string(collection.EntityIri(m.a))),
                   rdf::Term::Iri(std::string(rdf::kOwlSameAs)),
-                  rdf::Term::Iri(std::string(collection->EntityIri(m.b)))});
+                  rdf::Term::Iri(std::string(collection.EntityIri(m.b)))});
   }
   std::printf("wrote %zu links to %s\n", links.size(), out.c_str());
+  return 0;
+}
+
+int CmdResolve(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "resolve requires a directory\n");
+    return 2;
+  }
+  const std::string dir = flags.positional()[0];
+  auto options = ParseWorkflowOptions("resolve", flags);
+  if (!options.ok()) return Fail(options.status());
+  auto collection = LoadDirectory(dir);
+  if (!collection.ok()) return Fail(collection.status());
+
+  StreamingObserver streamer(*collection);
+  MatchObserver* observer = flags.Has("stream") ? &streamer : nullptr;
+  auto session = ResolutionSession::Open(*collection, *options, observer);
+  if (!session.ok()) return Fail(session.status());
+
+  const uint64_t step_budget = flags.GetInt("step-budget", 0);
+  if (step_budget == 0) {
+    session->Step(0);
+  } else {
+    // Pay-as-you-go: spend the budget in increments. Byte-identical to the
+    // one-shot run — the table below is the same either way. finished()
+    // also covers the overall --budget cap (which is not exhaustion).
+    uint32_t steps = 0;
+    while (!session->finished()) {
+      const StepResult step = session->Step(step_budget);
+      ++steps;
+      std::printf("step %-4u +%llu comparisons, +%zu matches "
+                  "(%llu / %llu total)\n",
+                  steps, static_cast<unsigned long long>(step.comparisons),
+                  step.matches.size(),
+                  static_cast<unsigned long long>(
+                      session->comparisons_spent()),
+                  static_cast<unsigned long long>(session->matches_found()));
+    }
+  }
+  return ReportAndWriteLinks(dir, flags, *collection,
+                             session->Report());
+}
+
+int CmdSession(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "usage: minoan session checkpoint|resume DIR --state FILE "
+                 "[--step-budget N] [resolve options]\n");
+    return 2;
+  }
+  const std::string verb = flags.positional()[0];
+  const std::string dir = flags.positional()[1];
+  const std::string state_path = flags.Get("state", "");
+  if (state_path.empty()) {
+    std::fprintf(stderr, "session %s requires --state FILE\n", verb.c_str());
+    return 2;
+  }
+  if (verb != "checkpoint" && verb != "resume") {
+    std::fprintf(stderr, "unknown session verb: %s\n", verb.c_str());
+    return 2;
+  }
+  auto options = ParseWorkflowOptions("session " + verb, flags);
+  if (!options.ok()) return Fail(options.status());
+  auto collection = LoadDirectory(dir);
+  if (!collection.ok()) return Fail(collection.status());
+
+  StreamingObserver streamer(*collection);
+  MatchObserver* observer = flags.Has("stream") ? &streamer : nullptr;
+
+  Result<ResolutionSession> session = Status::Internal("unset");
+  if (verb == "checkpoint") {
+    session = ResolutionSession::Open(*collection, *options, observer);
+  } else {
+    std::ifstream in(state_path, std::ios::binary);
+    if (!in) return Fail(Status::IoError("cannot read " + state_path));
+    session = ResolutionSession::Restore(*collection, *options, in, observer);
+  }
+  if (!session.ok()) return Fail(session.status());
+
+  const uint64_t step_budget = flags.GetInt("step-budget", 10000);
+  const StepResult step = session->Step(step_budget);
+  std::printf("spent %llu comparisons, +%zu matches "
+              "(%llu comparisons, %llu matches total)\n",
+              static_cast<unsigned long long>(step.comparisons),
+              step.matches.size(),
+              static_cast<unsigned long long>(session->comparisons_spent()),
+              static_cast<unsigned long long>(session->matches_found()));
+
+  if (session->finished()) {
+    std::printf("%s; final report:\n", session->exhausted()
+                                           ? "queue drained"
+                                           : "workflow budget consumed");
+    return ReportAndWriteLinks(dir, flags, *collection, session->Report());
+  }
+  std::ofstream out(state_path, std::ios::binary | std::ios::trunc);
+  if (!out) return Fail(Status::IoError("cannot write " + state_path));
+  if (Status st = session->Checkpoint(out); !st.ok()) return Fail(st);
+  out.close();
+  std::printf("session state saved to %s — continue with:\n"
+              "  minoan session resume %s --state %s\n",
+              state_path.c_str(), dir.c_str(), state_path.c_str());
   return 0;
 }
 
@@ -320,7 +487,9 @@ void Usage() {
                "  stats DIR\n"
                "  resolve DIR [--threshold F --budget N --benefit "
                "quantity|attr|coverage|relationship --seeds --threads N "
-               "--out FILE]\n"
+               "--filter-ratio F --step-budget N --stream --out FILE]\n"
+               "  session checkpoint|resume DIR --state FILE "
+               "[--step-budget N + resolve options]\n"
                "  online DIR [--script FILE --threshold F --pis --seeds "
                "--benefit quantity|attr|coverage|relationship]\n");
 }
@@ -336,6 +505,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "generate") == 0) return CmdGenerate(flags);
   if (std::strcmp(argv[1], "stats") == 0) return CmdStats(flags);
   if (std::strcmp(argv[1], "resolve") == 0) return CmdResolve(flags);
+  if (std::strcmp(argv[1], "session") == 0) return CmdSession(flags);
   if (std::strcmp(argv[1], "online") == 0) return CmdOnline(flags);
   Usage();
   return 2;
