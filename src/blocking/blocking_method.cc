@@ -1,8 +1,10 @@
 #include "blocking/blocking_method.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 
+#include "blocking/sharded_blocking.h"
 #include "rdf/iri.h"
 #include "text/similarity.h"
 #include "util/logging.h"
@@ -34,23 +36,32 @@ class DisjointSets {
   std::vector<uint32_t> parent_;
 };
 
+uint64_t HashU32(const uint32_t& v) { return v; }
+uint64_t HashU64(const uint64_t& v) { return v; }
+uint64_t HashString(const std::string& s) { return Fnv1a64(s); }
+
 }  // namespace
 
-BlockCollection TokenBlocking::Build(
-    const EntityCollection& collection) const {
-  // Inverted index: token -> entities containing it (unique per entity).
-  std::vector<std::vector<EntityId>> postings(collection.tokens().size());
-  for (const EntityDescription& desc : collection.entities()) {
-    for (uint32_t tok : desc.tokens) postings[tok].push_back(desc.id);
-  }
+BlockCollection TokenBlocking::Build(const EntityCollection& collection,
+                                     ThreadPool* pool) const {
+  // Inverted index: token -> entities containing it (unique per entity),
+  // built per entity chunk and merged canonically — ascending token id,
+  // exactly the order the sequential postings array produced.
+  auto postings = BuildShardedPostings<uint32_t>(
+      collection.num_entities(), pool,
+      [&collection](EntityId e, std::vector<uint32_t>& keys) {
+        const EntityDescription& desc = collection.entity(e);
+        keys.insert(keys.end(), desc.tokens.begin(), desc.tokens.end());
+      },
+      HashU32);
   const uint64_t df_cap = static_cast<uint64_t>(
       options_.max_df_fraction * collection.num_entities());
   BlockCollection out;
-  for (uint32_t tok = 0; tok < postings.size(); ++tok) {
-    auto& list = postings[tok];
-    if (list.size() < options_.min_df) continue;
-    if (df_cap > 0 && list.size() > df_cap) continue;
-    out.AddBlock(collection.tokens().View(tok), std::move(list));
+  for (auto& posting : postings) {
+    if (posting.entities.size() < options_.min_df) continue;
+    if (df_cap > 0 && posting.entities.size() > df_cap) continue;
+    out.AddBlock(collection.tokens().View(posting.key),
+                 std::move(posting.entities));
   }
   return out;
 }
@@ -75,30 +86,36 @@ void AppendPisKeys(const PisBlocking::Options& options,
   }
 }
 
-BlockCollection PisBlocking::Build(const EntityCollection& collection) const {
-  std::unordered_map<std::string, std::vector<EntityId>> keyed;
-  std::vector<std::string> keys;
-  std::vector<std::string> token_scratch;
-  for (const EntityDescription& desc : collection.entities()) {
-    keys.clear();
-    AppendPisKeys(options_, collection.tokenizer(),
-                  collection.iris().View(desc.iri), keys, token_scratch);
-    for (const std::string& key : keys) keyed[key].push_back(desc.id);
-  }
+BlockCollection PisBlocking::Build(const EntityCollection& collection,
+                                   ThreadPool* pool) const {
+  // Per-entity key emission can repeat a key (suffix tokens); size filters
+  // see the raw emission count, AddBlock dedups — both as before. Emission
+  // order is canonical (sorted keys) for every thread count.
+  auto postings = BuildShardedPostings<std::string>(
+      collection.num_entities(), pool,
+      [this, &collection](EntityId e, std::vector<std::string>& keys) {
+        thread_local std::vector<std::string> token_scratch;
+        AppendPisKeys(options_, collection.tokenizer(),
+                      collection.iris().View(collection.entity(e).iri), keys,
+                      token_scratch);
+      },
+      HashString);
   BlockCollection out;
-  for (auto& [key, entities] : keyed) {
-    if (entities.size() < options_.min_block_size) continue;
-    if (entities.size() > options_.max_block_size) continue;
-    out.AddBlock(key, std::move(entities));
+  for (auto& posting : postings) {
+    if (posting.entities.size() < options_.min_block_size) continue;
+    if (posting.entities.size() > options_.max_block_size) continue;
+    out.AddBlock(posting.key, std::move(posting.entities));
   }
   return out;
 }
 
 std::vector<uint32_t> AttributeClusteringBlocking::ClusterPredicates(
-    const EntityCollection& collection) const {
+    const EntityCollection& collection, ThreadPool* pool) const {
   const uint32_t num_preds = collection.predicates().size();
   // Profile each predicate by the (sorted unique, capped) token ids of its
-  // values across all entities.
+  // values across all entities. Sequential: the per-predicate cap keeps
+  // tokens in first-scan order, which chunked merging cannot reproduce
+  // cheaply — and the pass is linear anyway.
   std::vector<std::vector<uint32_t>> profile(num_preds);
   std::vector<std::string> scratch;
   for (const EntityDescription& desc : collection.entities()) {
@@ -117,17 +134,30 @@ std::vector<uint32_t> AttributeClusteringBlocking::ClusterPredicates(
   for (auto& prof : profile) SortUnique(prof);
 
   // Link predicates whose vocabularies overlap; transitive closure via
-  // union-find. Unprofiled (relation-only) predicates join the glue cluster.
+  // union-find. The O(P^2) Jaccard pass fans out over fixed predicate
+  // chunks; links are collected per chunk and union-ed in the sequential
+  // (p asc, q asc) order, so the closure is identical at every thread
+  // count. Unprofiled (relation-only) predicates join the glue cluster.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> chunk_links(
+      NumChunks(num_preds, kBlockingChunkEntities));
+  RunChunkedTasks(
+      pool, num_preds, kBlockingChunkEntities,
+      [&](size_t c, size_t begin, size_t end) {
+        for (uint32_t p = static_cast<uint32_t>(begin);
+             p < static_cast<uint32_t>(end); ++p) {
+          if (profile[p].empty()) continue;
+          for (uint32_t q = p + 1; q < num_preds; ++q) {
+            if (profile[q].empty()) continue;
+            if (JaccardSimilarity(profile[p], profile[q]) >=
+                options_.link_threshold) {
+              chunk_links[c].emplace_back(p, q);
+            }
+          }
+        }
+      });
   DisjointSets sets(num_preds);
-  for (uint32_t p = 0; p < num_preds; ++p) {
-    if (profile[p].empty()) continue;
-    for (uint32_t q = p + 1; q < num_preds; ++q) {
-      if (profile[q].empty()) continue;
-      if (JaccardSimilarity(profile[p], profile[q]) >=
-          options_.link_threshold) {
-        sets.Union(p, q);
-      }
-    }
+  for (const auto& links : chunk_links) {
+    for (const auto& [p, q] : links) sets.Union(p, q);
   }
   // Densify cluster ids: cluster 0 is the glue cluster for predicates whose
   // singleton vocabulary linked to nothing (they still deserve blocks —
@@ -149,51 +179,51 @@ std::vector<uint32_t> AttributeClusteringBlocking::ClusterPredicates(
 }
 
 BlockCollection AttributeClusteringBlocking::Build(
-    const EntityCollection& collection) const {
-  const std::vector<uint32_t> cluster = ClusterPredicates(collection);
-  // Token blocking keyed by (cluster, token).
-  std::unordered_map<uint64_t, std::vector<EntityId>> keyed;
-  std::vector<std::string> scratch;
-  std::vector<uint64_t> entity_keys;
-  for (const EntityDescription& desc : collection.entities()) {
-    entity_keys.clear();
-    for (const Attribute& attr : desc.attributes) {
-      const uint64_t c = cluster[attr.predicate];
-      scratch.clear();
-      collection.tokenizer().Tokenize(collection.values().View(attr.value),
-                                      scratch);
-      for (const std::string& tok : scratch) {
-        const uint32_t id = collection.tokens().Find(tok);
-        if (id != kInternNotFound) {
-          entity_keys.push_back((c << 32) | id);
+    const EntityCollection& collection, ThreadPool* pool) const {
+  const std::vector<uint32_t> cluster = ClusterPredicates(collection, pool);
+  // Token blocking keyed by (cluster, token), in canonical ascending key
+  // order. Per-entity keys are deduplicated before emission, as before.
+  auto postings = BuildShardedPostings<uint64_t>(
+      collection.num_entities(), pool,
+      [&collection, &cluster](EntityId e, std::vector<uint64_t>& keys) {
+        thread_local std::vector<std::string> scratch;
+        const EntityDescription& desc = collection.entity(e);
+        for (const Attribute& attr : desc.attributes) {
+          const uint64_t c = cluster[attr.predicate];
+          scratch.clear();
+          collection.tokenizer().Tokenize(
+              collection.values().View(attr.value), scratch);
+          for (const std::string& tok : scratch) {
+            const uint32_t id = collection.tokens().Find(tok);
+            if (id != kInternNotFound) {
+              keys.push_back((c << 32) | id);
+            }
+          }
         }
-      }
-    }
-    std::sort(entity_keys.begin(), entity_keys.end());
-    entity_keys.erase(std::unique(entity_keys.begin(), entity_keys.end()),
-                      entity_keys.end());
-    for (uint64_t key : entity_keys) keyed[key].push_back(desc.id);
-  }
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      },
+      HashU64);
   const uint64_t df_cap = static_cast<uint64_t>(
       options_.max_df_fraction * collection.num_entities());
   BlockCollection out;
-  for (auto& [key, entities] : keyed) {
-    if (entities.size() < options_.min_df) continue;
-    if (df_cap > 0 && entities.size() > df_cap) continue;
-    const uint32_t c = static_cast<uint32_t>(key >> 32);
-    const uint32_t tok = static_cast<uint32_t>(key & 0xffffffffULL);
+  for (auto& posting : postings) {
+    if (posting.entities.size() < options_.min_df) continue;
+    if (df_cap > 0 && posting.entities.size() > df_cap) continue;
+    const uint32_t c = static_cast<uint32_t>(posting.key >> 32);
+    const uint32_t tok = static_cast<uint32_t>(posting.key & 0xffffffffULL);
     std::string key_str = "c" + std::to_string(c) + ":" +
                           std::string(collection.tokens().View(tok));
-    out.AddBlock(key_str, std::move(entities));
+    out.AddBlock(key_str, std::move(posting.entities));
   }
   return out;
 }
 
-BlockCollection CompositeBlocking::Build(
-    const EntityCollection& collection) const {
+BlockCollection CompositeBlocking::Build(const EntityCollection& collection,
+                                         ThreadPool* pool) const {
   BlockCollection out;
   for (const auto& method : methods_) {
-    BlockCollection part = method->Build(collection);
+    BlockCollection part = method->Build(collection, pool);
     for (const Block& b : part.blocks()) {
       std::string key = std::string(method->name()) + ":" +
                         std::string(part.KeyString(b.key));

@@ -13,7 +13,15 @@
 
 namespace minoan {
 
+class ThreadPool;
+
 /// Abstract blocking method: entity collection in, block collection out.
+///
+/// Every concrete method runs on the deterministic sharded-postings core
+/// (blocking/sharded_blocking.h): pass a pool and index construction fans
+/// out over fixed entity chunks; pass nullptr and the same code runs inline.
+/// The block output — keys, entity lists, and emission order — is
+/// bit-identical for every thread count.
 class BlockingMethod {
  public:
   virtual ~BlockingMethod() = default;
@@ -21,8 +29,15 @@ class BlockingMethod {
   /// Human-readable method name for reports ("token", "pis", ...).
   virtual std::string_view name() const = 0;
 
-  /// Builds blocks over all entities of `collection`.
-  virtual BlockCollection Build(const EntityCollection& collection) const = 0;
+  /// Builds blocks over all entities of `collection`. `pool` (caller-owned,
+  /// may be nullptr) parallelizes index construction with identical output.
+  virtual BlockCollection Build(const EntityCollection& collection,
+                                ThreadPool* pool) const = 0;
+
+  /// Sequential convenience spelling of Build(collection, nullptr).
+  BlockCollection Build(const EntityCollection& collection) const {
+    return Build(collection, nullptr);
+  }
 };
 
 /// Token blocking: one block per distinct token appearing in >= 2
@@ -42,7 +57,9 @@ class TokenBlocking : public BlockingMethod {
   TokenBlocking() : options_{} {}
   explicit TokenBlocking(Options options) : options_(options) {}
   std::string_view name() const override { return "token"; }
-  BlockCollection Build(const EntityCollection& collection) const override;
+  using BlockingMethod::Build;
+  BlockCollection Build(const EntityCollection& collection,
+                        ThreadPool* pool) const override;
 
  private:
   Options options_;
@@ -66,7 +83,9 @@ class PisBlocking : public BlockingMethod {
   PisBlocking() : options_{} {}
   explicit PisBlocking(Options options) : options_(options) {}
   std::string_view name() const override { return "pis"; }
-  BlockCollection Build(const EntityCollection& collection) const override;
+  using BlockingMethod::Build;
+  BlockCollection Build(const EntityCollection& collection,
+                        ThreadPool* pool) const override;
 
  private:
   Options options_;
@@ -92,11 +111,15 @@ class AttributeClusteringBlocking : public BlockingMethod {
   AttributeClusteringBlocking() : options_{} {}
   explicit AttributeClusteringBlocking(Options options) : options_(options) {}
   std::string_view name() const override { return "attr-cluster"; }
-  BlockCollection Build(const EntityCollection& collection) const override;
+  using BlockingMethod::Build;
+  BlockCollection Build(const EntityCollection& collection,
+                        ThreadPool* pool) const override;
 
-  /// Exposed for tests: computes the predicate→cluster assignment.
-  std::vector<uint32_t> ClusterPredicates(
-      const EntityCollection& collection) const;
+  /// Exposed for tests: computes the predicate→cluster assignment. The
+  /// pairwise vocabulary-linking pass runs on `pool` when given (identical
+  /// clusters either way).
+  std::vector<uint32_t> ClusterPredicates(const EntityCollection& collection,
+                                          ThreadPool* pool = nullptr) const;
 
  private:
   Options options_;
@@ -120,7 +143,9 @@ class CompositeBlocking : public BlockingMethod {
       std::vector<std::unique_ptr<BlockingMethod>> methods)
       : methods_(std::move(methods)) {}
   std::string_view name() const override { return "composite"; }
-  BlockCollection Build(const EntityCollection& collection) const override;
+  using BlockingMethod::Build;
+  BlockCollection Build(const EntityCollection& collection,
+                        ThreadPool* pool) const override;
 
  private:
   std::vector<std::unique_ptr<BlockingMethod>> methods_;

@@ -3,102 +3,124 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "blocking/sharded_blocking.h"
+
 namespace minoan {
 
-BlockCollection QGramBlocking::Build(
-    const EntityCollection& collection) const {
-  const uint32_t q = std::max<uint32_t>(1, options_.q);
-  // Pass 1: per-entity q-gram key strings with global frequencies.
-  std::unordered_map<std::string, std::vector<EntityId>> postings;
-  std::unordered_map<std::string, uint32_t> df;
-  std::vector<std::string> entity_grams;
-  for (const EntityDescription& desc : collection.entities()) {
-    entity_grams.clear();
-    for (uint32_t tok : desc.tokens) {
-      const std::string_view token = collection.tokens().View(tok);
-      if (token.size() <= q) {
-        entity_grams.emplace_back(token);
-        continue;
-      }
-      for (size_t i = 0; i + q <= token.size(); ++i) {
-        entity_grams.emplace_back(token.substr(i, q));
-      }
+namespace {
+
+/// Appends the sorted-unique q-gram strings of one entity's tokens.
+void EntityGrams(const EntityCollection& collection, EntityId e, uint32_t q,
+                 std::vector<std::string>& out) {
+  out.clear();
+  for (uint32_t tok : collection.entity(e).tokens) {
+    const std::string_view token = collection.tokens().View(tok);
+    if (token.size() <= q) {
+      out.emplace_back(token);
+      continue;
     }
-    std::sort(entity_grams.begin(), entity_grams.end());
-    entity_grams.erase(
-        std::unique(entity_grams.begin(), entity_grams.end()),
-        entity_grams.end());
-    for (const std::string& gram : entity_grams) ++df[gram];
+    for (size_t i = 0; i + q <= token.size(); ++i) {
+      out.emplace_back(token.substr(i, q));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+}  // namespace
+
+BlockCollection QGramBlocking::Build(const EntityCollection& collection,
+                                     ThreadPool* pool) const {
+  const uint32_t q = std::max<uint32_t>(1, options_.q);
+  const uint32_t n = collection.num_entities();
+  // Pass 1: global q-gram document frequencies, counted per entity chunk
+  // and summed in chunk order (integer sums — identical at every thread
+  // count).
+  std::vector<std::unordered_map<std::string, uint32_t>> chunk_df(
+      NumChunks(n, kBlockingChunkEntities));
+  RunChunkedTasks(pool, n, kBlockingChunkEntities,
+                  [&](size_t c, size_t begin, size_t end) {
+                    std::vector<std::string> grams;
+                    for (size_t e = begin; e < end; ++e) {
+                      EntityGrams(collection, static_cast<EntityId>(e), q,
+                                  grams);
+                      for (const std::string& gram : grams) {
+                        ++chunk_df[c][gram];
+                      }
+                    }
+                  });
+  std::unordered_map<std::string, uint32_t> df;
+  for (const auto& local : chunk_df) {
+    for (const auto& [gram, count] : local) df[gram] += count;
   }
 
   // Pass 2: keep the rarest grams per entity (they carry the signal), build
-  // postings.
-  for (const EntityDescription& desc : collection.entities()) {
-    entity_grams.clear();
-    for (uint32_t tok : desc.tokens) {
-      const std::string_view token = collection.tokens().View(tok);
-      if (token.size() <= q) {
-        entity_grams.emplace_back(token);
-        continue;
-      }
-      for (size_t i = 0; i + q <= token.size(); ++i) {
-        entity_grams.emplace_back(token.substr(i, q));
-      }
-    }
-    std::sort(entity_grams.begin(), entity_grams.end());
-    entity_grams.erase(
-        std::unique(entity_grams.begin(), entity_grams.end()),
-        entity_grams.end());
-    if (options_.max_grams_per_entity > 0 &&
-        entity_grams.size() > options_.max_grams_per_entity) {
-      std::partial_sort(
-          entity_grams.begin(),
-          entity_grams.begin() + options_.max_grams_per_entity,
-          entity_grams.end(), [&](const std::string& a, const std::string& b) {
-            const uint32_t da = df[a], db = df[b];
-            return da != db ? da < db : a < b;  // rarest first
-          });
-      entity_grams.resize(options_.max_grams_per_entity);
-    }
-    for (const std::string& gram : entity_grams) {
-      postings[gram].push_back(desc.id);
-    }
-  }
+  // postings through the sharded core. `df` is frozen — read-only across
+  // workers.
+  auto postings = BuildShardedPostings<std::string>(
+      n, pool,
+      [&](EntityId e, std::vector<std::string>& keys) {
+        EntityGrams(collection, e, q, keys);
+        if (options_.max_grams_per_entity > 0 &&
+            keys.size() > options_.max_grams_per_entity) {
+          std::partial_sort(
+              keys.begin(), keys.begin() + options_.max_grams_per_entity,
+              keys.end(),
+              [&df](const std::string& a, const std::string& b) {
+                const uint32_t da = df.at(a), db = df.at(b);
+                return da != db ? da < db : a < b;  // rarest first
+              });
+          keys.resize(options_.max_grams_per_entity);
+        }
+      },
+      [](const std::string& s) { return Fnv1a64(s); });
 
   const uint64_t df_cap = static_cast<uint64_t>(options_.max_df_fraction *
                                                 collection.num_entities());
   BlockCollection out;
-  // Deterministic order: sorted keys.
-  std::vector<std::string> keys;
-  keys.reserve(postings.size());
-  for (const auto& [key, list] : postings) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
-  for (const std::string& key : keys) {
-    auto& list = postings[key];
-    if (list.size() < options_.min_df) continue;
-    if (df_cap > 0 && list.size() > df_cap) continue;
-    out.AddBlock("g:" + key, std::move(list));
+  // Postings arrive in deterministic sorted-key order.
+  for (auto& posting : postings) {
+    if (posting.entities.size() < options_.min_df) continue;
+    if (df_cap > 0 && posting.entities.size() > df_cap) continue;
+    out.AddBlock("g:" + posting.key, std::move(posting.entities));
   }
   return out;
 }
 
 BlockCollection SortedNeighborhoodBlocking::Build(
-    const EntityCollection& collection) const {
+    const EntityCollection& collection, ThreadPool* pool) const {
   // Build (key, entity) pairs: each entity contributes its rarest tokens.
-  std::vector<std::pair<std::string, EntityId>> keyed;
-  for (const EntityDescription& desc : collection.entities()) {
-    // Tokens sorted by (df, id): rarest first.
-    std::vector<uint32_t> toks = desc.tokens;
-    std::sort(toks.begin(), toks.end(), [&](uint32_t a, uint32_t b) {
-      const uint32_t da = collection.TokenDf(a), db = collection.TokenDf(b);
-      return da != db ? da < db : a < b;
-    });
-    const size_t take =
-        std::min<size_t>(options_.keys_per_entity, toks.size());
-    for (size_t i = 0; i < take; ++i) {
-      keyed.emplace_back(std::string(collection.tokens().View(toks[i])),
-                         desc.id);
+  // Extraction fans out over fixed entity chunks; the global sort below
+  // fixes one total order, so chunk concatenation order is irrelevant.
+  const uint32_t n = collection.num_entities();
+  std::vector<std::vector<std::pair<std::string, EntityId>>> chunk_keyed(
+      NumChunks(n, kBlockingChunkEntities));
+  RunChunkedTasks(pool, n, kBlockingChunkEntities, [&](size_t c, size_t begin,
+                                                       size_t end) {
+    for (size_t idx = begin; idx < end; ++idx) {
+      const EntityId e = static_cast<EntityId>(idx);
+      // Tokens sorted by (df, id): rarest first.
+      std::vector<uint32_t> toks = collection.entity(e).tokens;
+      std::sort(toks.begin(), toks.end(), [&](uint32_t a, uint32_t b) {
+        const uint32_t da = collection.TokenDf(a), db = collection.TokenDf(b);
+        return da != db ? da < db : a < b;
+      });
+      const size_t take =
+          std::min<size_t>(options_.keys_per_entity, toks.size());
+      for (size_t i = 0; i < take; ++i) {
+        chunk_keyed[c].emplace_back(
+            std::string(collection.tokens().View(toks[i])), e);
+      }
     }
+  });
+  std::vector<std::pair<std::string, EntityId>> keyed;
+  size_t total = 0;
+  for (const auto& chunk : chunk_keyed) total += chunk.size();
+  keyed.reserve(total);
+  for (auto& chunk : chunk_keyed) {
+    keyed.insert(keyed.end(), std::make_move_iterator(chunk.begin()),
+                 std::make_move_iterator(chunk.end()));
+    chunk.clear();
   }
   std::sort(keyed.begin(), keyed.end());
 

@@ -36,7 +36,9 @@ class QGramBlocking : public BlockingMethod {
   QGramBlocking() : options_{} {}
   explicit QGramBlocking(Options options) : options_(options) {}
   std::string_view name() const override { return "qgram"; }
-  BlockCollection Build(const EntityCollection& collection) const override;
+  using BlockingMethod::Build;
+  BlockCollection Build(const EntityCollection& collection,
+                        ThreadPool* pool) const override;
 
  private:
   Options options_;
@@ -56,7 +58,9 @@ class SortedNeighborhoodBlocking : public BlockingMethod {
   SortedNeighborhoodBlocking() : options_{} {}
   explicit SortedNeighborhoodBlocking(Options options) : options_(options) {}
   std::string_view name() const override { return "sorted-nbhd"; }
-  BlockCollection Build(const EntityCollection& collection) const override;
+  using BlockingMethod::Build;
+  BlockCollection Build(const EntityCollection& collection,
+                        ThreadPool* pool) const override;
 
  private:
   Options options_;

@@ -1,0 +1,162 @@
+// Copyright 2026 The MinoanER Authors.
+// The sharded postings core: deterministic parallel inverted-index
+// construction shared by every batch blocking method.
+//
+// This is the front-of-pipeline counterpart of metablocking/sharded_prune.h:
+// entities are dealt to workers in fixed-size chunks (constant, independent
+// of the worker count), each chunk emits its (key, entity) pairs into a
+// fixed number of key-hashed shards, and each shard merges its pairs with a
+// stable sort — so equal keys keep chunk order, which IS the sequential scan
+// order. A final canonical sort by key yields postings that are
+// bit-identical for every thread count, including the inline (no pool)
+// path.
+
+#ifndef MINOAN_BLOCKING_SHARDED_BLOCKING_H_
+#define MINOAN_BLOCKING_SHARDED_BLOCKING_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "kb/entity.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace minoan {
+
+/// Entities per blocking work chunk. A constant (never derived from the
+/// pool size): chunk boundaries define the per-key emission order, so they
+/// must not move when the thread count changes.
+inline constexpr uint32_t kBlockingChunkEntities = 256;
+
+/// Key-hashed merge shards (power of two, at most 256 — shard ids travel
+/// as uint8_t). The shard of a key is a pure function of the key, so the
+/// grouping is thread-count independent.
+inline constexpr uint32_t kBlockingMergeShards = 64;
+static_assert(kBlockingMergeShards <= 256 &&
+              (kBlockingMergeShards & (kBlockingMergeShards - 1)) == 0);
+
+/// One merged posting: a blocking key and every entity that emitted it, in
+/// sequential scan order (ascending entity id; duplicates preserved when a
+/// method emits the same key twice for one entity — BlockCollection's
+/// AddBlock dedups downstream, but size filters see the raw count exactly
+/// like the sequential implementations did).
+template <typename Key>
+struct KeyedPosting {
+  Key key;
+  std::vector<EntityId> entities;
+};
+
+/// Builds the merged postings of `num_entities` entities. `emit(e, keys)`
+/// appends entity e's blocking keys to `keys` (cleared by the caller), in
+/// the exact order the sequential scan would have produced them. `hash(key)`
+/// must be a pure function (only the shard *grouping* depends on it; the
+/// output is canonically sorted, so any stable hash yields identical
+/// results). Returns postings sorted ascending by key; keys are unique.
+template <typename Key, typename EmitFn, typename HashFn>
+std::vector<KeyedPosting<Key>> BuildShardedPostings(uint32_t num_entities,
+                                                    ThreadPool* pool,
+                                                    const EmitFn& emit,
+                                                    const HashFn& hash) {
+  using Emission = std::pair<Key, EntityId>;
+
+  // Phase A: per-chunk scan. Each chunk collects its emissions in scan
+  // order, then counting-sorts them by shard in place — one contiguous
+  // buffer plus an offset table per chunk instead of 64 separate shard
+  // vectors. The stable scatter keeps scan order within each (chunk,
+  // shard) slice, which is all phase B relies on.
+  struct ChunkShards {
+    std::vector<Emission> emissions;  // partitioned by shard, scan order
+    std::array<uint32_t, kBlockingMergeShards + 1> offsets;
+  };
+  std::vector<ChunkShards> chunk_shards(
+      NumChunks(num_entities, kBlockingChunkEntities));
+  RunChunkedTasks(
+      pool, num_entities, kBlockingChunkEntities,
+      [&](size_t c, size_t begin, size_t end) {
+        std::vector<Key> keys;
+        std::vector<Emission> scratch;
+        std::vector<uint8_t> shard_of;
+        for (EntityId e = static_cast<EntityId>(begin);
+             e < static_cast<EntityId>(end); ++e) {
+          keys.clear();
+          emit(e, keys);
+          for (Key& key : keys) {
+            shard_of.push_back(static_cast<uint8_t>(
+                Mix64(hash(key)) & (kBlockingMergeShards - 1)));
+            scratch.emplace_back(std::move(key), e);
+          }
+        }
+        ChunkShards& out = chunk_shards[c];
+        out.offsets.fill(0);
+        for (const uint8_t s : shard_of) ++out.offsets[s + 1];
+        for (size_t s = 1; s < out.offsets.size(); ++s) {
+          out.offsets[s] += out.offsets[s - 1];
+        }
+        std::array<uint32_t, kBlockingMergeShards> cursor;
+        std::copy(out.offsets.begin(), out.offsets.end() - 1,
+                  cursor.begin());
+        out.emissions.resize(scratch.size());
+        for (size_t i = 0; i < scratch.size(); ++i) {
+          out.emissions[cursor[shard_of[i]]++] = std::move(scratch[i]);
+        }
+      });
+
+  // Phase B: per-shard merge. Gathering chunk slices in chunk order and
+  // stable-sorting by key alone keeps equal-key runs in scan order.
+  std::vector<std::vector<KeyedPosting<Key>>> shard_out(kBlockingMergeShards);
+  RunPoolTasks(pool, kBlockingMergeShards, [&](size_t s) {
+    std::vector<Emission> pairs;
+    size_t total = 0;
+    for (const auto& chunk : chunk_shards) {
+      total += chunk.offsets[s + 1] - chunk.offsets[s];
+    }
+    pairs.reserve(total);
+    for (auto& chunk : chunk_shards) {
+      const auto begin = chunk.emissions.begin() + chunk.offsets[s];
+      const auto end = chunk.emissions.begin() + chunk.offsets[s + 1];
+      pairs.insert(pairs.end(), std::make_move_iterator(begin),
+                   std::make_move_iterator(end));
+    }
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const Emission& a, const Emission& b) {
+                       return a.first < b.first;
+                     });
+    size_t i = 0;
+    while (i < pairs.size()) {
+      size_t j = i + 1;
+      while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
+      KeyedPosting<Key> posting;
+      posting.entities.reserve(j - i);
+      for (size_t t = i; t < j; ++t) {
+        posting.entities.push_back(pairs[t].second);
+      }
+      posting.key = std::move(pairs[i].first);
+      shard_out[s].push_back(std::move(posting));
+      i = j;
+    }
+  });
+
+  // Phase C: canonical concatenation. Shards hold disjoint key sets, so one
+  // sort by (unique) key fixes the global emission order.
+  size_t total = 0;
+  for (const auto& s : shard_out) total += s.size();
+  std::vector<KeyedPosting<Key>> out;
+  out.reserve(total);
+  for (auto& s : shard_out) {
+    out.insert(out.end(), std::make_move_iterator(s.begin()),
+               std::make_move_iterator(s.end()));
+    s.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KeyedPosting<Key>& a, const KeyedPosting<Key>& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace minoan
+
+#endif  // MINOAN_BLOCKING_SHARDED_BLOCKING_H_

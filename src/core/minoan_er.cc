@@ -1,11 +1,14 @@
 #include "core/minoan_er.h"
 
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "core/session.h"
 #include "util/logging.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace minoan {
 
@@ -119,7 +122,11 @@ std::unique_ptr<BlockingMethod> MakeWorkflowBlocker(
 
 BlockCollection MinoanEr::BuildBlocks(
     const EntityCollection& collection) const {
-  BlockCollection blocks = MakeWorkflowBlocker(options_)->Build(collection);
+  const uint32_t threads = ResolveThreadCount(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  BlockCollection blocks =
+      MakeWorkflowBlocker(options_)->Build(collection, pool.get());
   if (options_.auto_purge) {
     AutoPurge(blocks, collection, options_.meta.mode);
   }

@@ -62,8 +62,10 @@ struct WorkflowOptions {
   /// and their neighborhoods gain evidence before matching starts.
   bool use_same_as_seeds = false;
 
-  /// Workflow-wide worker-thread count, applied to every phase that still
-  /// has its own knob at the default (meta.num_threads,
+  /// Workflow-wide worker-thread count: fans out to blocking (inverted-index
+  /// construction), graph-view construction, meta-blocking pruning, and the
+  /// initial candidate-scoring pass, and is applied to every phase that
+  /// still has its own knob at the default (meta.num_threads,
   /// progressive.num_threads). 1 = single-threaded (default), 0 = hardware
   /// concurrency. Every phase is deterministic in the thread count, so the
   /// report is identical for every value.

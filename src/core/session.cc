@@ -22,10 +22,6 @@ namespace {
 /// Format tag of the serialized session; bump on layout changes.
 constexpr std::string_view kSessionMagic = "MNER-SESS-v1";
 
-uint32_t ResolveThreadCount(uint32_t t) {
-  return t == 0 ? std::max(1u, std::thread::hardware_concurrency()) : t;
-}
-
 /// Fans the workflow-wide thread count out to phases left at their default,
 /// exactly as the legacy one-shot Run did.
 MetaBlockingOptions EffectiveMetaOptions(const WorkflowOptions& options) {
@@ -153,9 +149,26 @@ Result<ResolutionSession> ResolutionSession::Open(
   impl->observer = observer;
   Stopwatch watch;
 
+  // One pool serves every parallel phase of this session (thread spawn/join
+  // is per-session overhead, not per-phase), created up front so blocking —
+  // the first and often dominant phase — fans out too. Phases that stay at
+  // num_threads == 1 keep running inline — with identical results either
+  // way.
+  const MetaBlockingOptions meta_options = EffectiveMetaOptions(options);
+  const uint32_t meta_threads = ResolveThreadCount(meta_options.num_threads);
+  const uint32_t prog_threads = ResolveThreadCount(
+      EffectiveProgressiveOptions(options).num_threads);
+  const uint32_t block_threads = ResolveThreadCount(options.num_threads);
+  const uint32_t pool_threads =
+      std::max({meta_threads, prog_threads, block_threads});
+  if (pool_threads > 1) {
+    impl->pool = std::make_unique<ThreadPool>(pool_threads);
+  }
+
   // ---- Blocking + cleaning ----------------------------------------------
   watch.Restart();
-  BlockCollection raw = MakeWorkflowBlocker(options)->Build(collection);
+  BlockCollection raw = MakeWorkflowBlocker(options)->Build(
+      collection, block_threads > 1 ? impl->pool.get() : nullptr);
   impl->blocks_built = raw.num_blocks();
   impl->EmitPhase({"blocking", watch.ElapsedMillis(), impl->blocks_built});
 
@@ -171,19 +184,6 @@ Result<ResolutionSession> ResolutionSession::Open(
       raw.AggregateComparisons(collection, options.meta.mode);
   impl->EmitPhase(
       {"block-cleaning", watch.ElapsedMillis(), impl->blocks_after_cleaning});
-
-  // One pool serves every parallel phase of this session (thread spawn/join
-  // is per-session overhead, not per-phase). Phases that stay at
-  // num_threads == 1 keep running inline — with identical results either
-  // way.
-  const MetaBlockingOptions meta_options = EffectiveMetaOptions(options);
-  const uint32_t meta_threads = ResolveThreadCount(meta_options.num_threads);
-  const uint32_t prog_threads = ResolveThreadCount(
-      EffectiveProgressiveOptions(options).num_threads);
-  if (std::max(meta_threads, prog_threads) > 1) {
-    impl->pool =
-        std::make_unique<ThreadPool>(std::max(meta_threads, prog_threads));
-  }
 
   // ---- Meta-blocking ------------------------------------------------------
   watch.Restart();

@@ -49,5 +49,52 @@ BlockCollection ParallelTokenBlocking(const EntityCollection& collection,
   return out;
 }
 
+BlockCollection ParallelPisBlocking(const EntityCollection& collection,
+                                    Engine& engine,
+                                    PisBlocking::Options options,
+                                    Counters* counters) {
+  std::vector<EntityId> inputs(collection.num_entities());
+  for (uint32_t i = 0; i < inputs.size(); ++i) inputs[i] = i;
+
+  using PisBlockPair = std::pair<std::string, std::vector<EntityId>>;
+  auto map_fn = [&collection, &options](
+                    const EntityId& e, Emitter<std::string, EntityId>& em) {
+    thread_local std::vector<std::string> keys;
+    thread_local std::vector<std::string> token_scratch;
+    keys.clear();
+    AppendPisKeys(options, collection.tokenizer(),
+                  collection.iris().View(collection.entity(e).iri), keys,
+                  token_scratch);
+    for (std::string& key : keys) em.Emit(std::move(key), e);
+  };
+  // The sequential method filters on the raw emission count (an entity can
+  // emit one key twice); the reducer's span carries exactly those
+  // duplicates, so the filters agree.
+  auto reduce_fn = [&options](const std::string& key,
+                              std::span<const EntityId> entities,
+                              std::vector<PisBlockPair>& out) {
+    if (entities.size() < options.min_block_size) return;
+    if (entities.size() > options.max_block_size) return;
+    out.emplace_back(key,
+                     std::vector<EntityId>(entities.begin(), entities.end()));
+  };
+
+  std::vector<PisBlockPair> raw =
+      engine.Run<EntityId, std::string, EntityId, PisBlockPair>(
+          inputs, map_fn, reduce_fn, nullptr, counters);
+
+  // Canonical order: ascending key string — identical to the sequential
+  // PisBlocking, independent of worker count.
+  std::sort(raw.begin(), raw.end(),
+            [](const PisBlockPair& a, const PisBlockPair& b) {
+              return a.first < b.first;
+            });
+  BlockCollection out;
+  for (auto& [key, entities] : raw) {
+    out.AddBlock(key, std::move(entities));
+  }
+  return out;
+}
+
 }  // namespace mapreduce
 }  // namespace minoan

@@ -1,11 +1,11 @@
 // Copyright 2026 The MinoanER Authors.
-// MapReduce token blocking (the parallel blocking job of [5]).
+// MapReduce blocking (the parallel blocking jobs of [5]).
 //
-// One job: map each entity to (token, entity-id) pairs; reduce groups the
-// postings of each token into a block, applying the same document-frequency
-// filters as the sequential TokenBlocking. Output blocks are canonicalized
-// (sorted by token id) so the result is bit-identical to the sequential
-// method regardless of worker count.
+// One job per method: map each entity to (key, entity-id) pairs; reduce
+// groups the postings of each key into a block, applying the same filters
+// as the sequential method. Output blocks are canonicalized (sorted by key)
+// so the result is bit-identical to the sequential method regardless of
+// worker count.
 
 #ifndef MINOAN_MAPREDUCE_PARALLEL_BLOCKING_H_
 #define MINOAN_MAPREDUCE_PARALLEL_BLOCKING_H_
@@ -23,6 +23,16 @@ BlockCollection ParallelTokenBlocking(const EntityCollection& collection,
                                       Engine& engine,
                                       TokenBlocking::Options options = {},
                                       Counters* counters = nullptr);
+
+/// Runs prefix-infix-suffix blocking as a MapReduce job on `engine`:
+/// map emits each entity's PIS keys (AppendPisKeys — the same key scheme as
+/// the sequential PisBlocking and the online index), reduce applies the
+/// block-size filters. Bit-identical to PisBlocking::Build for every worker
+/// count.
+BlockCollection ParallelPisBlocking(const EntityCollection& collection,
+                                    Engine& engine,
+                                    PisBlocking::Options options = {},
+                                    Counters* counters = nullptr);
 
 }  // namespace mapreduce
 }  // namespace minoan

@@ -1,11 +1,23 @@
 #include "metablocking/blocking_graph.h"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <memory>
 
 #include "util/thread_pool.h"
 
 namespace minoan {
+
+namespace {
+
+/// Blocks per ARCS-term work chunk. Fixed (like the sharded-prune chunk
+/// size) so the per-chunk partial sums fold identically at every thread
+/// count; the folded quantities are integers, so even the fold order is
+/// immaterial — the constant just bounds task-scheduling overhead.
+constexpr uint32_t kGraphChunkBlocks = 256;
+
+}  // namespace
 
 NeighborScratch& TlsNeighborScratch(uint32_t num_entities) {
   thread_local std::unique_ptr<NeighborScratch> scratch;
@@ -27,13 +39,48 @@ BlockingGraphView::BlockingGraphView(BlockCollection& blocks,
     blocks.BuildEntityIndex(collection.num_entities());
   }
   num_blocks_ = static_cast<double>(blocks.num_blocks());
-  num_nodes_ = static_cast<double>(blocks.NumPlacedEntities());
+
+  // ARCS terms and the assignment total, folded per fixed block chunk.
+  // arcs_term_ writes are disjoint per block; the per-chunk assignment
+  // counts are integers, so the merged totals are identical to the
+  // sequential scan for every thread count.
   arcs_term_.resize(blocks.num_blocks());
-  for (uint32_t bi = 0; bi < blocks.num_blocks(); ++bi) {
-    const uint64_t card = blocks.block(bi).NumComparisons(collection, mode);
-    arcs_term_[bi] = card > 0 ? 1.0 / static_cast<double>(card) : 0.0;
-    total_assignments_ += blocks.block(bi).size();
-  }
+  std::vector<uint64_t> chunk_assignments(
+      NumChunks(blocks.num_blocks(), kGraphChunkBlocks), 0);
+  RunChunkedTasks(pool, blocks.num_blocks(), kGraphChunkBlocks,
+                  [&](size_t c, size_t begin, size_t end) {
+                    uint64_t assignments = 0;
+                    for (size_t bi = begin; bi < end; ++bi) {
+                      const uint64_t card =
+                          blocks.block(bi).NumComparisons(collection, mode);
+                      arcs_term_[bi] =
+                          card > 0 ? 1.0 / static_cast<double>(card) : 0.0;
+                      assignments += blocks.block(bi).size();
+                    }
+                    chunk_assignments[c] = assignments;
+                  });
+  for (const uint64_t a : chunk_assignments) total_assignments_ += a;
+
+  // Placed-node count off the freshly built entity index (an entity is a
+  // graph node iff it appears in some block) — a chunked integer count
+  // instead of the sequential hash-set scan over every block.
+  const uint32_t num_entities = collection.num_entities();
+  std::vector<uint64_t> chunk_placed(
+      NumChunks(num_entities, kGraphChunkBlocks), 0);
+  RunChunkedTasks(pool, num_entities, kGraphChunkBlocks,
+                  [&](size_t c, size_t begin, size_t end) {
+                    uint64_t placed = 0;
+                    for (size_t e = begin; e < end; ++e) {
+                      if (!blocks.BlocksOf(static_cast<EntityId>(e))
+                               .empty()) {
+                        ++placed;
+                      }
+                    }
+                    chunk_placed[c] = placed;
+                  });
+  uint64_t placed_nodes = 0;
+  for (const uint64_t p : chunk_placed) placed_nodes += p;
+  num_nodes_ = static_cast<double>(placed_nodes);
   if (weighting == WeightingScheme::kEjs) {
     const uint32_t n = collection.num_entities();
     degree_.assign(n, 0);

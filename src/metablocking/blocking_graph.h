@@ -54,8 +54,10 @@ class ThreadPool;
 class BlockingGraphView {
  public:
   /// Builds the entity index of `blocks` if missing (the only mutation).
-  /// `pool` (optional) parallelizes the EJS degree precomputation — the one
-  /// construction step that enumerates the whole graph.
+  /// `pool` (optional) parallelizes construction — the ARCS-term scan, the
+  /// placed-node count, and (for EJS) the whole-graph degree pass — over
+  /// fixed chunks, with results identical to the sequential pass at every
+  /// thread count.
   BlockingGraphView(BlockCollection& blocks,
                     const EntityCollection& collection,
                     WeightingScheme weighting, ResolutionMode mode,

@@ -51,10 +51,7 @@ void SortByWeightDescending(std::vector<WeightedComparison>& comparisons) {
 std::vector<WeightedComparison> MetaBlocking::Prune(
     BlockCollection& blocks, const EntityCollection& collection,
     MetaBlockingStats* stats) const {
-  uint32_t threads = options_.num_threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  const uint32_t threads = ResolveThreadCount(options_.num_threads);
   if (threads <= 1) {
     const BlockingGraphView view(blocks, collection, options_.weighting,
                                  options_.mode);

@@ -42,18 +42,6 @@ struct ChunkPartial {
   uint64_t edges = 0;
 };
 
-/// Runs fn(i) for i in [0, count) — on the pool when given, inline
-/// otherwise. Each i is a fixed unit of work (an entity chunk or a vote
-/// shard), so results never depend on which thread ran it.
-void RunTasks(ThreadPool* pool, size_t count,
-              const std::function<void(size_t)>& fn) {
-  if (pool != nullptr && count > 1) {
-    pool->ParallelFor(count, fn);
-    return;
-  }
-  for (size_t i = 0; i < count; ++i) fn(i);
-}
-
 /// Flattens per-task result vectors in task order.
 template <typename T>
 std::vector<T> Concatenate(std::vector<std::vector<T>>& parts) {
@@ -95,7 +83,7 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
       // Pass 1: per-chunk partial sums, folded in chunk order so the global
       // mean is one fixed floating-point reduction for every thread count.
       std::vector<ChunkPartial> partials(num_chunks);
-      RunTasks(pool, num_chunks, [&](size_t c) {
+      RunPoolTasks(pool, num_chunks, [&](size_t c) {
         NeighborScratch& scratch = TlsNeighborScratch(n);
         ChunkPartial partial;
         const auto [begin, end] = chunk_range(c);
@@ -118,7 +106,7 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
                               : 0.0;
       // Pass 2: retain edges at or above the mean, chunk-local then merged.
       std::vector<std::vector<WeightedComparison>> kept(num_chunks);
-      RunTasks(pool, num_chunks, [&](size_t c) {
+      RunPoolTasks(pool, num_chunks, [&](size_t c) {
         NeighborScratch& scratch = TlsNeighborScratch(n);
         const auto [begin, end] = chunk_range(c);
         for (EntityId e = begin; e < end; ++e) {
@@ -141,7 +129,7 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
           std::max<uint64_t>(1, view.total_block_assignments() / 2);
       std::vector<TopK<EdgeRank>> tops(num_chunks, TopK<EdgeRank>(k));
       std::vector<ChunkPartial> partials(num_chunks);
-      RunTasks(pool, num_chunks, [&](size_t c) {
+      RunPoolTasks(pool, num_chunks, [&](size_t c) {
         NeighborScratch& scratch = TlsNeighborScratch(n);
         ChunkPartial partial;
         const auto [begin, end] = chunk_range(c);
@@ -191,7 +179,7 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
           num_chunks,
           std::vector<std::vector<Nomination>>(kPruneVoteShards));
       std::vector<ChunkPartial> partials(num_chunks);
-      RunTasks(pool, num_chunks, [&](size_t c) {
+      RunPoolTasks(pool, num_chunks, [&](size_t c) {
         NeighborScratch& scratch = TlsNeighborScratch(n);
         auto& shards = chunk_noms[c];
         ChunkPartial partial;
@@ -246,7 +234,7 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
           kPruneVoteShards);
       std::vector<std::pair<uint64_t, uint64_t>> shard_counts(
           kPruneVoteShards);
-      RunTasks(pool, kPruneVoteShards, [&](size_t s) {
+      RunPoolTasks(pool, kPruneVoteShards, [&](size_t s) {
         std::vector<Nomination> votes;
         size_t total = 0;
         for (const auto& chunk : chunk_noms) total += chunk[s].size();

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "text/similarity.h"
 #include "util/hash.h"
+#include "util/thread_pool.h"
 
 namespace minoan {
 namespace online {
@@ -52,7 +54,12 @@ OnlineResolver::OnlineResolver(OnlineOptions options, EntityCollection&& warm)
       state_(std::make_unique<ResolutionState>(coll_.collection(), nullptr)) {
   state_->SetDynamicNeighbors(&neighbors_);
   const uint32_t n = coll_.num_entities();
+  // Index sequentially (the incremental index mutates per entity), defer
+  // the per-pair priority pricing, then score the whole batch at once —
+  // in parallel when options_.num_threads allows, identically either way.
+  defer_scoring_ = true;
   for (EntityId id = 0; id < n; ++id) IndexEntity(id);
+  FlushDeferredScores();
   ConsumeSameAsSeeds();
 }
 
@@ -106,8 +113,34 @@ void OnlineResolver::IndexEntity(EntityId id) {
     // The update phase may have discovered and even executed this pair
     // before blocking produced it.
     if (ps.executed) continue;
+    if (defer_scoring_) {
+      deferred_pairs_.push_back(pair);
+      continue;
+    }
     scheduler_.Push(pair, Priority(d.a, d.b, ps));
   }
+}
+
+void OnlineResolver::FlushDeferredScores() {
+  defer_scoring_ = false;
+  std::vector<double> priorities(deferred_pairs_.size());
+  const auto score = [&](size_t i) {
+    const uint64_t pair = deferred_pairs_[i];
+    priorities[i] = Priority(PairKeyFirst(pair), PairKeySecond(pair),
+                             pairs_.find(pair)->second);
+  };
+  const uint32_t threads = ResolveThreadCount(options_.num_threads);
+  if (threads > 1 && deferred_pairs_.size() >= 2048) {
+    ThreadPool pool(threads);
+    pool.ParallelFor(deferred_pairs_.size(), score);
+  } else {
+    for (size_t i = 0; i < deferred_pairs_.size(); ++i) score(i);
+  }
+  for (size_t i = 0; i < deferred_pairs_.size(); ++i) {
+    scheduler_.Push(deferred_pairs_[i], priorities[i]);
+  }
+  deferred_pairs_.clear();
+  deferred_pairs_.shrink_to_fit();
 }
 
 void OnlineResolver::ConsumeSameAsSeeds() {

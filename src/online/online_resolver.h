@@ -63,6 +63,12 @@ struct OnlineOptions {
   EvidenceOptions evidence;
   /// Treat ingested owl:sameAs links as trusted zero-cost matches.
   bool use_same_as_seeds = false;
+  /// Worker threads for the warm-start bulk scoring pass (the one
+  /// batch-shaped stage of the online engine: pricing every initial
+  /// candidate pair against the pristine state). The ingest/resolve/query
+  /// loop itself is inherently sequential. 1 = inline (default),
+  /// 0 = hardware concurrency. Results are identical for every value.
+  uint32_t num_threads = 1;
 };
 
 /// Outcome of one ResolveBudget call — the same pay-as-you-go currency the
@@ -137,6 +143,13 @@ class OnlineResolver {
   };
 
   void IndexEntity(EntityId id);
+  /// Scores and pushes the pairs IndexEntity deferred during warm-start
+  /// bulk indexing. Safe to fan out: the state is pristine (no match
+  /// recorded before the seeds consume below), so priorities are pure reads;
+  /// scores land in a per-index array and are pushed in deferral order, and
+  /// pop order depends only on (priority, pair) — the schedule is identical
+  /// to interleaved sequential pushes for every thread count.
+  void FlushDeferredScores();
   /// Applies any not-yet-consumed ingested owl:sameAs links as zero-cost
   /// trusted matches (no-op unless use_same_as_seeds).
   void ConsumeSameAsSeeds();
@@ -179,6 +192,12 @@ class OnlineResolver {
   uint64_t discovered_pairs_ = 0;
   uint64_t evidence_assisted_matches_ = 0;
   size_t same_as_consumed_ = 0;
+
+  /// Warm-start bulk indexing: when set, IndexEntity records new pairs here
+  /// instead of scoring them one by one; FlushDeferredScores prices the
+  /// whole batch (in parallel when options_.num_threads allows).
+  bool defer_scoring_ = false;
+  std::vector<uint64_t> deferred_pairs_;
 
   // Scratch buffers (ingest + similarity), reused across calls.
   std::vector<DeltaPair> delta_scratch_;

@@ -4,8 +4,10 @@
 #ifndef MINOAN_UTIL_THREAD_POOL_H_
 #define MINOAN_UTIL_THREAD_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -58,6 +60,48 @@ class ThreadPool {
   bool stop_ = false;
   std::exception_ptr first_exception_;  // set by workers, drained by Wait()
 };
+
+/// Resolves the "0 = hardware concurrency" convention shared by every
+/// num_threads knob (workflow, meta-blocking, progressive, online).
+inline uint32_t ResolveThreadCount(uint32_t num_threads) {
+  return num_threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                          : num_threads;
+}
+
+/// Runs fn(i) for i in [0, count) — on the pool when given, inline
+/// otherwise. The shared dispatch of every sharded phase (blocking postings,
+/// graph-view construction, pruning): each i is a fixed unit of work (an
+/// entity chunk, a block chunk, a vote shard), so results never depend on
+/// which thread ran it.
+template <typename Fn>
+void RunPoolTasks(ThreadPool* pool, size_t count, const Fn& fn) {
+  if (pool != nullptr && count > 1) {
+    pool->ParallelFor(count, fn);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) fn(i);
+}
+
+/// Number of fixed-size chunks covering [0, total). One definition of the
+/// boundary math shared by every chunked phase — sizing per-chunk result
+/// buffers and dealing the work must agree exactly.
+inline size_t NumChunks(size_t total, size_t chunk_size) {
+  return (total + chunk_size - 1) / chunk_size;
+}
+
+/// Deals [0, total) into fixed-size chunks and runs fn(chunk, begin, end)
+/// for each, via RunPoolTasks. Chunk boundaries depend only on
+/// (total, chunk_size) — never on the worker count — which is what makes
+/// chunk-ordered merges deterministic.
+template <typename Fn>
+void RunChunkedTasks(ThreadPool* pool, size_t total, size_t chunk_size,
+                     const Fn& fn) {
+  RunPoolTasks(pool, NumChunks(total, chunk_size), [&](size_t c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(total, begin + chunk_size);
+    fn(c, begin, end);
+  });
+}
 
 }  // namespace minoan
 

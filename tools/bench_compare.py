@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json thread-sweep files.
+
+Compares a freshly produced bench JSON (bench_t2_blocking /
+bench_t3_metablocking output) against the checked-in baseline:
+
+  tools/bench_compare.py --baseline bench/baselines/BENCH_t2_blocking.json \
+                         --current BENCH_t2_blocking.json
+
+Fails (exit 1) when
+  * any sweep entry reports identical=false (parallel output diverged), or
+  * single-thread wall time regressed more than --max-regression (default
+    15%) against the baseline entry with the same phase/pruning key, or
+  * the two files are not comparable (different bench, scale, or entities).
+
+Multi-thread timings are reported but never gated: CI runners make weak
+promises about spare cores, while the single-thread number is the stable
+throughput signal. Wall-clock baselines are only meaningful against the
+machine class that recorded them, so when the recorded
+hardware_concurrency differs from the current machine's, timing
+regressions downgrade to warnings (the identical=false gate still fails)
+and the run reminds you to reseed. Refresh a baseline with --update after
+an intentional change — run on the CI runner class, not a laptop.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def entry_key(entry):
+    """Identity of one sweep entry: every field except the measurements."""
+    return tuple(
+        sorted(
+            (k, v)
+            for k, v in entry.items()
+            if k not in ("ms", "speedup", "identical")
+        )
+    )
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="maximum tolerated single-thread slowdown (fraction, "
+        "default 0.15)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy --current over --baseline instead of comparing",
+    )
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"bench_compare: baseline {args.baseline} updated from "
+              f"{args.current}")
+        return 0
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    for field in ("bench", "scale", "entities"):
+        if baseline.get(field) != current.get(field):
+            failures.append(
+                f"not comparable: {field} differs "
+                f"(baseline {baseline.get(field)!r}, "
+                f"current {current.get(field)!r})"
+            )
+    same_machine_class = baseline.get("hardware_concurrency") == current.get(
+        "hardware_concurrency"
+    )
+    if not same_machine_class:
+        print(
+            "bench_compare: WARNING: baseline was recorded on a different "
+            f"machine class (hardware_concurrency "
+            f"{baseline.get('hardware_concurrency')} vs "
+            f"{current.get('hardware_concurrency')}); timing regressions "
+            "are advisory until the baseline is reseeded with --update on "
+            "this runner class"
+        )
+    base_entries = {entry_key(e): e for e in baseline.get("sweep", [])}
+    if not base_entries:
+        failures.append("baseline has no sweep entries")
+
+    checked = 0
+    for entry in current.get("sweep", []):
+        label = ", ".join(
+            f"{k}={v}"
+            for k, v in entry.items()
+            if k not in ("ms", "speedup", "identical")
+        )
+        if entry.get("identical") is False:
+            failures.append(f"parallel output diverged: {label}")
+        base = base_entries.get(entry_key(entry))
+        if base is None:
+            print(f"bench_compare: note: no baseline entry for {label}")
+            continue
+        if entry.get("threads") != 1:
+            continue  # informational only; see module docstring
+        base_ms, cur_ms = base.get("ms"), entry.get("ms")
+        if not base_ms or base_ms <= 0:
+            failures.append(f"baseline ms invalid for {label}")
+            continue
+        checked += 1
+        ratio = (cur_ms - base_ms) / base_ms
+        verdict = "OK" if ratio <= args.max_regression else "REGRESSED"
+        print(
+            f"bench_compare: {verdict}: {label} "
+            f"baseline {base_ms:.2f} ms, current {cur_ms:.2f} ms "
+            f"({ratio:+.1%})"
+        )
+        if ratio > args.max_regression and same_machine_class:
+            failures.append(
+                f"single-thread regression >{args.max_regression:.0%}: "
+                f"{label} ({ratio:+.1%})"
+            )
+
+    if checked == 0:
+        failures.append("no single-thread entries were compared")
+    if failures:
+        for failure in failures:
+            print(f"bench_compare: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({checked} single-thread entries within "
+          f"{args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

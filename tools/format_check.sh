@@ -4,44 +4,38 @@
 #   tools/format_check.sh          check, fail on drift
 #   tools/format_check.sh --fix    rewrite offending files in place
 #
-# With clang-format on PATH the check is `clang-format --dry-run --Werror`
-# against the repo's .clang-format. Without it, a built-in fallback still
-# enforces the mechanical rules of the style: no tabs, no trailing
-# whitespace, a final newline, and an 80-character limit (counted in
-# characters, not bytes; lines carrying IRIs/raw N-Triples are exempt since
-# the format is line-based and cannot wrap).
+# Coverage: C++ sources under src/, tests/, tools/, bench/, and examples/
+# (directories that exist are discovered; a missing one is not an error),
+# plus the Python and shell tooling under tools/ and bench/ (syntax +
+# mechanical checks — clang-format does not apply to them).
+#
+# With clang-format on PATH the C++ check is `clang-format --dry-run
+# --Werror` against the repo's .clang-format. Without it, a built-in
+# fallback still enforces the mechanical rules of the style: no tabs, no
+# trailing whitespace, a final newline, and an 80-character limit (counted
+# in characters, not bytes; lines carrying IRIs/raw N-Triples are exempt
+# since the format is line-based and cannot wrap).
 set -u
 
 fix=0
 [ "${1:-}" = "--fix" ] && fix=1
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
-files=$(find "$root/src" "$root/tests" "$root/tools" "$root/bench" \
-             "$root/examples" \
-             \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) | sort)
+dirs=""
+for d in src tests tools bench examples; do
+  [ -d "$root/$d" ] && dirs="$dirs $root/$d"
+done
+# shellcheck disable=SC2086
+files=$(find $dirs \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) | sort)
+# shellcheck disable=SC2086
+script_files=$(find $dirs \( -name '*.py' -o -name '*.sh' \) | sort)
 
 failures=0
 
-if command -v clang-format >/dev/null 2>&1; then
-  for f in $files; do
-    if [ "$fix" = 1 ]; then
-      clang-format -i "$f"
-    elif ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
-      echo "format_check: needs reformat: ${f#"$root"/}"
-      failures=$((failures + 1))
-    fi
-  done
-  if [ "$failures" -gt 0 ]; then
-    echo "format_check: FAILED ($failures file(s); run tools/format_check.sh --fix)"
-    exit 1
-  fi
-  echo "format_check: OK (clang-format, $(echo "$files" | wc -l) files)"
-  exit 0
-fi
-
-# ---- fallback: mechanical checks only -------------------------------------
-export LC_ALL=C.UTF-8
-for f in $files; do
+# ---- mechanical checks (applied to scripts always, to C++ only in the
+# ---- no-clang-format fallback) ---------------------------------------------
+check_mechanical() {
+  f="$1"
   rel="${f#"$root"/}"
   if grep -qP '\t' "$f"; then
     echo "format_check: tab character in $rel"
@@ -70,11 +64,66 @@ for f in $files; do
       failures=$((failures + 1))
     done
   fi
+}
+
+export LC_ALL=C.UTF-8
+
+# ---- scripts: syntax + mechanical ------------------------------------------
+script_count=0
+for f in $script_files; do
+  rel="${f#"$root"/}"
+  script_count=$((script_count + 1))
+  case "$f" in
+    *.py)
+      # ast.parse, not py_compile: a pure syntax check that never writes
+      # __pycache__ into the tree.
+      if command -v python3 >/dev/null 2>&1 &&
+         ! python3 -c \
+           'import ast, sys; ast.parse(open(sys.argv[1]).read())' \
+           "$f" 2>/dev/null; then
+        echo "format_check: python syntax error in $rel"
+        failures=$((failures + 1))
+      fi
+      ;;
+    *.sh)
+      if ! bash -n "$f" 2>/dev/null; then
+        echo "format_check: shell syntax error in $rel"
+        failures=$((failures + 1))
+      fi
+      ;;
+  esac
+  check_mechanical "$f"
+done
+
+# ---- C++ sources -----------------------------------------------------------
+if command -v clang-format >/dev/null 2>&1; then
+  for f in $files; do
+    if [ "$fix" = 1 ]; then
+      clang-format -i "$f"
+    elif ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+      echo "format_check: needs reformat: ${f#"$root"/}"
+      failures=$((failures + 1))
+    fi
+  done
+  if [ "$failures" -gt 0 ]; then
+    echo "format_check: FAILED ($failures violation(s);" \
+         "run tools/format_check.sh --fix)"
+    exit 1
+  fi
+  echo "format_check: OK (clang-format, $(echo "$files" | wc -l) files" \
+       "+ $script_count scripts)"
+  exit 0
+fi
+
+# ---- fallback: mechanical checks only --------------------------------------
+for f in $files; do
+  check_mechanical "$f"
 done
 
 if [ "$failures" -gt 0 ]; then
   echo "format_check: FAILED ($failures violation(s))"
   exit 1
 fi
-echo "format_check: OK (fallback checks, $(echo "$files" | wc -l) files)"
+echo "format_check: OK (fallback checks, $(echo "$files" | wc -l) files" \
+     "+ $script_count scripts)"
 exit 0

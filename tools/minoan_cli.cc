@@ -26,7 +26,7 @@
 //       sequence is byte-identical to one uninterrupted run.
 //
 //   minoan online DIR [--script FILE] [--threshold F] [--pis] [--seeds]
-//                 [--benefit NAME]
+//                 [--threads N] [--benefit NAME]
 //       Serves the KBs in DIR through the online incremental engine,
 //       replaying an ingest/resolve/query command script (see
 //       core/online_session.h for the grammar). Without --script, every
@@ -447,6 +447,16 @@ int CmdOnline(const Flags& flags) {
   options.blocking.use_pis_keys = flags.Has("pis");
   options.use_same_as_seeds = flags.Has("seeds");
   options.benefit = ParseBenefit(flags.Get("benefit", "quantity"));
+  // --threads N: warm-start scoring workers (0 = hardware concurrency).
+  // Deterministic: the resolution result is identical for every value.
+  const uint64_t online_threads = flags.GetInt("threads", 1);
+  if (online_threads > 1024) {
+    std::fprintf(stderr,
+                 "error: online: --threads must be in [0, 1024], got %llu\n",
+                 static_cast<unsigned long long>(online_threads));
+    return 2;
+  }
+  options.num_threads = static_cast<uint32_t>(online_threads);
   OnlineSession session(options);
 
   auto files = ListRdfFiles(dir);
@@ -491,7 +501,8 @@ void Usage() {
                "  session checkpoint|resume DIR --state FILE "
                "[--step-budget N + resolve options]\n"
                "  online DIR [--script FILE --threshold F --pis --seeds "
-               "--benefit quantity|attr|coverage|relationship]\n");
+               "--threads N --benefit "
+               "quantity|attr|coverage|relationship]\n");
 }
 
 }  // namespace
