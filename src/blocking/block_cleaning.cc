@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <utility>
 #include <vector>
+
+#include "util/thread_pool.h"
 
 namespace minoan {
 
 namespace {
+
+/// Blocks (or entities) per cleaning work chunk. A constant — chunk
+/// boundaries fix the merge order, so they must not move with the worker
+/// count.
+constexpr size_t kCleaningChunk = 256;
 
 CleaningStats MakeStats(const BlockCollection& before_blocks,
                         uint64_t comparisons_before,
@@ -42,18 +50,33 @@ CleaningStats PurgeBySize(BlockCollection& blocks, uint32_t max_block_size,
 
 CleaningStats AutoPurge(BlockCollection& blocks,
                         const EntityCollection& collection,
-                        ResolutionMode mode, double smoothing) {
+                        ResolutionMode mode, double smoothing,
+                        ThreadPool* pool) {
   const uint64_t blocks_before = blocks.num_blocks();
   const uint64_t comparisons_before =
       blocks.AggregateComparisons(collection, mode);
 
   // Per distinct block size: total comparisons and total block assignments,
-  // as a size -> (cmp, assign) map.
+  // as a size -> (cmp, assign) map — counted per block chunk and summed in
+  // chunk order (integer sums, identical at every thread count).
+  std::vector<std::map<uint64_t, std::pair<uint64_t, uint64_t>>> chunk_sizes(
+      NumChunks(blocks.num_blocks(), kCleaningChunk));
+  RunChunkedTasks(pool, blocks.num_blocks(), kCleaningChunk,
+                  [&](size_t c, size_t begin, size_t end) {
+                    for (size_t bi = begin; bi < end; ++bi) {
+                      const Block& b = blocks.block(bi);
+                      auto& [cmp, assign] = chunk_sizes[c][b.size()];
+                      cmp += b.NumComparisons(collection, mode);
+                      assign += b.size();
+                    }
+                  });
   std::map<uint64_t, std::pair<uint64_t, uint64_t>> by_size;
-  for (const Block& b : blocks.blocks()) {
-    auto& [cmp, assign] = by_size[b.size()];
-    cmp += b.NumComparisons(collection, mode);
-    assign += b.size();
+  for (const auto& local : chunk_sizes) {
+    for (const auto& [size, totals] : local) {
+      auto& [cmp, assign] = by_size[size];
+      cmp += totals.first;
+      assign += totals.second;
+    }
   }
   // Ascending scan of the cumulative comparisons-per-assignment ratio. The
   // threshold is set below the LAST size at which the ratio jumps by more
@@ -79,24 +102,34 @@ CleaningStats AutoPurge(BlockCollection& blocks,
   if (max_keep_size == 0 && !by_size.empty()) {
     max_keep_size = by_size.begin()->first;
   }
-  std::vector<Block> kept;
-  for (const Block& b : blocks.blocks()) {
-    if (b.size() <= max_keep_size) kept.push_back(b);
-  }
-  blocks.ReplaceBlocks(std::move(kept));
+  // Keep scan: chunk-local survivor lists concatenated in chunk order = the
+  // sequential block order.
+  std::vector<std::vector<Block>> chunk_kept(
+      NumChunks(blocks.num_blocks(), kCleaningChunk));
+  RunChunkedTasks(pool, blocks.num_blocks(), kCleaningChunk,
+                  [&](size_t c, size_t begin, size_t end) {
+                    for (size_t bi = begin; bi < end; ++bi) {
+                      const Block& b = blocks.block(bi);
+                      if (b.size() <= max_keep_size) {
+                        chunk_kept[c].push_back(b);
+                      }
+                    }
+                  });
+  blocks.ReplaceBlocks(FlattenInOrder(chunk_kept));
   return MakeStats(blocks, comparisons_before, blocks, collection, mode,
                    blocks_before);
 }
 
 CleaningStats FilterBlocks(BlockCollection& blocks, double ratio,
                            const EntityCollection& collection,
-                           ResolutionMode mode) {
+                           ResolutionMode mode, ThreadPool* pool) {
   const uint64_t blocks_before = blocks.num_blocks();
   const uint64_t comparisons_before =
       blocks.AggregateComparisons(collection, mode);
   if (ratio <= 0.0 || ratio > 1.0) ratio = 1.0;
 
-  // entity -> indices of its blocks, sorted by block size ascending.
+  // entity -> indices of its blocks, ascending (a cheap linear scatter;
+  // the sort-heavy per-entity pass below is the part worth fanning out).
   const uint32_t n = collection.num_entities();
   std::vector<std::vector<uint32_t>> memberships(n);
   for (uint32_t bi = 0; bi < blocks.num_blocks(); ++bi) {
@@ -104,31 +137,53 @@ CleaningStats FilterBlocks(BlockCollection& blocks, double ratio,
       memberships[e].push_back(bi);
     }
   }
-  std::vector<std::vector<EntityId>> retained(blocks.num_blocks());
-  for (uint32_t e = 0; e < n; ++e) {
-    auto& mine = memberships[e];
-    if (mine.empty()) continue;
-    std::sort(mine.begin(), mine.end(), [&](uint32_t x, uint32_t y) {
-      const size_t sx = blocks.block(x).size(), sy = blocks.block(y).size();
-      return sx != sy ? sx < sy : x < y;
-    });
-    const size_t keep = static_cast<size_t>(
-        std::max(1.0, std::ceil(ratio * static_cast<double>(mine.size()))));
-    for (size_t i = 0; i < std::min(keep, mine.size()); ++i) {
-      retained[mine[i]].push_back(e);
+  // Per entity (chunked): sort its blocks by (size, index) ascending and
+  // keep the smallest ceil(ratio · |blocks|), collected as chunk-local
+  // (block, entity) pairs.
+  std::vector<std::vector<std::pair<uint32_t, EntityId>>> chunk_keeps(
+      NumChunks(n, kCleaningChunk));
+  RunChunkedTasks(pool, n, kCleaningChunk, [&](size_t c, size_t begin,
+                                               size_t end) {
+    for (uint32_t e = static_cast<uint32_t>(begin);
+         e < static_cast<uint32_t>(end); ++e) {
+      auto& mine = memberships[e];
+      if (mine.empty()) continue;
+      std::sort(mine.begin(), mine.end(), [&](uint32_t x, uint32_t y) {
+        const size_t sx = blocks.block(x).size(), sy = blocks.block(y).size();
+        return sx != sy ? sx < sy : x < y;
+      });
+      const size_t keep = static_cast<size_t>(
+          std::max(1.0, std::ceil(ratio * static_cast<double>(mine.size()))));
+      for (size_t i = 0; i < std::min(keep, mine.size()); ++i) {
+        chunk_keeps[c].emplace_back(mine[i], e);
+      }
     }
+  });
+  // Scatter in chunk order: entities ascend across (and within) chunks, so
+  // each retained list comes out in the sequential ascending-entity order.
+  std::vector<std::vector<EntityId>> retained(blocks.num_blocks());
+  for (auto& chunk : chunk_keeps) {
+    for (const auto& [bi, e] : chunk) retained[bi].push_back(e);
+    chunk.clear();
+    chunk.shrink_to_fit();
   }
-  std::vector<Block> kept;
-  for (uint32_t bi = 0; bi < retained.size(); ++bi) {
-    if (retained[bi].size() < 2) continue;
-    Block b;
-    b.key = blocks.block(bi).key;
-    std::sort(retained[bi].begin(), retained[bi].end());
-    b.entities = std::move(retained[bi]);
-    kept.push_back(std::move(b));
-  }
+  // Rebuild surviving blocks (chunked over blocks, concatenated in block
+  // order — the sequential emission order).
+  std::vector<std::vector<Block>> chunk_kept(
+      NumChunks(blocks.num_blocks(), kCleaningChunk));
+  RunChunkedTasks(pool, blocks.num_blocks(), kCleaningChunk,
+                  [&](size_t c, size_t begin, size_t end) {
+                    for (size_t bi = begin; bi < end; ++bi) {
+                      if (retained[bi].size() < 2) continue;
+                      Block b;
+                      b.key = blocks.block(bi).key;
+                      std::sort(retained[bi].begin(), retained[bi].end());
+                      b.entities = std::move(retained[bi]);
+                      chunk_kept[c].push_back(std::move(b));
+                    }
+                  });
   // Rebuild against the same key table: ReplaceBlocks keeps the interner.
-  blocks.ReplaceBlocks(std::move(kept));
+  blocks.ReplaceBlocks(FlattenInOrder(chunk_kept));
   return MakeStats(blocks, comparisons_before, blocks, collection, mode,
                    blocks_before);
 }

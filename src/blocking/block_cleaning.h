@@ -6,6 +6,12 @@
 // meta-blocking. They discard the blocks that contribute the bulk of the
 // comparisons but almost none of the matching pairs, at negligible recall
 // cost — the standard pipeline of block-based ER over heterogeneous data.
+//
+// Both operators run their scans on the chunked-pool pattern
+// (util/thread_pool.h RunChunkedTasks): pass a pool and the size histogram,
+// the per-entity membership filtering, and the keep scans fan out over
+// fixed-size chunks; pass nullptr and the same code runs inline. The
+// cleaned block collection is byte-identical at every thread count.
 
 #ifndef MINOAN_BLOCKING_BLOCK_CLEANING_H_
 #define MINOAN_BLOCKING_BLOCK_CLEANING_H_
@@ -15,6 +21,8 @@
 #include "blocking/block.h"
 
 namespace minoan {
+
+class ThreadPool;
 
 /// Result summary of a cleaning step.
 struct CleaningStats {
@@ -38,7 +46,8 @@ CleaningStats PurgeBySize(BlockCollection& blocks, uint32_t max_block_size,
 /// (oversized) blocks are noise.
 CleaningStats AutoPurge(BlockCollection& blocks,
                         const EntityCollection& collection,
-                        ResolutionMode mode, double smoothing = 1.025);
+                        ResolutionMode mode, double smoothing = 1.025,
+                        ThreadPool* pool = nullptr);
 
 /// Block filtering (Papadakis et al.): each entity retains only the
 /// ceil(ratio * |blocks(e)|) smallest of its blocks; blocks are then rebuilt
@@ -46,7 +55,7 @@ CleaningStats AutoPurge(BlockCollection& blocks,
 /// default.
 CleaningStats FilterBlocks(BlockCollection& blocks, double ratio,
                            const EntityCollection& collection,
-                           ResolutionMode mode);
+                           ResolutionMode mode, ThreadPool* pool = nullptr);
 
 }  // namespace minoan
 

@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "blocking/block.h"
+#include "extmem/memory_budget.h"
 #include "kb/collection.h"
 
 namespace minoan {
@@ -38,6 +39,29 @@ class BlockingMethod {
   BlockCollection Build(const EntityCollection& collection) const {
     return Build(collection, nullptr);
   }
+
+  /// External-memory budget for the postings shuffle. Disabled by default
+  /// (pure in-memory); when enabled, every postings-based Build (token,
+  /// PIS, attr-cluster, q-gram — anything on BuildShardedPostings) spills
+  /// sorted runs to temp files under the budget, with byte-identical
+  /// blocks either way (see extmem/shuffle.h). SortedNeighborhoodBlocking
+  /// is the exception: its sliding window runs over one globally sorted
+  /// key list and stays in-memory (see char_blocking.cc). Configuration,
+  /// not execution: call before Build (Build itself is const and never
+  /// mutates the method).
+  virtual void set_memory_budget(const extmem::MemoryBudgetOptions& memory) {
+    memory_ = memory;
+  }
+  const extmem::MemoryBudgetOptions& memory_budget() const { return memory_; }
+
+ protected:
+  /// The form BuildShardedPostings takes: null when the budget is disabled.
+  const extmem::MemoryBudgetOptions* memory_or_null() const {
+    return memory_.enabled() ? &memory_ : nullptr;
+  }
+
+ private:
+  extmem::MemoryBudgetOptions memory_;
 };
 
 /// Token blocking: one block per distinct token appearing in >= 2
@@ -146,6 +170,13 @@ class CompositeBlocking : public BlockingMethod {
   using BlockingMethod::Build;
   BlockCollection Build(const EntityCollection& collection,
                         ThreadPool* pool) const override;
+
+  /// Fans the budget out to the constituent methods eagerly, so Build
+  /// stays a pure const read.
+  void set_memory_budget(const extmem::MemoryBudgetOptions& memory) override {
+    BlockingMethod::set_memory_budget(memory);
+    for (const auto& method : methods_) method->set_memory_budget(memory);
+  }
 
  private:
   std::vector<std::unique_ptr<BlockingMethod>> methods_;

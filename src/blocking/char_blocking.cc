@@ -73,7 +73,7 @@ BlockCollection QGramBlocking::Build(const EntityCollection& collection,
           keys.resize(options_.max_grams_per_entity);
         }
       },
-      [](const std::string& s) { return Fnv1a64(s); });
+      [](const std::string& s) { return Fnv1a64(s); }, memory_or_null());
 
   const uint64_t df_cap = static_cast<uint64_t>(options_.max_df_fraction *
                                                 collection.num_entities());
@@ -92,6 +92,10 @@ BlockCollection SortedNeighborhoodBlocking::Build(
   // Build (key, entity) pairs: each entity contributes its rarest tokens.
   // Extraction fans out over fixed entity chunks; the global sort below
   // fixes one total order, so chunk concatenation order is irrelevant.
+  // NOTE: this method ignores any memory budget — its sliding window runs
+  // over ONE globally sorted key list, which key-hashed shard spilling
+  // cannot reproduce (windows span shard boundaries). See the ROADMAP
+  // extmem item; the budget-governed methods are the postings-based ones.
   const uint32_t n = collection.num_entities();
   std::vector<std::vector<std::pair<std::string, EntityId>>> chunk_keyed(
       NumChunks(n, kBlockingChunkEntities));
@@ -113,15 +117,8 @@ BlockCollection SortedNeighborhoodBlocking::Build(
       }
     }
   });
-  std::vector<std::pair<std::string, EntityId>> keyed;
-  size_t total = 0;
-  for (const auto& chunk : chunk_keyed) total += chunk.size();
-  keyed.reserve(total);
-  for (auto& chunk : chunk_keyed) {
-    keyed.insert(keyed.end(), std::make_move_iterator(chunk.begin()),
-                 std::make_move_iterator(chunk.end()));
-    chunk.clear();
-  }
+  std::vector<std::pair<std::string, EntityId>> keyed =
+      FlattenInOrder(chunk_keyed);
   std::sort(keyed.begin(), keyed.end());
 
   BlockCollection out;

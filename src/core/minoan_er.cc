@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/session.h"
+#include "extmem/spill_file.h"
 #include "util/logging.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -101,40 +102,54 @@ Status WorkflowOptions::Validate() const {
 
 std::unique_ptr<BlockingMethod> MakeWorkflowBlocker(
     const WorkflowOptions& options) {
+  std::unique_ptr<BlockingMethod> blocker;
   switch (options.blocker) {
     case BlockerChoice::kToken:
-      return std::make_unique<TokenBlocking>(options.token_options);
+      blocker = std::make_unique<TokenBlocking>(options.token_options);
+      break;
     case BlockerChoice::kPis:
-      return std::make_unique<PisBlocking>(options.pis_options);
+      blocker = std::make_unique<PisBlocking>(options.pis_options);
+      break;
     case BlockerChoice::kAttributeClustering:
-      return std::make_unique<AttributeClusteringBlocking>(
+      blocker = std::make_unique<AttributeClusteringBlocking>(
           options.attr_options);
+      break;
     case BlockerChoice::kTokenPlusPis: {
       std::vector<std::unique_ptr<BlockingMethod>> methods;
       methods.push_back(
           std::make_unique<TokenBlocking>(options.token_options));
       methods.push_back(std::make_unique<PisBlocking>(options.pis_options));
-      return std::make_unique<CompositeBlocking>(std::move(methods));
+      blocker = std::make_unique<CompositeBlocking>(std::move(methods));
+      break;
     }
   }
-  return std::make_unique<TokenBlocking>(options.token_options);
+  if (blocker == nullptr) {
+    blocker = std::make_unique<TokenBlocking>(options.token_options);
+  }
+  blocker->set_memory_budget(options.memory);
+  return blocker;
 }
 
-BlockCollection MinoanEr::BuildBlocks(
+Result<BlockCollection> MinoanEr::BuildBlocks(
     const EntityCollection& collection) const {
   const uint32_t threads = ResolveThreadCount(options_.num_threads);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  BlockCollection blocks =
-      MakeWorkflowBlocker(options_)->Build(collection, pool.get());
-  if (options_.auto_purge) {
-    AutoPurge(blocks, collection, options_.meta.mode);
+  try {
+    BlockCollection blocks =
+        MakeWorkflowBlocker(options_)->Build(collection, pool.get());
+    if (options_.auto_purge) {
+      AutoPurge(blocks, collection, options_.meta.mode, /*smoothing=*/1.025,
+                pool.get());
+    }
+    if (options_.filter_ratio > 0.0 && options_.filter_ratio < 1.0) {
+      FilterBlocks(blocks, options_.filter_ratio, collection,
+                   options_.meta.mode, pool.get());
+    }
+    return blocks;
+  } catch (const extmem::SpillError& e) {
+    return Status::IoError(e.what());
   }
-  if (options_.filter_ratio > 0.0 && options_.filter_ratio < 1.0) {
-    FilterBlocks(blocks, options_.filter_ratio, collection,
-                 options_.meta.mode);
-  }
-  return blocks;
 }
 
 Result<ResolutionReport> MinoanEr::Run(

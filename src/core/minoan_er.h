@@ -19,6 +19,7 @@
 #include "blocking/block.h"
 #include "blocking/block_cleaning.h"
 #include "blocking/blocking_method.h"
+#include "extmem/memory_budget.h"
 #include "kb/collection.h"
 #include "kb/neighbor_graph.h"
 #include "matching/similarity_evaluator.h"
@@ -61,6 +62,14 @@ struct WorkflowOptions {
   /// warm-start seeds: they enter the resolution state at zero budget cost
   /// and their neighborhoods gain evidence before matching starts.
   bool use_same_as_seeds = false;
+
+  /// Workflow-wide external-memory budget: fans out to the blocking
+  /// postings shuffle and (when meta.memory is left disabled) the
+  /// meta-blocking vote shards. Disabled by default; when enabled, both
+  /// shuffles spill sorted runs to temp files under
+  /// `memory.shuffle_budget_bytes` and the results are byte-identical to
+  /// the in-memory path. CLI: --memory-budget / --spill-dir.
+  extmem::MemoryBudgetOptions memory;
 
   /// Workflow-wide worker-thread count: fans out to blocking (inverted-index
   /// construction), graph-view construction, meta-blocking pruning, and the
@@ -116,7 +125,10 @@ class MinoanEr {
   Result<ResolutionReport> Run(const EntityCollection& collection) const;
 
   /// Phase 1 only: build + clean blocks (exposed for tooling and tests).
-  BlockCollection BuildBlocks(const EntityCollection& collection) const;
+  /// A spill failure under an external-memory budget surfaces as IoError,
+  /// matching Run/Open.
+  Result<BlockCollection> BuildBlocks(const EntityCollection& collection)
+      const;
 
   const WorkflowOptions& options() const { return options_; }
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "extmem/spill_file.h"
 #include "kb/neighbor_graph.h"
 #include "matching/similarity_evaluator.h"
 #include "metablocking/meta_blocking.h"
@@ -23,11 +24,15 @@ namespace {
 constexpr std::string_view kSessionMagic = "MNER-SESS-v1";
 
 /// Fans the workflow-wide thread count out to phases left at their default,
-/// exactly as the legacy one-shot Run did.
+/// exactly as the legacy one-shot Run did. The workflow memory budget fans
+/// out the same way: a phase-level meta.memory wins when set.
 MetaBlockingOptions EffectiveMetaOptions(const WorkflowOptions& options) {
   MetaBlockingOptions meta = options.meta;
   if (options.num_threads != 1 && meta.num_threads == 1) {
     meta.num_threads = options.num_threads;
+  }
+  if (options.memory.enabled() && !meta.memory.enabled()) {
+    meta.memory = options.memory;
   }
   return meta;
 }
@@ -165,42 +170,52 @@ Result<ResolutionSession> ResolutionSession::Open(
     impl->pool = std::make_unique<ThreadPool>(pool_threads);
   }
 
-  // ---- Blocking + cleaning ----------------------------------------------
-  watch.Restart();
-  BlockCollection raw = MakeWorkflowBlocker(options)->Build(
-      collection, block_threads > 1 ? impl->pool.get() : nullptr);
-  impl->blocks_built = raw.num_blocks();
-  impl->EmitPhase({"blocking", watch.ElapsedMillis(), impl->blocks_built});
-
-  watch.Restart();
-  if (options.auto_purge) {
-    AutoPurge(raw, collection, options.meta.mode);
-  }
-  if (options.filter_ratio > 0.0 && options.filter_ratio < 1.0) {
-    FilterBlocks(raw, options.filter_ratio, collection, options.meta.mode);
-  }
-  impl->blocks_after_cleaning = raw.num_blocks();
-  impl->comparisons_before_meta =
-      raw.AggregateComparisons(collection, options.meta.mode);
-  impl->EmitPhase(
-      {"block-cleaning", watch.ElapsedMillis(), impl->blocks_after_cleaning});
-
-  // ---- Meta-blocking ------------------------------------------------------
-  watch.Restart();
+  // ---- Blocking + cleaning + meta-blocking --------------------------------
+  // With a memory budget the shuffles hit the filesystem; a spill failure
+  // (unwritable temp dir, full disk) surfaces as a Status here instead of
+  // unwinding through the caller.
   std::vector<WeightedComparison> candidates;
-  if (options.enable_meta_blocking) {
-    MetaBlocking meta(meta_options);
-    candidates =
-        impl->pool && meta_threads > 1
-            ? meta.Prune(raw, collection, *impl->pool, &impl->meta_stats)
-            : meta.Prune(raw, collection, &impl->meta_stats);
-  } else {
-    // Distinct comparisons with CBS weights (no pruning).
-    raw.BuildEntityIndex(collection.num_entities());
-    for (const Comparison& c :
-         raw.DistinctComparisons(collection, options.meta.mode)) {
-      candidates.push_back({c.a, c.b, 1.0});
+  try {
+    watch.Restart();
+    BlockCollection raw = MakeWorkflowBlocker(options)->Build(
+        collection, block_threads > 1 ? impl->pool.get() : nullptr);
+    impl->blocks_built = raw.num_blocks();
+    impl->EmitPhase({"blocking", watch.ElapsedMillis(), impl->blocks_built});
+
+    watch.Restart();
+    ThreadPool* cleaning_pool =
+        block_threads > 1 ? impl->pool.get() : nullptr;
+    if (options.auto_purge) {
+      AutoPurge(raw, collection, options.meta.mode, /*smoothing=*/1.025,
+                cleaning_pool);
     }
+    if (options.filter_ratio > 0.0 && options.filter_ratio < 1.0) {
+      FilterBlocks(raw, options.filter_ratio, collection, options.meta.mode,
+                   cleaning_pool);
+    }
+    impl->blocks_after_cleaning = raw.num_blocks();
+    impl->comparisons_before_meta =
+        raw.AggregateComparisons(collection, options.meta.mode);
+    impl->EmitPhase({"block-cleaning", watch.ElapsedMillis(),
+                     impl->blocks_after_cleaning});
+
+    watch.Restart();
+    if (options.enable_meta_blocking) {
+      MetaBlocking meta(meta_options);
+      candidates =
+          impl->pool && meta_threads > 1
+              ? meta.Prune(raw, collection, *impl->pool, &impl->meta_stats)
+              : meta.Prune(raw, collection, &impl->meta_stats);
+    } else {
+      // Distinct comparisons with CBS weights (no pruning).
+      raw.BuildEntityIndex(collection.num_entities());
+      for (const Comparison& c :
+           raw.DistinctComparisons(collection, options.meta.mode)) {
+        candidates.push_back({c.a, c.b, 1.0});
+      }
+    }
+  } catch (const extmem::SpillError& e) {
+    return Status::IoError(e.what());
   }
   impl->comparisons_after_meta = candidates.size();
   impl->EmitPhase(

@@ -1,0 +1,67 @@
+// Copyright 2026 The MinoanER Authors.
+// MemoryBudgetOptions: the external-memory knob of the shuffle phases.
+//
+// MinoanER targets Web-of-Data-scale collections whose intermediate shuffle
+// state (blocking postings, meta-blocking vote shards) can exceed RAM. A
+// memory budget turns both shuffles into spill-to-disk shuffles (see
+// extmem/shuffle.h): each shard buffers records up to a bounded run size,
+// spills sorted runs to temp files, and merges them back in the exact byte
+// order the in-memory path emits — the output is bit-identical with and
+// without spilling, at every thread count.
+
+#ifndef MINOAN_EXTMEM_MEMORY_BUDGET_H_
+#define MINOAN_EXTMEM_MEMORY_BUDGET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace minoan {
+namespace extmem {
+
+/// Floor on the per-shard run buffer: below this, runs degenerate to a
+/// handful of records each and the merge fan-in explodes. Deliberately tiny
+/// so tests can force many runs on small corpora.
+inline constexpr uint64_t kMinSpillRunBytes = 256;
+
+/// Ceiling on the per-shard run buffer (the sink indexes its buffer with
+/// 32-bit offsets; 1 GiB per shard × 64 shards is far past the point where
+/// spilling stops being the bottleneck anyway).
+inline constexpr uint64_t kMaxSpillRunBytes = 1ull << 30;
+
+/// External-memory budget for the shuffle phases. Default-constructed =
+/// disabled (pure in-memory, today's fast path, zero overhead).
+struct MemoryBudgetOptions {
+  /// Total bytes the intermediate shuffle state of one phase may hold in
+  /// RAM before spilling, split evenly across that phase's shards.
+  /// 0 = unbounded (in-memory) unless spill_run_bytes is set.
+  uint64_t shuffle_budget_bytes = 0;
+
+  /// Explicit per-shard run-buffer size in bytes; overrides the
+  /// budget-derived split when non-zero. Mostly a testing/tuning knob.
+  uint64_t spill_run_bytes = 0;
+
+  /// Directory for temp run files. Empty = the system temp directory.
+  /// Each shuffle creates (and removes, on success and on error) its own
+  /// uniquely named subdirectory underneath.
+  std::string spill_dir;
+
+  /// True when any budget is set: the shuffles take the spill path.
+  bool enabled() const {
+    return shuffle_budget_bytes > 0 || spill_run_bytes > 0;
+  }
+
+  /// Run-buffer bytes for one of `num_shards` shard sinks.
+  uint64_t RunBytesPerShard(uint32_t num_shards) const {
+    const uint64_t raw = spill_run_bytes > 0
+                             ? spill_run_bytes
+                             : shuffle_budget_bytes /
+                                   std::max<uint32_t>(1, num_shards);
+    return std::clamp(raw, kMinSpillRunBytes, kMaxSpillRunBytes);
+  }
+};
+
+}  // namespace extmem
+}  // namespace minoan
+
+#endif  // MINOAN_EXTMEM_MEMORY_BUDGET_H_

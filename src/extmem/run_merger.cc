@@ -1,0 +1,63 @@
+#include "extmem/run_merger.h"
+
+#include <utility>
+
+namespace minoan {
+namespace extmem {
+
+RunMerger::RunMerger(std::vector<std::unique_ptr<ShuffleSource>> runs)
+    : runs_(std::move(runs)) {}
+
+RunMerger::~RunMerger() = default;
+
+bool RunMerger::Before(const Head& a, const Head& b) const {
+  const std::string_view ka = RecordKey(a.record);
+  const std::string_view kb = RecordKey(b.record);
+  const int cmp = ka.compare(kb);
+  if (cmp != 0) return cmp < 0;
+  return a.run < b.run;
+}
+
+void RunMerger::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t left = 2 * i + 1;
+    const size_t right = 2 * i + 2;
+    size_t best = i;
+    if (left < n && Before(heap_[left], heap_[best])) best = left;
+    if (right < n && Before(heap_[right], heap_[best])) best = right;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+bool RunMerger::Next(std::string_view& record) {
+  if (!primed_) {
+    primed_ = true;
+    heap_.reserve(runs_.size());
+    for (size_t r = 0; r < runs_.size(); ++r) {
+      std::string_view head;
+      if (runs_[r]->Next(head)) heap_.push_back(Head{head, r});
+    }
+    for (size_t i = heap_.size(); i-- > 0;) SiftDown(i);
+  } else if (!heap_.empty()) {
+    // Advance the run whose record the previous call handed out; its view
+    // is invalidated by this Next, which is why the advance is lazy.
+    Head& top = heap_[0];
+    std::string_view head;
+    if (runs_[top.run]->Next(head)) {
+      top.record = head;
+    } else {
+      heap_[0] = heap_.back();
+      heap_.pop_back();
+    }
+    if (!heap_.empty()) SiftDown(0);
+  }
+  if (heap_.empty()) return false;
+  record = heap_[0].record;
+  return true;
+}
+
+}  // namespace extmem
+}  // namespace minoan

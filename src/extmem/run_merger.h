@@ -1,0 +1,52 @@
+// Copyright 2026 The MinoanER Authors.
+// RunMerger: the k-way merge reader over sorted shuffle runs.
+//
+// Each input run is a ShuffleSource whose records are already sorted by key
+// (lexicographic over the order-preserving key bytes), with equal keys in
+// arrival order. The merger emits the union sorted by key, breaking key
+// ties by run index (lower first). Because the spill sink cuts runs at
+// arrival boundaries — run 0 holds the earliest records, the final
+// in-memory buffer the latest — run-index tie-breaking reproduces the
+// STABLE sort of the full arrival sequence, byte for byte.
+
+#ifndef MINOAN_EXTMEM_RUN_MERGER_H_
+#define MINOAN_EXTMEM_RUN_MERGER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "extmem/shuffle.h"
+
+namespace minoan {
+namespace extmem {
+
+class RunMerger : public ShuffleSource {
+ public:
+  /// Takes ownership of the runs. Each must yield records in sorted key
+  /// order; `runs` must be in arrival order (earliest batch first).
+  explicit RunMerger(std::vector<std::unique_ptr<ShuffleSource>> runs);
+  ~RunMerger() override;
+
+  bool Next(std::string_view& record) override;
+
+ private:
+  struct Head {
+    std::string_view record;  // current record of runs_[run]
+    size_t run;
+  };
+
+  /// Restores the min-heap property for heap_[i] downward.
+  void SiftDown(size_t i);
+  /// True when heap_[a] orders before heap_[b]: (key, run) ascending.
+  bool Before(const Head& a, const Head& b) const;
+
+  std::vector<std::unique_ptr<ShuffleSource>> runs_;
+  std::vector<Head> heap_;
+  bool primed_ = false;
+};
+
+}  // namespace extmem
+}  // namespace minoan
+
+#endif  // MINOAN_EXTMEM_RUN_MERGER_H_

@@ -1,0 +1,167 @@
+#include "extmem/shuffle.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#include "extmem/run_merger.h"
+
+namespace minoan {
+namespace extmem {
+
+namespace {
+
+// Process-wide spill telemetry. Tests and benches read these to prove that
+// a "forced spill" configuration really exercised the disk path.
+std::atomic<uint64_t> g_runs_spilled{0};
+std::atomic<uint64_t> g_bytes_spilled{0};
+std::atomic<uint64_t> g_sinks_spilled{0};
+std::atomic<uint64_t> g_sinks_loaded{0};
+std::atomic<uint64_t> g_min_runs{std::numeric_limits<uint64_t>::max()};
+
+void AtomicMin(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Source over one sorted in-memory record buffer (the never-spilled fast
+/// case, and the final partial run of a spilled sink).
+class BufferSource : public ShuffleSource {
+ public:
+  BufferSource(std::string buffer, std::vector<uint32_t> order)
+      : buffer_(std::move(buffer)), order_(std::move(order)) {}
+
+  bool Next(std::string_view& record) override {
+    if (next_ >= order_.size()) return false;
+    const std::string_view framed =
+        std::string_view(buffer_).substr(order_[next_]);
+    record = framed.substr(4, ReadU32Le(framed));
+    ++next_;
+    return true;
+  }
+
+ private:
+  std::string buffer_;
+  std::vector<uint32_t> order_;
+  size_t next_ = 0;
+};
+
+/// Source over one spilled run file.
+class FileSource : public ShuffleSource {
+ public:
+  explicit FileSource(const std::string& path) : reader_(path) {}
+  bool Next(std::string_view& record) override {
+    return reader_.Next(record);
+  }
+
+ private:
+  SpillFileReader reader_;
+};
+
+}  // namespace
+
+SpillTelemetry GetSpillTelemetry() {
+  SpillTelemetry t;
+  t.runs_spilled = g_runs_spilled.load();
+  t.bytes_spilled = g_bytes_spilled.load();
+  t.sinks_spilled = g_sinks_spilled.load();
+  t.sinks_loaded = g_sinks_loaded.load();
+  t.min_runs_per_loaded_sink = g_min_runs.load();
+  return t;
+}
+
+void ResetSpillTelemetry() {
+  g_runs_spilled = 0;
+  g_bytes_spilled = 0;
+  g_sinks_spilled = 0;
+  g_sinks_loaded = 0;
+  g_min_runs = std::numeric_limits<uint64_t>::max();
+}
+
+SpillShuffle::SpillShuffle(uint64_t run_bytes, ScopedSpillDir* dir)
+    : run_bytes_(run_bytes), dir_(dir) {}
+
+SpillShuffle::~SpillShuffle() = default;
+
+void SpillShuffle::Add(std::string_view record) {
+  // Record offsets are 32-bit (half the index memory of size_t). The
+  // budgeted path can never get here — kMaxSpillRunBytes caps runs at
+  // 1 GiB — so this only trips a never-spill (run_bytes == 0) sink fed
+  // past 4 GiB, which must fail loudly instead of wrapping offsets into
+  // silent corruption.
+  if (buffer_.size() + record.size() >
+      std::numeric_limits<uint32_t>::max() - 8) {
+    throw SpillError(
+        "spill: in-memory sink exceeded 4 GiB; set a memory budget so the "
+        "shuffle spills");
+  }
+  offsets_.push_back(static_cast<uint32_t>(buffer_.size()));
+  AppendFramed(buffer_, record);
+  ++records_;
+  if (run_bytes_ > 0 && buffer_.size() >= run_bytes_) SpillRun();
+}
+
+void SpillShuffle::SortBuffer() {
+  order_.assign(offsets_.begin(), offsets_.end());
+  const std::string_view buffer = buffer_;
+  // Stable: equal keys keep arrival order within the run.
+  std::stable_sort(order_.begin(), order_.end(),
+                   [buffer](uint32_t a, uint32_t b) {
+                     const std::string_view ra = buffer.substr(a);
+                     const std::string_view rb = buffer.substr(b);
+                     return RecordKey(ra.substr(4, ReadU32Le(ra)))
+                                .compare(RecordKey(
+                                    rb.substr(4, ReadU32Le(rb)))) < 0;
+                   });
+}
+
+void SpillShuffle::SpillRun() {
+  if (offsets_.empty()) return;
+  SortBuffer();
+  std::string path = dir_->NextRunPath();
+  SpillFileWriter writer(path);
+  const std::string_view buffer = buffer_;
+  for (const uint32_t off : order_) {
+    const std::string_view framed = buffer.substr(off);
+    writer.Append(framed.substr(4, ReadU32Le(framed)));
+  }
+  g_bytes_spilled.fetch_add(writer.Close(), std::memory_order_relaxed);
+  g_runs_spilled.fetch_add(1, std::memory_order_relaxed);
+  run_paths_.push_back(std::move(path));
+  buffer_.clear();
+  offsets_.clear();
+  order_.clear();
+  ++runs_spilled_;
+}
+
+std::unique_ptr<ShuffleSource> SpillShuffle::Finish() {
+  if (records_ > 0) {
+    g_sinks_loaded.fetch_add(1, std::memory_order_relaxed);
+    AtomicMin(g_min_runs, runs_spilled_);
+    if (runs_spilled_ > 0) {
+      g_sinks_spilled.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  SortBuffer();
+  auto tail = std::make_unique<BufferSource>(std::move(buffer_),
+                                             std::move(order_));
+  buffer_.clear();
+  offsets_.clear();
+  order_.clear();
+  if (run_paths_.empty()) return tail;
+  // Runs in spill order, the in-memory tail last: run index == arrival
+  // order, which is what makes the merge a stable sort.
+  std::vector<std::unique_ptr<ShuffleSource>> runs;
+  runs.reserve(run_paths_.size() + 1);
+  for (const std::string& path : run_paths_) {
+    runs.push_back(std::make_unique<FileSource>(path));
+  }
+  runs.push_back(std::move(tail));
+  return std::make_unique<RunMerger>(std::move(runs));
+}
+
+}  // namespace extmem
+}  // namespace minoan

@@ -1,0 +1,326 @@
+// Copyright 2026 The MinoanER Authors.
+// The external-memory shuffle engine: bounded-memory shard sinks that spill
+// sorted runs to disk and merge them back in the exact byte order the
+// in-memory shuffle path produces.
+//
+// Both deterministic shard cores of the pipeline — the blocking postings
+// shuffle (blocking/sharded_blocking.h) and the meta-blocking vote shards
+// (metablocking/sharded_prune.cc) — share one contract: records are routed
+// to key-hashed shards IN ARRIVAL ORDER (chunk order, then within-chunk
+// scan order), and each shard's output is the stable sort of its records by
+// key. The spill engine reproduces that order with bounded memory:
+//
+//   * records are serialized as [u32 LE key_len][key bytes][payload], where
+//     the key bytes are ORDER-PRESERVING (big-endian integers, raw strings)
+//     so that lexicographic byte comparison of keys equals the logical sort
+//     order;
+//   * a SpillShuffle sink buffers records up to a run budget, stable-sorts
+//     the buffer by key, and spills it as one sorted run file;
+//   * Finish() returns a ShuffleSource that k-way-merges the runs plus the
+//     final in-memory buffer, breaking key ties by run index — runs hold
+//     arrival-contiguous batches, so run-index order IS arrival order and
+//     the merged stream equals the stable sort of all records.
+//
+// The net guarantee: for any run budget (including "never spill"), any
+// spill timing, and any thread count, a shard's merged stream is
+// byte-identical to the in-memory stable sort. Temp files live in a
+// ScopedSpillDir and are removed when the shuffle ends, on success and on
+// exception.
+
+#ifndef MINOAN_EXTMEM_SHUFFLE_H_
+#define MINOAN_EXTMEM_SHUFFLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "extmem/memory_budget.h"
+#include "extmem/spill_file.h"
+#include "util/thread_pool.h"
+
+namespace minoan {
+namespace extmem {
+
+// ---------------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------------
+// A shuffle record is [u32 LE key_len][key bytes][payload bytes]. Key bytes
+// must be order-preserving under lexicographic comparison; payload bytes are
+// opaque to the engine.
+
+/// Key span of a serialized record.
+inline std::string_view RecordKey(std::string_view record) {
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<unsigned char>(record[i]))
+           << (8 * i);
+  }
+  return record.substr(4, len);
+}
+
+/// Payload span of a serialized record.
+inline std::string_view RecordPayload(std::string_view record) {
+  return record.substr(4 + RecordKey(record).size());
+}
+
+inline void AppendU32Le(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void AppendU32Be(std::string& out, uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void AppendU64Be(std::string& out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void AppendU64Le(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline uint32_t ReadU32Be(std::string_view bytes) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  return v;
+}
+
+inline uint64_t ReadU64Be(std::string_view bytes) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  return v;
+}
+
+inline uint32_t ReadU32Le(std::string_view bytes) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+inline uint64_t ReadU64Le(std::string_view bytes) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Begins a record with an order-preserving encoding of `key`: big-endian
+/// for integers (byte order == numeric order), raw bytes for strings (byte
+/// order == std::string's lexicographic order). `out` is overwritten.
+inline void EncodeKey(uint32_t key, std::string& out) {
+  out.clear();
+  AppendU32Le(out, 4);
+  AppendU32Be(out, key);
+}
+inline void EncodeKey(uint64_t key, std::string& out) {
+  out.clear();
+  AppendU32Le(out, 8);
+  AppendU64Be(out, key);
+}
+inline void EncodeKey(const std::string& key, std::string& out) {
+  out.clear();
+  AppendU32Le(out, static_cast<uint32_t>(key.size()));
+  out.append(key);
+}
+
+/// Decodes a key span written by the matching EncodeKey overload.
+template <typename Key>
+Key DecodeKey(std::string_view key_bytes) {
+  if constexpr (std::is_same_v<Key, uint32_t>) {
+    return ReadU32Be(key_bytes);
+  } else if constexpr (std::is_same_v<Key, uint64_t>) {
+    return ReadU64Be(key_bytes);
+  } else {
+    static_assert(std::is_same_v<Key, std::string>,
+                  "unsupported shuffle key type");
+    return std::string(key_bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sink / source abstraction
+// ---------------------------------------------------------------------------
+
+/// A stream of shuffle records. Views returned by Next stay valid until the
+/// next call only.
+class ShuffleSource {
+ public:
+  virtual ~ShuffleSource() = default;
+  /// Advances to the next record; false at end of stream.
+  virtual bool Next(std::string_view& record) = 0;
+};
+
+/// A shard's record collector. Add records in arrival order, then Finish
+/// exactly once to read them back sorted by key (equal keys in arrival
+/// order).
+class ShuffleSink {
+ public:
+  virtual ~ShuffleSink() = default;
+  virtual void Add(std::string_view record) = 0;
+  virtual std::unique_ptr<ShuffleSource> Finish() = 0;
+};
+
+/// The spilling sink. With run_bytes == 0 it never spills (pure in-memory
+/// stable sort); with a budget it spills a sorted run whenever the buffer
+/// exceeds `run_bytes`. `dir` must outlive the source returned by Finish
+/// (run files are read lazily); it may be null only when run_bytes == 0.
+class SpillShuffle : public ShuffleSink {
+ public:
+  SpillShuffle(uint64_t run_bytes, ScopedSpillDir* dir);
+  ~SpillShuffle() override;
+
+  void Add(std::string_view record) override;
+  std::unique_ptr<ShuffleSource> Finish() override;
+
+  uint64_t records() const { return records_; }
+  uint64_t runs_spilled() const { return runs_spilled_; }
+
+ private:
+  /// Stable-sorts the buffered records by key; fills `order_` with record
+  /// start offsets in sorted order.
+  void SortBuffer();
+  void SpillRun();
+
+  uint64_t run_bytes_;
+  ScopedSpillDir* dir_;
+  std::string buffer_;               // framed records, arrival order
+  std::vector<uint32_t> offsets_;    // record frame start offsets
+  std::vector<uint32_t> order_;      // offsets_ permuted into sorted order
+  std::vector<std::string> run_paths_;
+  uint64_t records_ = 0;
+  uint64_t runs_spilled_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Telemetry (process-wide, for tests and benches)
+// ---------------------------------------------------------------------------
+
+struct SpillTelemetry {
+  uint64_t runs_spilled = 0;   ///< total sorted runs written to disk
+  uint64_t bytes_spilled = 0;  ///< total bytes written to run files
+  uint64_t sinks_spilled = 0;  ///< finished sinks that spilled >= 1 run
+  uint64_t sinks_loaded = 0;   ///< finished sinks that received >= 1 record
+  /// Minimum runs_spilled over finished sinks that received >= 1 record
+  /// (UINT64_MAX when none finished yet) — the "every shard really spilled
+  /// k runs" probe of the determinism tests.
+  uint64_t min_runs_per_loaded_sink = 0;
+};
+
+SpillTelemetry GetSpillTelemetry();
+void ResetSpillTelemetry();
+
+// ---------------------------------------------------------------------------
+// The chunked spill-shuffle driver
+// ---------------------------------------------------------------------------
+
+/// Chunks scanned per wave. Bounds the transient per-wave emission memory to
+/// O(wave × chunk emissions) independently of the corpus size; output is
+/// byte-identical for ANY wave size (wave boundaries only decide when runs
+/// spill, never the record order fed to a shard).
+inline constexpr size_t kSpillWaveChunks = 64;
+
+/// Appends a framed copy of `record` to `out`.
+inline void AppendFramed(std::string& out, std::string_view record) {
+  AppendU32Le(out, static_cast<uint32_t>(record.size()));
+  out.append(record);
+}
+
+/// Calls `fn(record)` for every framed record in `framed`.
+template <typename Fn>
+void ForEachFramed(std::string_view framed, const Fn& fn) {
+  size_t pos = 0;
+  while (pos < framed.size()) {
+    const uint32_t len = ReadU32Le(framed.substr(pos, 4));
+    fn(framed.substr(pos + 4, len));
+    pos += 4 + len;
+  }
+}
+
+/// Drives one deterministic bounded-memory shuffle over [0, total) dealt in
+/// fixed-size chunks:
+///
+///   1. chunks are scanned in waves of kSpillWaveChunks (parallel within a
+///      wave); `scan(chunk, begin, end, route)` serializes each record and
+///      calls `route(shard, record)`;
+///   2. each shard sink receives its records in (chunk, within-chunk scan)
+///      order — the sequential arrival order — spilling sorted runs when
+///      over budget (parallel across shards);
+///   3. `consume(shard, source)` streams each shard's merged, key-sorted
+///      records (parallel across shards).
+///
+/// Chunk and shard task boundaries are fixed (never derived from the worker
+/// count), so the consumed streams are byte-identical at every thread count
+/// and for every budget. Temp files are removed before returning, and by
+/// ScopedSpillDir's destructor when an exception unwinds.
+template <typename ScanFn, typename ConsumeFn>
+void RunSpilledShuffle(ThreadPool* pool, size_t total, size_t chunk_size,
+                       uint32_t num_shards,
+                       const MemoryBudgetOptions& memory, const ScanFn& scan,
+                       const ConsumeFn& consume) {
+  ScopedSpillDir dir(memory.spill_dir);
+  const uint64_t run_bytes = memory.RunBytesPerShard(num_shards);
+  std::vector<std::unique_ptr<SpillShuffle>> sinks(num_shards);
+  for (auto& sink : sinks) {
+    sink = std::make_unique<SpillShuffle>(run_bytes, &dir);
+  }
+
+  const size_t num_chunks = NumChunks(total, chunk_size);
+  for (size_t wave_begin = 0; wave_begin < num_chunks;
+       wave_begin += kSpillWaveChunks) {
+    const size_t wave_end =
+        std::min(num_chunks, wave_begin + kSpillWaveChunks);
+    // Per (chunk-of-wave, shard) framed record slices, built in parallel.
+    std::vector<std::vector<std::string>> slices(
+        wave_end - wave_begin, std::vector<std::string>(num_shards));
+    RunPoolTasks(pool, wave_end - wave_begin, [&](size_t i) {
+      const size_t c = wave_begin + i;
+      const size_t begin = c * chunk_size;
+      const size_t end = std::min(total, begin + chunk_size);
+      scan(c, begin, end, [&](uint32_t shard, std::string_view record) {
+        AppendFramed(slices[i][shard], record);
+      });
+    });
+    // Feed the wave into the sinks in chunk order (parallel across shards:
+    // a shard is owned by exactly one task).
+    RunPoolTasks(pool, num_shards, [&](size_t s) {
+      for (auto& chunk_slices : slices) {
+        ForEachFramed(chunk_slices[s], [&](std::string_view record) {
+          sinks[s]->Add(record);
+        });
+        chunk_slices[s].clear();
+        chunk_slices[s].shrink_to_fit();
+      }
+    });
+  }
+
+  RunPoolTasks(pool, num_shards, [&](size_t s) {
+    std::unique_ptr<ShuffleSource> source = sinks[s]->Finish();
+    consume(static_cast<uint32_t>(s), *source);
+    sinks[s].reset();  // release run readers before the dir is removed
+  });
+}
+
+}  // namespace extmem
+}  // namespace minoan
+
+#endif  // MINOAN_EXTMEM_SHUFFLE_H_

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "blocking/block.h"
+#include "extmem/memory_budget.h"
 #include "kb/entity.h"
 
 namespace minoan {
@@ -53,6 +54,10 @@ struct MetaBlockingOptions {
   /// use a pool of N workers, 0 = hardware concurrency. The retained edge
   /// list is bit-identical for every value (see sharded_prune.h).
   uint32_t num_threads = 1;
+  /// External-memory budget for the node-centric vote shards: when enabled,
+  /// nominations spill sorted runs to temp files instead of accumulating in
+  /// RAM — with a bit-identical retained edge list either way.
+  extmem::MemoryBudgetOptions memory;
 };
 
 /// Summary counters of one meta-blocking run.

@@ -1,10 +1,13 @@
 #include "metablocking/sharded_prune.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstddef>
 #include <functional>
+#include <string>
 
+#include "extmem/shuffle.h"
 #include "metablocking/meta_blocking.h"
 #include "util/hash.h"
 #include "util/topk.h"
@@ -41,20 +44,6 @@ struct ChunkPartial {
   double weight_sum = 0.0;
   uint64_t edges = 0;
 };
-
-/// Flattens per-task result vectors in task order.
-template <typename T>
-std::vector<T> Concatenate(std::vector<std::vector<T>>& parts) {
-  size_t total = 0;
-  for (const auto& p : parts) total += p.size();
-  std::vector<T> out;
-  out.reserve(total);
-  for (auto& p : parts) {
-    out.insert(out.end(), p.begin(), p.end());
-    p.clear();
-  }
-  return out;
-}
 
 }  // namespace
 
@@ -118,7 +107,7 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
                             });
         }
       });
-      retained = Concatenate(kept);
+      retained = FlattenInOrder(kept);
       break;
     }
     case PruningScheme::kCep: {
@@ -175,19 +164,19 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
                                   view.total_block_assignments()) /
                               static_cast<double>(placed))));
       const bool is_wnp = options.pruning == PruningScheme::kWnp;
-      std::vector<std::vector<std::vector<Nomination>>> chunk_noms(
-          num_chunks,
-          std::vector<std::vector<Nomination>>(kPruneVoteShards));
+      const size_t needed = options.reciprocal ? 2 : 1;
       std::vector<ChunkPartial> partials(num_chunks);
-      RunPoolTasks(pool, num_chunks, [&](size_t c) {
+      std::vector<std::vector<WeightedComparison>> shard_kept(
+          kPruneVoteShards);
+      std::vector<std::pair<uint64_t, uint64_t>> shard_counts(
+          kPruneVoteShards);
+
+      // The per-entity nomination scan, shared by the in-memory and the
+      // spilled phase A. `nominate(e, key, w)` routes one vote.
+      const auto scan_chunk = [&](size_t c, const auto& nominate) {
         NeighborScratch& scratch = TlsNeighborScratch(n);
-        auto& shards = chunk_noms[c];
         ChunkPartial partial;
         std::vector<std::pair<EntityId, double>> local;
-        const auto nominate = [&shards](EntityId e, uint64_t key, double w) {
-          shards[Mix64(key) & (kPruneVoteShards - 1)].push_back(
-              Nomination{key, e, w});
-        };
         const auto [begin, end] = chunk_range(c);
         for (EntityId e = begin; e < end; ++e) {
           local.clear();
@@ -218,51 +207,113 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
           }
         }
         partials[c] = partial;
-      });
+      };
+      // One pair's complete vote set is a (key, nominator)-sorted run whose
+      // last entry is the larger endpoint — the endpoint whose weight the
+      // sequential vote table kept. `flush_group` applies the retention
+      // rule to one such run.
+      const auto flush_group = [&](size_t s, uint64_t key, size_t group_votes,
+                                   double last_weight, uint64_t& pairs) {
+        ++pairs;
+        if (group_votes >= needed) {
+          shard_kept[s].push_back(
+              {PairKeyFirst(key), PairKeySecond(key), last_weight});
+        }
+      };
+
+      if (options.memory.enabled()) {
+        // External-memory phase A/B: nominations stream through spilling
+        // vote-shard sinks as (pair, nominator)-keyed records; each shard's
+        // merged stream is exactly the sorted vote array the in-memory path
+        // aggregates, so the retained edges carry identical bytes.
+        extmem::RunSpilledShuffle(
+            pool, n, kPruneChunkEntities, kPruneVoteShards, options.memory,
+            [&](size_t c, size_t /*begin*/, size_t /*end*/,
+                const auto& route) {
+              std::string record;
+              scan_chunk(c, [&](EntityId e, uint64_t key, double w) {
+                record.clear();
+                extmem::AppendU32Le(record, 12);  // key: pair + nominator
+                extmem::AppendU64Be(record, key);
+                extmem::AppendU32Be(record, e);
+                extmem::AppendU64Le(record, std::bit_cast<uint64_t>(w));
+                route(static_cast<uint32_t>(Mix64(key) &
+                                            (kPruneVoteShards - 1)),
+                      record);
+              });
+            },
+            [&](uint32_t s, extmem::ShuffleSource& source) {
+              std::string_view record;
+              uint64_t votes = 0, pairs = 0;
+              uint64_t group_key = 0;
+              size_t group_votes = 0;
+              double last_weight = 0.0;
+              bool open = false;
+              while (source.Next(record)) {
+                ++votes;
+                const uint64_t key = extmem::ReadU64Be(
+                    extmem::RecordKey(record).substr(0, 8));
+                if (open && key != group_key) {
+                  flush_group(s, group_key, group_votes, last_weight, pairs);
+                  group_votes = 0;
+                }
+                group_key = key;
+                open = true;
+                ++group_votes;
+                last_weight = std::bit_cast<double>(
+                    extmem::ReadU64Le(extmem::RecordPayload(record)));
+              }
+              if (open) {
+                flush_group(s, group_key, group_votes, last_weight, pairs);
+              }
+              shard_counts[s] = {votes, pairs};
+            });
+      } else {
+        // In-memory phase A: chunk-local shard buffers, no shared state.
+        std::vector<std::vector<std::vector<Nomination>>> chunk_noms(
+            num_chunks,
+            std::vector<std::vector<Nomination>>(kPruneVoteShards));
+        RunPoolTasks(pool, num_chunks, [&](size_t c) {
+          auto& shards = chunk_noms[c];
+          scan_chunk(c, [&shards](EntityId e, uint64_t key, double w) {
+            shards[Mix64(key) & (kPruneVoteShards - 1)].push_back(
+                Nomination{key, e, w});
+          });
+        });
+
+        // In-memory phase B: per-shard vote aggregation over the gathered
+        // (key, nominator)-sorted array.
+        RunPoolTasks(pool, kPruneVoteShards, [&](size_t s) {
+          std::vector<Nomination> votes;
+          size_t total = 0;
+          for (const auto& chunk : chunk_noms) total += chunk[s].size();
+          votes.reserve(total);
+          for (const auto& chunk : chunk_noms) {
+            votes.insert(votes.end(), chunk[s].begin(), chunk[s].end());
+          }
+          std::sort(votes.begin(), votes.end());
+          uint64_t pairs = 0;
+          size_t i = 0;
+          while (i < votes.size()) {
+            size_t j = i;
+            while (j < votes.size() && votes[j].key == votes[i].key) ++j;
+            flush_group(s, votes[i].key, j - i, votes[j - 1].weight, pairs);
+            i = j;
+          }
+          shard_counts[s] = {votes.size(), pairs};
+        });
+      }
       for (const ChunkPartial& p : partials) {
         weight_sum += p.weight_sum;
         graph_edges += p.edges;
       }
       graph_edges /= 2;
       weight_sum /= 2.0;
-
-      // Phase B: per-shard vote aggregation. A pair receives at most one
-      // nomination per endpoint, so a (key, nominator)-sorted run is the
-      // pair's complete vote set and its last entry is the larger endpoint.
-      const size_t needed = options.reciprocal ? 2 : 1;
-      std::vector<std::vector<WeightedComparison>> shard_kept(
-          kPruneVoteShards);
-      std::vector<std::pair<uint64_t, uint64_t>> shard_counts(
-          kPruneVoteShards);
-      RunPoolTasks(pool, kPruneVoteShards, [&](size_t s) {
-        std::vector<Nomination> votes;
-        size_t total = 0;
-        for (const auto& chunk : chunk_noms) total += chunk[s].size();
-        votes.reserve(total);
-        for (const auto& chunk : chunk_noms) {
-          votes.insert(votes.end(), chunk[s].begin(), chunk[s].end());
-        }
-        std::sort(votes.begin(), votes.end());
-        uint64_t pairs = 0;
-        size_t i = 0;
-        while (i < votes.size()) {
-          size_t j = i;
-          while (j < votes.size() && votes[j].key == votes[i].key) ++j;
-          ++pairs;
-          if (j - i >= needed) {
-            shard_kept[s].push_back({PairKeyFirst(votes[i].key),
-                                     PairKeySecond(votes[i].key),
-                                     votes[j - 1].weight});
-          }
-          i = j;
-        }
-        shard_counts[s] = {votes.size(), pairs};
-      });
       for (const auto& [votes, pairs] : shard_counts) {
         nominations += votes;
         distinct_pairs += pairs;
       }
-      retained = Concatenate(shard_kept);
+      retained = FlattenInOrder(shard_kept);
       break;
     }
   }

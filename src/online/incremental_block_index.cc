@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/hash.h"
+#include "util/serde.h"
 
 namespace minoan {
 namespace online {
@@ -110,6 +111,98 @@ void IncrementalBlockIndex::AddEntity(const EntityCollection& collection,
     ++pairs_emitted_;
   }
   collection_ = nullptr;
+}
+
+void IncrementalBlockIndex::Save(std::ostream& out) const {
+  const auto save_posting = [&out](const Posting& posting) {
+    serde::WriteU64(out, posting.members.size());
+    for (const EntityId e : posting.members) serde::WriteU32(out, e);
+    serde::WriteU32(out, posting.emitted_prefix);
+  };
+  serde::WriteU64(out, token_postings_.size());
+  for (const Posting& p : token_postings_) save_posting(p);
+  serde::WriteU64(out, live_token_postings_);
+
+  // PIS postings in canonical ascending-key order.
+  std::vector<const std::pair<const std::string, Posting>*> pis;
+  pis.reserve(pis_postings_.size());
+  for (const auto& entry : pis_postings_) pis.push_back(&entry);
+  std::sort(pis.begin(), pis.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  serde::WriteU64(out, pis.size());
+  for (const auto* entry : pis) {
+    serde::WriteString(out, entry->first);
+    save_posting(entry->second);
+  }
+
+  serde::WriteU64(out, entity_keys_.size());
+  for (const uint32_t k : entity_keys_) serde::WriteU32(out, k);
+
+  std::vector<uint64_t> emitted(emitted_.begin(), emitted_.end());
+  std::sort(emitted.begin(), emitted.end());
+  serde::WriteU64(out, emitted.size());
+  for (const uint64_t pair : emitted) serde::WriteU64(out, pair);
+  serde::WriteU64(out, pairs_emitted_);
+}
+
+bool IncrementalBlockIndex::Load(std::istream& in, uint32_t num_entities) {
+  const auto load_posting = [&](Posting& posting) {
+    uint64_t count;
+    if (!serde::ReadU64(in, count)) return false;
+    posting.members.clear();
+    posting.members.reserve(serde::ClampedReserve(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t e;
+      if (!serde::ReadU32(in, e) || e >= num_entities) return false;
+      posting.members.push_back(e);
+    }
+    return serde::ReadU32(in, posting.emitted_prefix) &&
+           posting.emitted_prefix <= posting.members.size();
+  };
+
+  // Counts are never rejected outright (a big index must stay restorable);
+  // reserves are clamped and growth happens as elements actually parse, so
+  // a corrupt count fails at the real end of the stream.
+  uint64_t n_token;
+  if (!serde::ReadU64(in, n_token)) return false;
+  token_postings_.clear();
+  token_postings_.reserve(serde::ClampedReserve(n_token));
+  for (uint64_t i = 0; i < n_token; ++i) {
+    Posting posting;
+    if (!load_posting(posting)) return false;
+    token_postings_.push_back(std::move(posting));
+  }
+  if (!serde::ReadU64(in, live_token_postings_)) return false;
+
+  uint64_t n_pis;
+  if (!serde::ReadU64(in, n_pis)) return false;
+  pis_postings_.clear();
+  for (uint64_t i = 0; i < n_pis; ++i) {
+    std::string key;
+    if (!serde::ReadString(in, key)) return false;
+    if (!load_posting(pis_postings_[key])) return false;
+  }
+
+  uint64_t n_keys;
+  if (!serde::ReadU64(in, n_keys) || n_keys > num_entities) return false;
+  entity_keys_.assign(n_keys, 0);
+  for (uint64_t i = 0; i < n_keys; ++i) {
+    if (!serde::ReadU32(in, entity_keys_[i])) return false;
+  }
+
+  uint64_t n_emitted;
+  if (!serde::ReadU64(in, n_emitted)) return false;
+  emitted_.clear();
+  emitted_.reserve(serde::ClampedReserve(n_emitted) * 2);
+  for (uint64_t i = 0; i < n_emitted; ++i) {
+    uint64_t pair;
+    if (!serde::ReadU64(in, pair) ||
+        !serde::ValidPairKey(pair, num_entities)) {
+      return false;
+    }
+    emitted_.insert(pair);
+  }
+  return static_cast<bool>(serde::ReadU64(in, pairs_emitted_));
 }
 
 }  // namespace online

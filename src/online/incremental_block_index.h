@@ -26,6 +26,8 @@
 #define MINOAN_ONLINE_INCREMENTAL_BLOCK_INDEX_H_
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -79,6 +81,15 @@ class IncrementalBlockIndex {
   }
 
   const OnlineBlockingOptions& options() const { return options_; }
+
+  /// Serializes the full index state (postings, watermarks, the emitted-pair
+  /// set, per-entity key counts) in a canonical order (util/serde.h format).
+  void Save(std::ostream& out) const;
+
+  /// Restores a Save stream, replacing this index's state. Every entity id
+  /// must be < `num_entities`; returns false on a truncated, corrupt, or
+  /// out-of-range stream (leaving the index unusable — discard it).
+  bool Load(std::istream& in, uint32_t num_entities);
 
  private:
   struct Posting {

@@ -1,11 +1,14 @@
 #include "online/online_resolver.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <string_view>
 #include <thread>
 
 #include "text/similarity.h"
 #include "util/hash.h"
+#include "util/serde.h"
 #include "util/thread_pool.h"
 
 namespace minoan {
@@ -32,6 +35,45 @@ void BuildTfidf(const EntityCollection& collection, EntityId e,
     i = j;
   }
 }
+
+/// Format tag of the serialized engine state; bump on layout changes.
+constexpr std::string_view kOnlineStateMagic = "MNER-ONLN-v1";
+
+uint64_t MixU(uint64_t seed, uint64_t v) { return HashCombine(seed, v); }
+uint64_t MixD(uint64_t seed, double v) {
+  return HashCombine(seed, std::bit_cast<uint64_t>(v));
+}
+
+/// Digest of every option that shapes the online resolution trajectory; a
+/// restored engine must step identically to the saving one, so mismatched
+/// options are rejected instead of silently diverging.
+uint64_t OnlineOptionsDigest(const OnlineOptions& o) {
+  uint64_t h = Fnv1a64("minoan-online-options");
+  h = MixD(h, o.matcher.threshold);
+  h = MixU(h, static_cast<uint64_t>(o.benefit));
+  h = MixD(h, o.benefit_weight);
+  h = MixD(h, o.evidence.increment);
+  h = MixD(h, o.evidence.weight);
+  h = MixD(h, o.evidence.priority);
+  h = MixU(h, static_cast<uint64_t>(o.evidence.max_neighbors_per_side));
+  h = MixD(h, o.evidence.staleness_tolerance);
+  h = MixU(h, static_cast<uint64_t>(o.use_same_as_seeds));
+  h = MixU(h, static_cast<uint64_t>(o.similarity.use_tfidf));
+  h = MixD(h, o.similarity.tfidf_weight);
+  h = MixU(h, static_cast<uint64_t>(o.blocking.use_token_keys));
+  h = MixD(h, o.blocking.token.max_df_fraction);
+  h = MixU(h, o.blocking.token.min_df);
+  h = MixU(h, static_cast<uint64_t>(o.blocking.use_pis_keys));
+  h = MixU(h, static_cast<uint64_t>(o.blocking.pis.use_suffix));
+  h = MixU(h, static_cast<uint64_t>(o.blocking.pis.use_infix));
+  h = MixU(h, static_cast<uint64_t>(o.blocking.pis.tokenize_suffix));
+  h = MixU(h, o.blocking.pis.min_block_size);
+  h = MixU(h, o.blocking.pis.max_block_size);
+  h = MixU(h, static_cast<uint64_t>(o.blocking.mode));
+  return h;
+}
+
+using serde::kMaxUpfrontReserve;
 
 }  // namespace
 
@@ -61,6 +103,24 @@ OnlineResolver::OnlineResolver(OnlineOptions options, EntityCollection&& warm)
   for (EntityId id = 0; id < n; ++id) IndexEntity(id);
   FlushDeferredScores();
   ConsumeSameAsSeeds();
+}
+
+OnlineResolver::OnlineResolver(OnlineOptions options, EntityCollection&& warm,
+                               RestoreTag)
+    : options_(options),
+      coll_(std::move(warm)),
+      index_(options.blocking),
+      estimator_(options.benefit, options.evidence.max_neighbors_per_side) {
+  // Nothing indexed, scored, or clustered: LoadState supplies all of it
+  // (including state_ — building one here would be discarded work).
+}
+
+Result<std::unique_ptr<OnlineResolver>> OnlineResolver::Restore(
+    OnlineOptions options, EntityCollection&& warm, std::istream& in) {
+  std::unique_ptr<OnlineResolver> resolver(
+      new OnlineResolver(options, std::move(warm), RestoreTag{}));
+  MINOAN_RETURN_IF_ERROR(resolver->LoadState(in));
+  return resolver;
 }
 
 Result<EntityId> OnlineResolver::Ingest(
@@ -156,9 +216,16 @@ void OnlineResolver::ConsumeSameAsSeeds() {
     if (ps.executed) continue;
     ps.executed = true;
     scheduler_.Erase(pair);
-    state_->RecordMatch(link.a, link.b);
+    RecordClusterMerge(link.a, link.b);
     UpdatePhase(link.a, link.b);
   }
+}
+
+void OnlineResolver::RecordClusterMerge(EntityId a, EntityId b) {
+  // Raw (a, b) argument order, not the normalized pair: RecordMatch's
+  // union-find layout depends on it, and the replay must be exact.
+  cluster_ops_.emplace_back(a, b);
+  state_->RecordMatch(a, b);
 }
 
 double OnlineResolver::Likelihood(const PairState& ps) const {
@@ -212,7 +279,7 @@ bool OnlineResolver::ExecuteComparison(uint64_t pair) {
   const double sim = profile + bonus;
   if (sim < options_.matcher.threshold) return false;
 
-  state_->RecordMatch(a, b);
+  RecordClusterMerge(a, b);
   run_.matches.push_back(MatchEvent{run_.comparisons_executed, a, b, sim});
   if (profile < options_.matcher.threshold) ++evidence_assisted_matches_;
   UpdatePhase(a, b);
@@ -298,6 +365,216 @@ std::vector<QueryCandidate> OnlineResolver::Query(EntityId id, uint32_t k) {
             });
   if (out.size() > k) out.resize(k);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------------
+
+Status OnlineResolver::SaveState(std::ostream& out) const {
+  const EntityCollection& c = collection();
+  serde::WriteString(out, kOnlineStateMagic);
+  serde::WriteU32(out, c.num_entities());
+  serde::WriteU32(out, c.num_kbs());
+  serde::WriteU64(out, c.total_triples());
+  serde::WriteU64(out, OnlineOptionsDigest(options_));
+
+  index_.Save(out);
+
+  // Adjacency lists carry their insertion order (UpdatePhase truncates to
+  // the first max_neighbors_per_side entries), so they are serialized
+  // verbatim rather than rebuilt.
+  const auto save_adjacency =
+      [&out](const std::vector<std::vector<EntityId>>& lists) {
+        serde::WriteU64(out, lists.size());
+        for (const auto& list : lists) {
+          serde::WriteU64(out, list.size());
+          for (const EntityId e : list) serde::WriteU32(out, e);
+        }
+      };
+  save_adjacency(neighbors_);
+  save_adjacency(partners_);
+
+  std::vector<std::pair<uint64_t, PairState>> pairs(pairs_.begin(),
+                                                    pairs_.end());
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  serde::WriteU64(out, pairs.size());
+  for (const auto& [pair, ps] : pairs) {
+    serde::WriteU64(out, pair);
+    serde::WriteDouble(out, ps.likelihood);
+    serde::WriteDouble(out, ps.evidence);
+    serde::WriteU8(out, ps.executed ? 1 : 0);
+  }
+
+  const auto live = scheduler_.LiveEntries();
+  serde::WriteU64(out, live.size());
+  for (const auto& [pair, priority] : live) {
+    serde::WriteU64(out, pair);
+    serde::WriteDouble(out, priority);
+  }
+  serde::WriteU64(out, scheduler_.total_pushes());
+
+  serde::WriteU64(out, cluster_ops_.size());
+  for (const auto& [a, b] : cluster_ops_) {
+    serde::WriteU32(out, a);
+    serde::WriteU32(out, b);
+  }
+
+  serde::WriteU64(out, run_.comparisons_executed);
+  serde::WriteU64(out, run_.matches.size());
+  for (const MatchEvent& m : run_.matches) {
+    serde::WriteU64(out, m.comparisons_done);
+    serde::WriteU32(out, m.a);
+    serde::WriteU32(out, m.b);
+    serde::WriteDouble(out, m.similarity);
+  }
+  serde::WriteU64(out, discovered_pairs_);
+  serde::WriteU64(out, evidence_assisted_matches_);
+  serde::WriteU64(out, same_as_consumed_);
+  if (!out) return Status::IoError("online checkpoint write failed");
+  return Status::Ok();
+}
+
+Status OnlineResolver::LoadState(std::istream& in) {
+  const auto truncated = [] {
+    return Status::ParseError("truncated or corrupt online engine state");
+  };
+  const EntityCollection& c = collection();
+  const uint32_t n = c.num_entities();
+
+  std::string magic;
+  if (!serde::ReadString(in, magic, kOnlineStateMagic.size())) {
+    return truncated();
+  }
+  if (magic != kOnlineStateMagic) {
+    return Status::ParseError("not a MinoanER online engine state");
+  }
+  uint32_t num_entities, num_kbs;
+  uint64_t total_triples, digest;
+  if (!serde::ReadU32(in, num_entities) || !serde::ReadU32(in, num_kbs) ||
+      !serde::ReadU64(in, total_triples) || !serde::ReadU64(in, digest)) {
+    return truncated();
+  }
+  if (num_entities != n || num_kbs != c.num_kbs() ||
+      total_triples != c.total_triples()) {
+    return Status::InvalidArgument(
+        "online state was saved over a different collection (entity/KB/"
+        "triple counts differ)");
+  }
+  if (digest != OnlineOptionsDigest(options_)) {
+    return Status::InvalidArgument(
+        "online state was saved with different options; restore with the "
+        "options used at save time");
+  }
+
+  if (!index_.Load(in, n)) return truncated();
+
+  const auto load_adjacency =
+      [&](std::vector<std::vector<EntityId>>& lists) {
+        uint64_t count;
+        if (!serde::ReadU64(in, count) || count > n) return false;
+        lists.assign(count, {});
+        for (auto& list : lists) {
+          uint64_t len;
+          if (!serde::ReadU64(in, len) || len > n) return false;
+          list.reserve(len);
+          for (uint64_t i = 0; i < len; ++i) {
+            uint32_t e;
+            if (!serde::ReadU32(in, e) || e >= n) return false;
+            list.push_back(e);
+          }
+        }
+        return true;
+      };
+  if (!load_adjacency(neighbors_)) return truncated();
+  if (!load_adjacency(partners_)) return truncated();
+
+  uint64_t n_pairs;
+  if (!serde::ReadU64(in, n_pairs)) return truncated();
+  pairs_.clear();
+  pairs_.reserve(std::min(n_pairs, kMaxUpfrontReserve) * 2);
+  for (uint64_t i = 0; i < n_pairs; ++i) {
+    uint64_t pair;
+    PairState ps;
+    uint8_t executed;
+    if (!serde::ReadU64(in, pair) || !serde::ReadDouble(in, ps.likelihood) ||
+        !serde::ReadDouble(in, ps.evidence) || !serde::ReadU8(in, executed) ||
+        !serde::ValidPairKey(pair, n)) {
+      return truncated();
+    }
+    ps.executed = executed != 0;
+    pairs_.emplace(pair, ps);
+  }
+
+  uint64_t n_live;
+  if (!serde::ReadU64(in, n_live)) return truncated();
+  std::vector<std::pair<uint64_t, double>> live;
+  live.reserve(std::min(n_live, kMaxUpfrontReserve));
+  for (uint64_t i = 0; i < n_live; ++i) {
+    uint64_t pair;
+    double priority;
+    if (!serde::ReadU64(in, pair) || !serde::ReadDouble(in, priority) ||
+        !serde::ValidPairKey(pair, n)) {
+      return truncated();
+    }
+    live.emplace_back(pair, priority);
+  }
+  uint64_t total_pushes;
+  if (!serde::ReadU64(in, total_pushes)) return truncated();
+
+  uint64_t n_ops;
+  if (!serde::ReadU64(in, n_ops)) return truncated();
+  cluster_ops_.clear();
+  cluster_ops_.reserve(std::min(n_ops, kMaxUpfrontReserve));
+  for (uint64_t i = 0; i < n_ops; ++i) {
+    uint32_t a, b;
+    if (!serde::ReadU32(in, a) || !serde::ReadU32(in, b) || a >= n ||
+        b >= n) {
+      return truncated();
+    }
+    cluster_ops_.emplace_back(a, b);
+  }
+
+  ResolutionRun run;
+  uint64_t n_matches;
+  if (!serde::ReadU64(in, run.comparisons_executed) ||
+      !serde::ReadU64(in, n_matches)) {
+    return truncated();
+  }
+  run.matches.reserve(std::min(n_matches, kMaxUpfrontReserve));
+  for (uint64_t i = 0; i < n_matches; ++i) {
+    MatchEvent m;
+    if (!serde::ReadU64(in, m.comparisons_done) || !serde::ReadU32(in, m.a) ||
+        !serde::ReadU32(in, m.b) || !serde::ReadDouble(in, m.similarity) ||
+        m.a >= n || m.b >= n) {
+      return truncated();
+    }
+    run.matches.push_back(m);
+  }
+  uint64_t same_as_consumed;
+  if (!serde::ReadU64(in, discovered_pairs_) ||
+      !serde::ReadU64(in, evidence_assisted_matches_) ||
+      !serde::ReadU64(in, same_as_consumed)) {
+    return truncated();
+  }
+  if (same_as_consumed > c.same_as_links().size()) {
+    return Status::ParseError("online state sameAs cursor out of range");
+  }
+  same_as_consumed_ = static_cast<size_t>(same_as_consumed);
+
+  // Rebuild the mutable cluster state by replaying the merge log:
+  // RecordMatch is deterministic in call order, so the union-find layout
+  // and cluster profiles come out identical to the saving engine's.
+  state_ = std::make_unique<ResolutionState>(c, nullptr);
+  state_->SetDynamicNeighbors(&neighbors_);
+  for (const auto& [a, b] : cluster_ops_) state_->RecordMatch(a, b);
+
+  scheduler_.RestoreFrom(live, total_pushes);
+  run_ = std::move(run);
+  defer_scoring_ = false;
+  deferred_pairs_.clear();
+  return Status::Ok();
 }
 
 }  // namespace online

@@ -29,9 +29,12 @@
 #define MINOAN_ONLINE_ONLINE_RESOLVER_H_
 
 #include <cstdint>
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "matching/matcher.h"
@@ -93,6 +96,16 @@ class OnlineResolver {
   /// accepts new ones.
   OnlineResolver(OnlineOptions options, EntityCollection&& warm);
 
+  /// Reopens an engine from a SaveState stream. `warm` must be the same
+  /// collection snapshot the saving engine held (entity/KB/triple counts
+  /// are verified) and `options` the options it ran with (digest verified).
+  /// Unlike the warm constructor nothing is re-indexed or re-scored: the
+  /// incremental index, the PairState map, the schedule, and the cluster
+  /// state all come from the stream, so resolution (and further ingests)
+  /// continue exactly where the saved engine stopped — byte-identically.
+  static Result<std::unique_ptr<OnlineResolver>> Restore(
+      OnlineOptions options, EntityCollection&& warm, std::istream& in);
+
   /// Pinned: state_ holds the addresses of coll_'s collection and
   /// neighbors_, so a compiler-generated move would leave it dangling.
   OnlineResolver(const OnlineResolver&) = delete;
@@ -114,6 +127,19 @@ class OnlineResolver {
   /// discover for it), then returns the top-k candidates by similarity
   /// (ties broken by ascending id). Empty for unknown ids or k == 0.
   std::vector<QueryCandidate> Query(EntityId id, uint32_t k);
+
+  /// Serializes the full engine state — incremental index (postings +
+  /// watermarks + emitted pairs), PairState map, schedule, neighbor/partner
+  /// adjacencies, the cluster-merge log, and the run record — in the fixed
+  /// little-endian util/serde.h format, for a later Restore.
+  Status SaveState(std::ostream& out) const;
+
+  /// Restores a SaveState stream into this engine, replacing its dynamic
+  /// state. The engine's collection must match the saving engine's. On
+  /// failure the engine is left half-overwritten and must be discarded —
+  /// never resume a live engine from an unverified stream directly; use
+  /// the static Restore, which discards the engine when loading fails.
+  Status LoadState(std::istream& in);
 
   // --- Introspection ------------------------------------------------------
 
@@ -141,6 +167,11 @@ class OnlineResolver {
     double evidence = 0.0;
     bool executed = false;
   };
+
+  /// Restore path: adopts `warm` without indexing or scoring anything —
+  /// LoadState fills every structure from the stream instead.
+  struct RestoreTag {};
+  OnlineResolver(OnlineOptions options, EntityCollection&& warm, RestoreTag);
 
   void IndexEntity(EntityId id);
   /// Scores and pushes the pairs IndexEntity deferred during warm-start
@@ -171,6 +202,10 @@ class OnlineResolver {
   /// update phase when the threshold clears. Returns true when it matched.
   bool ExecuteComparison(uint64_t pair);
   void UpdatePhase(EntityId a, EntityId b);
+  /// Merges (a, b) in the cluster state AND appends the operation to the
+  /// replay log — RecordMatch's internal layout depends on call order, so
+  /// LoadState replays the exact sequence to reproduce it byte for byte.
+  void RecordClusterMerge(EntityId a, EntityId b);
 
   OnlineOptions options_;
   IncrementalCollection coll_;
@@ -192,6 +227,10 @@ class OnlineResolver {
   uint64_t discovered_pairs_ = 0;
   uint64_t evidence_assisted_matches_ = 0;
   size_t same_as_consumed_ = 0;
+
+  /// Every cluster merge (seeds and matches alike) in call order — the
+  /// checkpointable essence of the union-find state.
+  std::vector<std::pair<EntityId, EntityId>> cluster_ops_;
 
   /// Warm-start bulk indexing: when set, IndexEntity records new pairs here
   /// instead of scoring them one by one; FlushDeferredScores prices the

@@ -268,17 +268,8 @@ void WritePairDoubleMap(std::ostream& out,
   }
 }
 
-/// Reserve clamp for count fields read from an untrusted checkpoint: a
-/// corrupt 64-bit count must not trigger a giant upfront allocation (the
-/// element-read loop then fails fast at the real end of the stream).
-constexpr uint64_t kMaxUpfrontReserve = 1 << 20;
-
-/// `pair` must decode to two valid entity ids; anything else is a corrupt
-/// or hostile checkpoint and would index out of bounds once stepped on.
-bool ValidPairKey(uint64_t pair, uint32_t num_entities) {
-  return PairKeyFirst(pair) < num_entities &&
-         PairKeySecond(pair) < num_entities;
-}
+using serde::kMaxUpfrontReserve;
+using serde::ValidPairKey;
 
 bool ReadPairDoubleMap(std::istream& in, uint32_t num_entities,
                        std::unordered_map<uint64_t, double>& map) {

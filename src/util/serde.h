@@ -91,6 +91,27 @@ inline bool ReadString(std::istream& in, std::string& s,
       in.read(s.data(), static_cast<std::streamsize>(len)));
 }
 
+/// Reserve clamp for count fields read from an untrusted checkpoint: a
+/// corrupt 64-bit count must not trigger a giant upfront allocation. Never
+/// reject the count itself — clamp the reserve and let the element-read
+/// loop fail fast at the real end of the stream, so legitimately large
+/// states stay restorable. Shared by every restore path (batch resolver,
+/// online engine, incremental index).
+inline constexpr uint64_t kMaxUpfrontReserve = 1 << 20;
+
+/// Clamped reserve size for an untrusted element count.
+inline uint64_t ClampedReserve(uint64_t count) {
+  return count < kMaxUpfrontReserve ? count : kMaxUpfrontReserve;
+}
+
+/// `pair` must decode to two entity ids below `num_entities`; anything else
+/// is a corrupt or hostile checkpoint and would index out of bounds once
+/// stepped on. (Matches util/hash.h PairKey packing.)
+inline bool ValidPairKey(uint64_t pair, uint32_t num_entities) {
+  return static_cast<uint32_t>(pair >> 32) < num_entities &&
+         static_cast<uint32_t>(pair & 0xffffffffULL) < num_entities;
+}
+
 }  // namespace serde
 }  // namespace minoan
 

@@ -11,6 +11,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <iterator>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -101,6 +102,24 @@ void RunChunkedTasks(ThreadPool* pool, size_t total, size_t chunk_size,
     const size_t end = std::min(total, begin + chunk_size);
     fn(c, begin, end);
   });
+}
+
+/// Flattens per-task result vectors in task order, draining `parts` — the
+/// merge step of every chunked phase: partial results are produced per
+/// chunk (or shard) and must be concatenated in fixed task order to stay
+/// deterministic.
+template <typename T>
+std::vector<T> FlattenInOrder(std::vector<std::vector<T>>& parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<T> out;
+  out.reserve(total);
+  for (auto& p : parts) {
+    out.insert(out.end(), std::make_move_iterator(p.begin()),
+               std::make_move_iterator(p.end()));
+    p.clear();
+  }
+  return out;
 }
 
 }  // namespace minoan

@@ -3,6 +3,7 @@
 // determinism.
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 #include <sstream>
 #include <string>
@@ -560,6 +561,168 @@ TEST(OnlineResolverTest, WarmStartReproducesBatchCandidateSet) {
   IngestCloud(cold, cloud);
   EXPECT_EQ(cold.collection().num_entities(), warm.collection().num_entities());
   EXPECT_GE(cold.candidate_pairs_created(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineResolver checkpoint / restore (mirrors session_test.cc)
+// ---------------------------------------------------------------------------
+
+EntityCollection WarmCollection(const datagen::LodCloud& cloud) {
+  auto collection = cloud.BuildCollection();
+  EXPECT_TRUE(collection.ok());
+  return std::move(collection).value();
+}
+
+void ExpectSameMatches(const std::vector<MatchEvent>& a,
+                       const std::vector<MatchEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].a, b[i].a) << "match " << i;
+    EXPECT_EQ(a[i].b, b[i].b) << "match " << i;
+    EXPECT_EQ(a[i].comparisons_done, b[i].comparisons_done) << "match " << i;
+    EXPECT_EQ(std::memcmp(&a[i].similarity, &b[i].similarity,
+                          sizeof(double)),
+              0)
+        << "match " << i << " similarity bits differ";
+  }
+}
+
+TEST(OnlineResolverTest, SaveRestoreContinuesByteIdentically) {
+  const datagen::LodCloud cloud = SmallCloud();
+  OnlineOptions options;
+  options.matcher.threshold = 0.3;
+
+  // Uninterrupted reference run.
+  OnlineResolver whole(options, WarmCollection(cloud));
+  whole.ResolveBudget(300);
+  whole.ResolveBudget(1u << 30);
+  ASSERT_GT(whole.run().matches.size(), 0u);
+
+  // Interrupted run: 300 comparisons, save, restore in a "new process",
+  // finish. The full match sequence must carry identical bytes.
+  OnlineResolver first(options, WarmCollection(cloud));
+  first.ResolveBudget(300);
+  std::stringstream state;
+  ASSERT_TRUE(first.SaveState(state).ok());
+
+  auto restored =
+      OnlineResolver::Restore(options, WarmCollection(cloud), state);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ((*restored)->run().comparisons_executed, 300u);
+  EXPECT_EQ((*restored)->pending_comparisons(),
+            first.pending_comparisons());
+  (*restored)->ResolveBudget(1u << 30);
+
+  ExpectSameMatches(whole.run().matches, (*restored)->run().matches);
+  EXPECT_EQ(whole.run().comparisons_executed,
+            (*restored)->run().comparisons_executed);
+  EXPECT_EQ(whole.discovered_pairs(), (*restored)->discovered_pairs());
+  EXPECT_EQ(whole.evidence_assisted_matches(),
+            (*restored)->evidence_assisted_matches());
+}
+
+TEST(OnlineResolverTest, RestoreSupportsIngestAndQuery) {
+  const datagen::LodCloud cloud = SmallCloud();
+  OnlineOptions options;
+  options.matcher.threshold = 0.3;
+  const std::vector<Triple> extra = Parse(
+      "<http://x.org/new> <http://x.org/v/name> \"Knossos bronze palace\" "
+      ".\n");
+
+  // Reference: never interrupted; ingest mid-run.
+  OnlineResolver whole(options, WarmCollection(cloud));
+  whole.ResolveBudget(200);
+  const uint32_t whole_kb = whole.EnsureKb("extra");
+  ASSERT_TRUE(whole.Ingest(whole_kb, extra).ok());
+  whole.ResolveBudget(1u << 30);
+
+  // Interrupted at the same point, then the same ingest after restore.
+  OnlineResolver first(options, WarmCollection(cloud));
+  first.ResolveBudget(200);
+  std::stringstream state;
+  ASSERT_TRUE(first.SaveState(state).ok());
+  auto restored =
+      OnlineResolver::Restore(options, WarmCollection(cloud), state);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const uint32_t restored_kb = (*restored)->EnsureKb("extra");
+  auto id = (*restored)->Ingest(restored_kb, extra);
+  ASSERT_TRUE(id.ok());
+  (*restored)->ResolveBudget(1u << 30);
+
+  ExpectSameMatches(whole.run().matches, (*restored)->run().matches);
+
+  // Query over the restored engine matches the uninterrupted one.
+  const auto whole_q = whole.Query(*id, 5);
+  const auto restored_q = (*restored)->Query(*id, 5);
+  ASSERT_EQ(whole_q.size(), restored_q.size());
+  for (size_t i = 0; i < whole_q.size(); ++i) {
+    EXPECT_EQ(whole_q[i].id, restored_q[i].id);
+    EXPECT_EQ(std::memcmp(&whole_q[i].similarity, &restored_q[i].similarity,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(whole_q[i].matched, restored_q[i].matched);
+  }
+}
+
+TEST(OnlineResolverTest, RestorePreservesSameAsSeedCursor) {
+  const datagen::LodCloud cloud = SmallCloud();
+  OnlineOptions options;
+  options.matcher.threshold = 0.3;
+  options.use_same_as_seeds = true;
+
+  OnlineResolver whole(options, WarmCollection(cloud));
+  whole.ResolveBudget(1u << 30);
+
+  OnlineResolver first(options, WarmCollection(cloud));
+  first.ResolveBudget(150);
+  std::stringstream state;
+  ASSERT_TRUE(first.SaveState(state).ok());
+  auto restored =
+      OnlineResolver::Restore(options, WarmCollection(cloud), state);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  (*restored)->ResolveBudget(1u << 30);
+  ExpectSameMatches(whole.run().matches, (*restored)->run().matches);
+}
+
+TEST(OnlineResolverTest, RestoreRejectsMismatchesAndTruncation) {
+  const datagen::LodCloud cloud = SmallCloud();
+  OnlineOptions options;
+  options.matcher.threshold = 0.3;
+  OnlineResolver engine(options, WarmCollection(cloud));
+  engine.ResolveBudget(100);
+  std::stringstream state;
+  ASSERT_TRUE(engine.SaveState(state).ok());
+  const std::string bytes = state.str();
+
+  // Different collection.
+  datagen::LodCloudConfig other_cfg;
+  other_cfg.seed = 7;
+  other_cfg.num_real_entities = 60;
+  other_cfg.num_kbs = 2;
+  auto other_cloud = datagen::GenerateLodCloud(other_cfg);
+  ASSERT_TRUE(other_cloud.ok());
+  {
+    std::istringstream in(bytes);
+    auto restored =
+        OnlineResolver::Restore(options, WarmCollection(*other_cloud), in);
+    EXPECT_FALSE(restored.ok());
+  }
+  // Different options.
+  {
+    OnlineOptions other = options;
+    other.matcher.threshold = 0.6;
+    std::istringstream in(bytes);
+    auto restored = OnlineResolver::Restore(other, WarmCollection(cloud), in);
+    EXPECT_FALSE(restored.ok());
+  }
+  // Truncations anywhere in the stream must be rejected, never crash.
+  for (const double fraction : {0.1, 0.5, 0.9, 0.999}) {
+    std::istringstream in(
+        bytes.substr(0, static_cast<size_t>(bytes.size() * fraction)));
+    auto restored = OnlineResolver::Restore(options, WarmCollection(cloud),
+                                            in);
+    EXPECT_FALSE(restored.ok()) << "fraction " << fraction;
+  }
 }
 
 // ---------------------------------------------------------------------------

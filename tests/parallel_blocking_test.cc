@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "blocking/block_cleaning.h"
 #include "blocking/blocking_method.h"
 #include "blocking/char_blocking.h"
 #include "blocking/sharded_blocking.h"
@@ -125,6 +126,58 @@ TEST_F(ParallelBlockingTest, EveryMethodIsByteIdenticalAcrossThreadCounts) {
       EXPECT_TRUE(SameBlocks(sequential, parallel))
           << method->name() << " at " << threads << " threads";
     }
+  }
+}
+
+TEST_F(ParallelBlockingTest, AttributeProfilingIsThreadCountInvariant) {
+  // The per-attribute segment fold must reproduce the sequential
+  // first-scan cap prefix exactly: identical clusters, identical blocks.
+  AttributeClusteringBlocking::Options opts;
+  opts.max_profile_tokens = 64;  // small cap so inclusion boundaries bite
+  const AttributeClusteringBlocking method(opts);
+  const std::vector<uint32_t> sequential =
+      method.ClusterPredicates(*collection_);
+  const BlockCollection seq_blocks = method.Build(*collection_);
+  for (uint32_t threads : {2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(sequential, method.ClusterPredicates(*collection_, &pool))
+        << threads << " threads";
+    EXPECT_TRUE(SameBlocks(seq_blocks, method.Build(*collection_, &pool)))
+        << threads << " threads";
+  }
+}
+
+TEST_F(ParallelBlockingTest, BlockCleaningIsThreadCountInvariant) {
+  const BlockCollection raw = TokenBlocking().Build(*collection_);
+  ASSERT_GT(raw.num_blocks(), 0u);
+
+  BlockCollection seq_purged = raw;
+  const CleaningStats seq_purge_stats = AutoPurge(
+      seq_purged, *collection_, ResolutionMode::kCleanClean);
+  BlockCollection seq_filtered = seq_purged;
+  const CleaningStats seq_filter_stats = FilterBlocks(
+      seq_filtered, 0.8, *collection_, ResolutionMode::kCleanClean);
+  ASSERT_GT(seq_filtered.num_blocks(), 0u);
+
+  for (uint32_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    BlockCollection purged = raw;
+    const CleaningStats purge_stats =
+        AutoPurge(purged, *collection_, ResolutionMode::kCleanClean,
+                  /*smoothing=*/1.025, &pool);
+    EXPECT_TRUE(SameBlocks(seq_purged, purged)) << threads << " threads";
+    EXPECT_EQ(seq_purge_stats.blocks_after, purge_stats.blocks_after);
+    EXPECT_EQ(seq_purge_stats.comparisons_after,
+              purge_stats.comparisons_after);
+
+    BlockCollection filtered = purged;
+    const CleaningStats filter_stats =
+        FilterBlocks(filtered, 0.8, *collection_, ResolutionMode::kCleanClean,
+                     &pool);
+    EXPECT_TRUE(SameBlocks(seq_filtered, filtered)) << threads << " threads";
+    EXPECT_EQ(seq_filter_stats.blocks_after, filter_stats.blocks_after);
+    EXPECT_EQ(seq_filter_stats.comparisons_after,
+              filter_stats.comparisons_after);
   }
 }
 

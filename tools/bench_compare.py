@@ -29,13 +29,26 @@ import shutil
 import sys
 
 
+# Measurement fields: vary run to run, never part of an entry's identity.
+# "advisory" marks entries whose timing is reported but never gated (e.g.
+# forced-spill modes, which are disk-I/O bound and inherently jittery); the
+# identical=false gate still applies to them.
+MEASUREMENT_FIELDS = (
+    "ms",
+    "speedup",
+    "identical",
+    "advisory",
+    "runs_spilled",
+    "spill_bytes",
+    "peak_rss_bytes",
+)
+
+
 def entry_key(entry):
     """Identity of one sweep entry: every field except the measurements."""
     return tuple(
         sorted(
-            (k, v)
-            for k, v in entry.items()
-            if k not in ("ms", "speedup", "identical")
+            (k, v) for k, v in entry.items() if k not in MEASUREMENT_FIELDS
         )
     )
 
@@ -104,7 +117,7 @@ def main():
         label = ", ".join(
             f"{k}={v}"
             for k, v in entry.items()
-            if k not in ("ms", "speedup", "identical")
+            if k not in MEASUREMENT_FIELDS
         )
         if entry.get("identical") is False:
             failures.append(f"parallel output diverged: {label}")
@@ -120,13 +133,16 @@ def main():
             continue
         checked += 1
         ratio = (cur_ms - base_ms) / base_ms
-        verdict = "OK" if ratio <= args.max_regression else "REGRESSED"
+        advisory = bool(entry.get("advisory"))
+        verdict = "OK" if ratio <= args.max_regression else (
+            "SLOW (advisory)" if advisory else "REGRESSED"
+        )
         print(
             f"bench_compare: {verdict}: {label} "
             f"baseline {base_ms:.2f} ms, current {cur_ms:.2f} ms "
             f"({ratio:+.1%})"
         )
-        if ratio > args.max_regression and same_machine_class:
+        if ratio > args.max_regression and same_machine_class and not advisory:
             failures.append(
                 f"single-thread regression >{args.max_regression:.0%}: "
                 f"{label} ({ratio:+.1%})"

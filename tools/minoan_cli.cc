@@ -10,11 +10,16 @@
 //   minoan resolve DIR [--threshold F] [--budget N] [--benefit NAME]
 //                  [--seeds] [--threads N] [--filter-ratio F] [--out FILE]
 //                  [--step-budget N] [--stream]
+//                  [--memory-budget BYTES] [--spill-dir DIR]
 //       Resolves all KBs in DIR and writes discovered owl:sameAs links.
 //       Scores against DIR/ground_truth.tsv when present. With
 //       --step-budget N the comparison budget is spent in increments of N
 //       through the pay-as-you-go Session API (identical results); with
 //       --stream every confirmed match is printed as it is discovered.
+//       --memory-budget caps the RAM the blocking-postings and vote-shard
+//       shuffles may hold (suffixes k/m/g accepted, e.g. 512m); overflow
+//       spills sorted runs to temp files under --spill-dir (default: the
+//       system temp dir) with byte-identical results.
 //
 //   minoan session checkpoint DIR --state FILE [--step-budget N] [opts]
 //   minoan session resume     DIR --state FILE [--step-budget N] [opts]
@@ -35,6 +40,7 @@
 // All subcommands are deterministic for a fixed seed.
 
 #include <algorithm>
+#include <cctype>
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
@@ -122,6 +128,39 @@ class Flags {
       std::exit(2);
     }
     return v;
+  }
+  /// Byte sizes: a non-negative integer with an optional k/m/g (or kb/mb/gb,
+  /// case-insensitive) binary suffix — "65536", "64k", "1G".
+  uint64_t GetByteSize(const std::string& name, uint64_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    const std::string& raw = it->second;
+    uint64_t v = 0;
+    const char* begin = raw.data();
+    const char* end = begin + raw.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    uint64_t shift = 0;
+    bool bad_suffix = false;
+    std::string suffix(ptr, end);
+    for (char& c : suffix) c = static_cast<char>(std::tolower(c));
+    if (suffix == "k" || suffix == "kb") {
+      shift = 10;
+    } else if (suffix == "m" || suffix == "mb") {
+      shift = 20;
+    } else if (suffix == "g" || suffix == "gb") {
+      shift = 30;
+    } else if (!suffix.empty()) {
+      bad_suffix = true;
+    }
+    if (ec != std::errc() || ptr == begin || bad_suffix ||
+        (shift > 0 && v > (uint64_t{1} << (63 - shift)))) {
+      std::fprintf(stderr,
+                   "error: --%s expects a byte size like 65536, 64k or 1g, "
+                   "got \"%s\"\n",
+                   name.c_str(), raw.c_str());
+      std::exit(2);
+    }
+    return v << shift;
   }
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
   const std::vector<std::string>& positional() const { return positional_; }
@@ -254,6 +293,15 @@ Result<WorkflowOptions> ParseWorkflowOptions(const std::string& verb,
   options.use_same_as_seeds = flags.Has("seeds");
   options.filter_ratio =
       flags.GetDouble("filter-ratio", options.filter_ratio);
+  // --memory-budget N[k|m|g]: cap on the in-RAM shuffle state (blocking
+  // postings + vote shards); overflow spills sorted runs under --spill-dir.
+  // Deterministic: the resolution result is byte-identical either way.
+  options.memory.shuffle_budget_bytes = flags.GetByteSize("memory-budget", 0);
+  options.memory.spill_dir = flags.Get("spill-dir", "");
+  if (!options.memory.spill_dir.empty() && !options.memory.enabled()) {
+    return Status::InvalidArgument(
+        verb + ": --spill-dir has no effect without --memory-budget");
+  }
   // --threads N: workflow-wide worker count (0 = hardware concurrency).
   // Deterministic: the resolution result is identical for every value.
   const std::string threads_arg = flags.Get("threads", "1");
@@ -497,7 +545,8 @@ void Usage() {
                "  stats DIR\n"
                "  resolve DIR [--threshold F --budget N --benefit "
                "quantity|attr|coverage|relationship --seeds --threads N "
-               "--filter-ratio F --step-budget N --stream --out FILE]\n"
+               "--filter-ratio F --step-budget N --stream --out FILE "
+               "--memory-budget N[k|m|g] --spill-dir DIR]\n"
                "  session checkpoint|resume DIR --state FILE "
                "[--step-budget N + resolve options]\n"
                "  online DIR [--script FILE --threshold F --pis --seeds "
