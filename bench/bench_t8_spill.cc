@@ -16,8 +16,6 @@
 // Expected shape: the roomy budget costs a modest serialization overhead;
 // the tiny budget pays real I/O; both stay byte-identical.
 
-#include <sys/resource.h>
-
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -30,20 +28,15 @@
 #include "bench_common.h"
 #include "core/session.h"
 #include "extmem/shuffle.h"
+#include "obs/report.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
 using namespace minoan;        // NOLINT
 using namespace minoan::bench; // NOLINT
+using minoan::obs::PeakRssBytes;
 
 namespace {
-
-/// Peak RSS of this process in bytes (ru_maxrss is KiB on Linux).
-uint64_t PeakRssBytes() {
-  struct rusage usage;
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
-}
 
 struct ModeResult {
   ResolutionReport report;

@@ -29,6 +29,7 @@
 
 #include "extmem/shuffle.h"
 #include "kb/entity.h"
+#include "obs/metrics.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -68,6 +69,9 @@ std::vector<KeyedPosting<Key>> ConcatenatePostingsSortedByKey(
             [](const KeyedPosting<Key>& a, const KeyedPosting<Key>& b) {
               return a.key < b.key;
             });
+  static obs::Counter& postings =
+      obs::MetricsRegistry::Default().counter("blocking.postings");
+  postings.Add(out.size());
   return out;
 }
 
@@ -82,12 +86,15 @@ void SpilledPostingsShards(uint32_t num_entities, ThreadPool* pool,
                            const extmem::MemoryBudgetOptions& memory,
                            std::vector<std::vector<KeyedPosting<Key>>>&
                                shard_out) {
+  static obs::Counter& emissions_counter =
+      obs::MetricsRegistry::Default().counter("blocking.emissions");
   extmem::RunSpilledShuffle(
       pool, num_entities, kBlockingChunkEntities, kBlockingMergeShards,
       memory,
       [&](size_t /*chunk*/, size_t begin, size_t end, const auto& route) {
         std::vector<Key> keys;
         std::string record;
+        uint64_t emitted = 0;
         for (EntityId e = static_cast<EntityId>(begin);
              e < static_cast<EntityId>(end); ++e) {
           keys.clear();
@@ -98,8 +105,10 @@ void SpilledPostingsShards(uint32_t num_entities, ThreadPool* pool,
             route(static_cast<uint32_t>(Mix64(hash(key)) &
                                         (kBlockingMergeShards - 1)),
                   record);
+            ++emitted;
           }
         }
+        emissions_counter.Add(emitted);
       },
       [&](uint32_t s, extmem::ShuffleSource& source) {
         std::string_view record;
@@ -137,6 +146,18 @@ std::vector<KeyedPosting<Key>> BuildShardedPostings(
     const extmem::MemoryBudgetOptions* memory = nullptr) {
   using Emission = std::pair<Key, EntityId>;
 
+  // Coarse-grained telemetry only: one add per chunk or shard, never per
+  // emission — instrumentation must not show up in the hot-path profile.
+  static obs::Counter& chunks_counter =
+      obs::MetricsRegistry::Default().counter("blocking.chunks");
+  static obs::Counter& emissions_counter =
+      obs::MetricsRegistry::Default().counter("blocking.emissions");
+  static obs::Histogram& shard_records =
+      obs::MetricsRegistry::Default().histogram("blocking.shard_records");
+  static obs::Histogram& merge_fanin =
+      obs::MetricsRegistry::Default().histogram("blocking.merge_fanin");
+  chunks_counter.Add(NumChunks(num_entities, kBlockingChunkEntities));
+
   if (memory != nullptr && memory->enabled()) {
     std::vector<std::vector<KeyedPosting<Key>>> shard_out(
         kBlockingMergeShards);
@@ -172,6 +193,7 @@ std::vector<KeyedPosting<Key>> BuildShardedPostings(
             scratch.emplace_back(std::move(key), e);
           }
         }
+        emissions_counter.Add(scratch.size());
         ChunkShards& out = chunk_shards[c];
         out.offsets.fill(0);
         for (const uint8_t s : shard_of) ++out.offsets[s + 1];
@@ -193,9 +215,14 @@ std::vector<KeyedPosting<Key>> BuildShardedPostings(
   RunPoolTasks(pool, kBlockingMergeShards, [&](size_t s) {
     std::vector<Emission> pairs;
     size_t total = 0;
+    size_t contributing_chunks = 0;
     for (const auto& chunk : chunk_shards) {
-      total += chunk.offsets[s + 1] - chunk.offsets[s];
+      const size_t slice = chunk.offsets[s + 1] - chunk.offsets[s];
+      total += slice;
+      if (slice > 0) ++contributing_chunks;
     }
+    shard_records.Record(total);
+    merge_fanin.Record(contributing_chunks);
     pairs.reserve(total);
     for (auto& chunk : chunk_shards) {
       const auto begin = chunk.emissions.begin() + chunk.offsets[s];

@@ -24,6 +24,8 @@
 #include "kb/neighbor_graph.h"
 #include "matching/similarity_evaluator.h"
 #include "metablocking/meta_blocking.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "progressive/resolver.h"
 #include "util/status.h"
 
@@ -38,6 +40,20 @@ enum class BlockerChoice {
 };
 
 std::string_view BlockerChoiceName(BlockerChoice choice);
+
+/// Observability knobs. Out-of-band by contract: these settings are
+/// deliberately EXCLUDED from the session options digest, so a checkpoint
+/// taken with tracing on restores under any observability configuration —
+/// instrumentation never shapes (or gates) the resolution trajectory.
+struct ObsOptions {
+  /// Record phase spans into a TraceRecorder for Chrome-trace export
+  /// (ResolutionSession::WriteTraceJson). Off by default.
+  bool enable_trace = false;
+  /// Progressive-quality sampling cadence in comparisons (0 = off): every N
+  /// executed comparisons the session records one (comparisons, matches,
+  /// elapsed) point of the paper's quality curve.
+  uint64_t progress_every = 0;
+};
 
 /// Full workflow configuration with Web-of-Data defaults.
 struct WorkflowOptions {
@@ -80,6 +96,10 @@ struct WorkflowOptions {
   /// report is identical for every value.
   uint32_t num_threads = 1;
 
+  /// Observability (phase tracing, progress sampling). Never part of the
+  /// checkpoint options digest; see ObsOptions.
+  ObsOptions obs;
+
   /// Range-checks every knob and returns the first violation with a
   /// specific message (e.g. "filter_ratio must be in (0, 1], got -2").
   /// Called by ResolutionSession::Open and the CLI; library users building
@@ -107,6 +127,13 @@ struct ResolutionReport {
   uint64_t comparisons_after_meta = 0;   // retained distinct pairs
   MetaBlockingStats meta_stats;
   ProgressiveResult progressive;
+
+  /// Merged metrics-registry snapshot at report time (spill counters,
+  /// blocking/prune shard telemetry, online counters — whatever ran).
+  obs::StatsSnapshot metrics;
+  /// Progressive-quality curve samples (empty unless obs.progress_every
+  /// was set).
+  std::vector<obs::ProgressSample> progress;
 
   /// Pretty-prints the per-phase summary.
   std::string Summary() const;

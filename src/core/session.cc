@@ -10,6 +10,7 @@
 #include "kb/neighbor_graph.h"
 #include "matching/similarity_evaluator.h"
 #include "metablocking/meta_blocking.h"
+#include "obs/metrics.h"
 #include "progressive/resolver.h"
 #include "util/hash.h"
 #include "util/serde.h"
@@ -104,6 +105,10 @@ struct ResolutionSession::Impl {
   /// Accumulated wall time of Begin + every Step (the dynamic phase).
   double resolve_millis = 0.0;
 
+  // Observability (out-of-band: none of this is checkpointed or digested).
+  std::unique_ptr<obs::TraceRecorder> trace;  // null unless obs.enable_trace
+  obs::ProgressMeter progress;
+
   void EmitPhase(PhaseStats phase) {
     if (observer != nullptr) observer->OnPhase(phase);
     phases.push_back(std::move(phase));
@@ -129,7 +134,11 @@ struct ResolutionSession::Impl {
         *collection, *graph, *evaluator, progressive, pool.get());
     if (observer != nullptr) {
       resolver->set_match_callback(
-          [obs = observer](const MatchEvent& m) { obs->OnMatch(m); });
+          [sink = observer](const MatchEvent& m) { sink->OnMatch(m); });
+    }
+    progress.Configure(options.obs.progress_every);
+    if (progress.enabled()) {
+      resolver->set_progress_meter(&progress);
     }
   }
 };
@@ -152,6 +161,11 @@ Result<ResolutionSession> ResolutionSession::Open(
   impl->collection = &collection;
   impl->options = options;
   impl->observer = observer;
+  if (options.obs.enable_trace) {
+    impl->trace = std::make_unique<obs::TraceRecorder>();
+  }
+  // The "open" span nests every static-phase span recorded below.
+  obs::PhaseSpan open_span(impl->trace.get(), "open");
   Stopwatch watch;
 
   // One pool serves every parallel phase of this session (thread spawn/join
@@ -177,41 +191,50 @@ Result<ResolutionSession> ResolutionSession::Open(
   std::vector<WeightedComparison> candidates;
   try {
     watch.Restart();
-    BlockCollection raw = MakeWorkflowBlocker(options)->Build(
-        collection, block_threads > 1 ? impl->pool.get() : nullptr);
+    BlockCollection raw = [&] {
+      obs::PhaseSpan span(impl->trace.get(), "blocking");
+      return MakeWorkflowBlocker(options)->Build(
+          collection, block_threads > 1 ? impl->pool.get() : nullptr);
+    }();
     impl->blocks_built = raw.num_blocks();
     impl->EmitPhase({"blocking", watch.ElapsedMillis(), impl->blocks_built});
 
     watch.Restart();
-    ThreadPool* cleaning_pool =
-        block_threads > 1 ? impl->pool.get() : nullptr;
-    if (options.auto_purge) {
-      AutoPurge(raw, collection, options.meta.mode, /*smoothing=*/1.025,
-                cleaning_pool);
+    {
+      obs::PhaseSpan span(impl->trace.get(), "block-cleaning");
+      ThreadPool* cleaning_pool =
+          block_threads > 1 ? impl->pool.get() : nullptr;
+      if (options.auto_purge) {
+        AutoPurge(raw, collection, options.meta.mode, /*smoothing=*/1.025,
+                  cleaning_pool);
+      }
+      if (options.filter_ratio > 0.0 && options.filter_ratio < 1.0) {
+        FilterBlocks(raw, options.filter_ratio, collection, options.meta.mode,
+                     cleaning_pool);
+      }
+      impl->blocks_after_cleaning = raw.num_blocks();
+      impl->comparisons_before_meta =
+          raw.AggregateComparisons(collection, options.meta.mode);
     }
-    if (options.filter_ratio > 0.0 && options.filter_ratio < 1.0) {
-      FilterBlocks(raw, options.filter_ratio, collection, options.meta.mode,
-                   cleaning_pool);
-    }
-    impl->blocks_after_cleaning = raw.num_blocks();
-    impl->comparisons_before_meta =
-        raw.AggregateComparisons(collection, options.meta.mode);
     impl->EmitPhase({"block-cleaning", watch.ElapsedMillis(),
                      impl->blocks_after_cleaning});
 
     watch.Restart();
-    if (options.enable_meta_blocking) {
-      MetaBlocking meta(meta_options);
-      candidates =
-          impl->pool && meta_threads > 1
-              ? meta.Prune(raw, collection, *impl->pool, &impl->meta_stats)
-              : meta.Prune(raw, collection, &impl->meta_stats);
-    } else {
-      // Distinct comparisons with CBS weights (no pruning).
-      raw.BuildEntityIndex(collection.num_entities());
-      for (const Comparison& c :
-           raw.DistinctComparisons(collection, options.meta.mode)) {
-        candidates.push_back({c.a, c.b, 1.0});
+    {
+      obs::PhaseSpan span(impl->trace.get(), "meta-blocking");
+      if (options.enable_meta_blocking) {
+        MetaBlocking meta(meta_options);
+        candidates =
+            impl->pool && meta_threads > 1
+                ? meta.Prune(raw, collection, *impl->pool, &impl->meta_stats)
+                : meta.Prune(raw, collection, &impl->meta_stats);
+      } else {
+        // Distinct comparisons with CBS weights (no pruning).
+        raw.BuildEntityIndex(collection.num_entities());
+        for (const Comparison& c :
+             raw.DistinctComparisons(collection, options.meta.mode)) {
+          candidates.push_back({c.a, c.b, 1.0});
+        }
       }
     }
   } catch (const extmem::SpillError& e) {
@@ -223,28 +246,47 @@ Result<ResolutionSession> ResolutionSession::Open(
 
   // ---- Graph + evaluator + schedule ---------------------------------------
   watch.Restart();
-  impl->BuildResolutionSubstrate();
+  {
+    obs::PhaseSpan span(impl->trace.get(), "graph+evaluator");
+    impl->BuildResolutionSubstrate();
+  }
   impl->EmitPhase(
       {"graph+evaluator", watch.ElapsedMillis(), impl->graph->num_edges()});
 
   watch.Restart();
-  std::vector<Comparison> seeds;
-  if (options.use_same_as_seeds && !collection.same_as_links().empty()) {
-    seeds.reserve(collection.same_as_links().size());
-    for (const SameAsLink& link : collection.same_as_links()) {
-      seeds.emplace_back(link.a, link.b);
+  {
+    obs::PhaseSpan span(impl->trace.get(), "schedule-priming");
+    std::vector<Comparison> seeds;
+    if (options.use_same_as_seeds && !collection.same_as_links().empty()) {
+      seeds.reserve(collection.same_as_links().size());
+      for (const SameAsLink& link : collection.same_as_links()) {
+        seeds.emplace_back(link.a, link.b);
+      }
     }
+    impl->progress.Start();  // curve origin: where budget spending begins
+    impl->resolver->Begin(candidates, seeds);
   }
-  impl->resolver->Begin(candidates, seeds);
   impl->resolve_millis += watch.ElapsedMillis();
 
   return ResolutionSession(std::move(impl));
 }
 
 StepResult ResolutionSession::Step(uint64_t max_comparisons) {
+  obs::PhaseSpan span(impl_->trace.get(), "step");
   const Stopwatch watch;
   StepResult out = impl_->resolver->Step(max_comparisons);
-  impl_->resolve_millis += watch.ElapsedMillis();
+  const double millis = watch.ElapsedMillis();
+  impl_->resolve_millis += millis;
+  out.wall_millis = millis;
+  // Close the quality curve at the true totals of this step (the cadence
+  // sampler only fires every N comparisons).
+  if (impl_->progress.enabled() && out.comparisons > 0) {
+    impl_->progress.Sample(comparisons_spent(), matches_found());
+  }
+  if (obs::MetricsRegistry::Default().enabled()) {
+    out.stats = std::make_shared<const obs::StatsSnapshot>(
+        obs::MetricsRegistry::Default().Snapshot());
+  }
   return out;
 }
 
@@ -283,7 +325,38 @@ ResolutionReport ResolutionSession::Report() const {
   report.progressive = impl_->resolver->result();
   report.phases.push_back({"progressive-resolution", impl_->resolve_millis,
                            report.progressive.run.matches.size()});
+  report.metrics = obs::MetricsRegistry::Default().Snapshot();
+  report.progress = impl_->progress.samples();
   return report;
+}
+
+obs::StatsReport ResolutionSession::Stats() const {
+  obs::StatsReport report;
+  report.metrics = obs::MetricsRegistry::Default().Snapshot();
+  report.phases.reserve(impl_->phases.size() + 1);
+  for (const PhaseStats& phase : impl_->phases) {
+    report.phases.push_back(
+        {phase.name, phase.millis, phase.output_cardinality});
+  }
+  report.phases.push_back(
+      {"progressive-resolution", impl_->resolve_millis,
+       impl_->resolver->result().run.matches.size()});
+  report.progress = impl_->progress.samples();
+  if (impl_->pool != nullptr) report.pool = impl_->pool->Stats();
+  report.peak_rss_bytes = obs::PeakRssBytes();
+  return report;
+}
+
+void ResolutionSession::WriteStatsJson(std::ostream& out) const {
+  obs::WriteStatsJson(out, Stats());
+}
+
+void ResolutionSession::WriteTraceJson(std::ostream& out) const {
+  if (impl_->trace != nullptr) {
+    impl_->trace->WriteChromeTrace(out);
+  } else {
+    obs::TraceRecorder().WriteChromeTrace(out);
+  }
 }
 
 Status ResolutionSession::Checkpoint(std::ostream& out) const {
@@ -380,8 +453,17 @@ Result<ResolutionSession> ResolutionSession::Restore(
   // The static phases' products are pure functions of (collection, options):
   // rebuild them instead of serializing megabytes of graph and TF-IDF
   // vectors, then restore the loop state on top.
-  impl->BuildResolutionSubstrate();
-  MINOAN_RETURN_IF_ERROR(impl->resolver->LoadState(in));
+  if (options.obs.enable_trace) {
+    impl->trace = std::make_unique<obs::TraceRecorder>();
+  }
+  {
+    obs::PhaseSpan span(impl->trace.get(), "restore");
+    impl->BuildResolutionSubstrate();
+    // Progress samples are not checkpointed (out-of-band): the restored
+    // curve starts fresh at the restored comparison totals.
+    impl->progress.Start();
+    MINOAN_RETURN_IF_ERROR(impl->resolver->LoadState(in));
+  }
   return ResolutionSession(std::move(impl));
 }
 

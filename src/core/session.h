@@ -30,6 +30,8 @@
 
 #include "core/minoan_er.h"
 #include "matching/matcher.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "progressive/step_core.h"
 #include "util/status.h"
 
@@ -97,6 +99,20 @@ class ResolutionSession {
   /// Assembles the same ResolutionReport the one-shot MinoanEr::Run returns
   /// for the work done so far. Callable at any point of the run.
   ResolutionReport Report() const;
+
+  /// Everything this session observed so far: per-phase wall times, the
+  /// progressive-quality curve, thread-pool utilization, peak RSS, and the
+  /// merged metrics-registry snapshot. Callable at any point of the run.
+  obs::StatsReport Stats() const;
+
+  /// Writes Stats() as the flat "minoan-stats-v1" JSON (the --metrics-out
+  /// file; see obs/report.h).
+  void WriteStatsJson(std::ostream& out) const;
+
+  /// Writes the recorded phase spans as Chrome-trace JSON (loadable in
+  /// chrome://tracing / ui.perfetto.dev). An empty-but-valid trace when the
+  /// session ran without options.obs.enable_trace.
+  void WriteTraceJson(std::ostream& out) const;
 
   const WorkflowOptions& options() const;
   const EntityCollection& collection() const;

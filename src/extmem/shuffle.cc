@@ -1,30 +1,38 @@
 #include "extmem/shuffle.h"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
 
 #include "extmem/run_merger.h"
+#include "obs/metrics.h"
 
 namespace minoan {
 namespace extmem {
 
 namespace {
 
-// Process-wide spill telemetry. Tests and benches read these to prove that
-// a "forced spill" configuration really exercised the disk path.
-std::atomic<uint64_t> g_runs_spilled{0};
-std::atomic<uint64_t> g_bytes_spilled{0};
-std::atomic<uint64_t> g_sinks_spilled{0};
-std::atomic<uint64_t> g_sinks_loaded{0};
-std::atomic<uint64_t> g_min_runs{std::numeric_limits<uint64_t>::max()};
+// Spill telemetry lives in the metrics registry (spill.* namespace), so it
+// shows up in --metrics-out stats alongside everything else. Tests and
+// benches still reach it through the Get/ResetSpillTelemetry shim below,
+// which now resets exactly these metrics instead of bespoke globals.
+struct SpillMetrics {
+  obs::Counter& runs =
+      obs::MetricsRegistry::Default().counter("spill.runs");
+  obs::Counter& bytes =
+      obs::MetricsRegistry::Default().counter("spill.bytes");
+  obs::Counter& sinks_spilled =
+      obs::MetricsRegistry::Default().counter("spill.sinks_spilled");
+  obs::Counter& sinks_loaded =
+      obs::MetricsRegistry::Default().counter("spill.sinks_loaded");
+  // Runs spilled per finished loaded sink; the exact histogram min is the
+  // "every shard really spilled k runs" probe of the determinism tests.
+  obs::Histogram& runs_per_sink =
+      obs::MetricsRegistry::Default().histogram("spill.runs_per_sink");
+};
 
-void AtomicMin(std::atomic<uint64_t>& target, uint64_t value) {
-  uint64_t current = target.load(std::memory_order_relaxed);
-  while (value < current &&
-         !target.compare_exchange_weak(current, value,
-                                       std::memory_order_relaxed)) {
-  }
+SpillMetrics& Metrics() {
+  static SpillMetrics* metrics = new SpillMetrics();
+  return *metrics;
 }
 
 /// Source over one sorted in-memory record buffer (the never-spilled fast
@@ -64,21 +72,25 @@ class FileSource : public ShuffleSource {
 }  // namespace
 
 SpillTelemetry GetSpillTelemetry() {
+  SpillMetrics& metrics = Metrics();
   SpillTelemetry t;
-  t.runs_spilled = g_runs_spilled.load();
-  t.bytes_spilled = g_bytes_spilled.load();
-  t.sinks_spilled = g_sinks_spilled.load();
-  t.sinks_loaded = g_sinks_loaded.load();
-  t.min_runs_per_loaded_sink = g_min_runs.load();
+  t.runs_spilled = metrics.runs.Value();
+  t.bytes_spilled = metrics.bytes.Value();
+  t.sinks_spilled = metrics.sinks_spilled.Value();
+  t.sinks_loaded = metrics.sinks_loaded.Value();
+  // Histogram min over finished sinks; its empty-state sentinel is the same
+  // UINT64_MAX the probe API always used.
+  t.min_runs_per_loaded_sink = metrics.runs_per_sink.Snapshot().min;
   return t;
 }
 
 void ResetSpillTelemetry() {
-  g_runs_spilled = 0;
-  g_bytes_spilled = 0;
-  g_sinks_spilled = 0;
-  g_sinks_loaded = 0;
-  g_min_runs = std::numeric_limits<uint64_t>::max();
+  SpillMetrics& metrics = Metrics();
+  metrics.runs.Reset();
+  metrics.bytes.Reset();
+  metrics.sinks_spilled.Reset();
+  metrics.sinks_loaded.Reset();
+  metrics.runs_per_sink.Reset();
 }
 
 SpillShuffle::SpillShuffle(uint64_t run_bytes, ScopedSpillDir* dir)
@@ -128,8 +140,8 @@ void SpillShuffle::SpillRun() {
     const std::string_view framed = buffer.substr(off);
     writer.Append(framed.substr(4, ReadU32Le(framed)));
   }
-  g_bytes_spilled.fetch_add(writer.Close(), std::memory_order_relaxed);
-  g_runs_spilled.fetch_add(1, std::memory_order_relaxed);
+  Metrics().bytes.Add(writer.Close());
+  Metrics().runs.Increment();
   run_paths_.push_back(std::move(path));
   buffer_.clear();
   offsets_.clear();
@@ -139,10 +151,10 @@ void SpillShuffle::SpillRun() {
 
 std::unique_ptr<ShuffleSource> SpillShuffle::Finish() {
   if (records_ > 0) {
-    g_sinks_loaded.fetch_add(1, std::memory_order_relaxed);
-    AtomicMin(g_min_runs, runs_spilled_);
+    Metrics().sinks_loaded.Increment();
+    Metrics().runs_per_sink.Record(runs_spilled_);
     if (runs_spilled_ > 0) {
-      g_sinks_spilled.fetch_add(1, std::memory_order_relaxed);
+      Metrics().sinks_spilled.Increment();
     }
   }
   SortBuffer();

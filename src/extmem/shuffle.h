@@ -212,8 +212,13 @@ class SpillShuffle : public ShuffleSink {
 };
 
 // ---------------------------------------------------------------------------
-// Telemetry (process-wide, for tests and benches)
+// Telemetry (for tests and benches)
 // ---------------------------------------------------------------------------
+// Backed by the obs::MetricsRegistry "spill.*" metrics (so spill activity
+// appears in --metrics-out stats); this struct is the stable probe API.
+// Reset resets exactly the spill.* metrics. Note: while the registry is
+// disabled (obs::MetricsRegistry::set_enabled(false)), spill activity is
+// not recorded and these probes read as empty.
 
 struct SpillTelemetry {
   uint64_t runs_spilled = 0;   ///< total sorted runs written to disk

@@ -9,6 +9,7 @@
 
 #include "extmem/shuffle.h"
 #include "metablocking/meta_blocking.h"
+#include "obs/metrics.h"
 #include "util/hash.h"
 #include "util/topk.h"
 
@@ -309,9 +310,12 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
       }
       graph_edges /= 2;
       weight_sum /= 2.0;
+      static obs::Histogram& shard_votes =
+          obs::MetricsRegistry::Default().histogram("prune.shard_votes");
       for (const auto& [votes, pairs] : shard_counts) {
         nominations += votes;
         distinct_pairs += pairs;
+        shard_votes.Record(votes);
       }
       retained = FlattenInOrder(shard_kept);
       break;
@@ -319,6 +323,18 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
   }
 
   SortByWeightDescending(retained);
+  // Telemetry once per prune run — all sequential, outside the workers.
+  {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    static obs::Counter& chunks = registry.counter("prune.chunks");
+    static obs::Counter& edges = registry.counter("prune.graph_edges");
+    static obs::Counter& noms = registry.counter("prune.nominations");
+    static obs::Counter& kept_edges = registry.counter("prune.retained");
+    chunks.Add(num_chunks);
+    edges.Add(graph_edges);
+    noms.Add(nominations);
+    kept_edges.Add(retained.size());
+  }
   if (stats) {
     stats->graph_edges = graph_edges;
     stats->retained_edges = retained.size();

@@ -1,0 +1,40 @@
+// Copyright 2026 The MinoanER Authors.
+
+#include "obs/progress.h"
+
+namespace minoan {
+namespace obs {
+
+double MatchesPerThousand(const std::vector<ProgressSample>& samples,
+                          size_t index) {
+  if (index >= samples.size()) return 0.0;
+  const ProgressSample& sample = samples[index];
+  const uint64_t prev_comparisons =
+      index == 0 ? 0 : samples[index - 1].comparisons;
+  const uint64_t prev_matches = index == 0 ? 0 : samples[index - 1].matches;
+  if (sample.comparisons <= prev_comparisons) return 0.0;
+  return 1000.0 * static_cast<double>(sample.matches - prev_matches) /
+         static_cast<double>(sample.comparisons - prev_comparisons);
+}
+
+void ProgressMeter::Sample(uint64_t comparisons_total, uint64_t matches_total) {
+  const double elapsed_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Dedupe: the final unconditional Sample() may land on the same
+  // comparison count as the last cadence sample.
+  if (!samples_.empty() && samples_.back().comparisons == comparisons_total) {
+    samples_.back().matches = matches_total;
+    samples_.back().elapsed_ms = elapsed_ms;
+  } else {
+    samples_.push_back({comparisons_total, matches_total, elapsed_ms});
+  }
+  if (every_ != 0) {
+    next_at_ = comparisons_total - (comparisons_total % every_) + every_;
+  }
+}
+
+}  // namespace obs
+}  // namespace minoan

@@ -1,0 +1,107 @@
+// Copyright 2026 The MinoanER Authors.
+
+#include "obs/report.h"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+
+namespace minoan {
+namespace obs {
+
+namespace {
+
+// Fixed-format double: enough digits for millisecond timings, no
+// locale/scientific surprises in the JSON.
+void WriteDoubleJson(std::ostream& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out << buf;
+}
+
+}  // namespace
+
+uint64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in KiB (macOS reports bytes; this repo targets
+  // Linux CI, so KiB it is).
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+void WriteStatsJson(std::ostream& out, const StatsReport& report) {
+  out << "{\"schema\":\"minoan-stats-v1\"";
+
+  out << ",\"phases\":[";
+  for (size_t i = 0; i < report.phases.size(); ++i) {
+    const PhaseTiming& phase = report.phases[i];
+    if (i != 0) out << ',';
+    out << "{\"name\":";
+    WriteJsonString(out, phase.name);
+    out << ",\"millis\":";
+    WriteDoubleJson(out, phase.millis);
+    out << ",\"cardinality\":" << phase.cardinality << '}';
+  }
+  out << ']';
+
+  out << ",\"progress\":[";
+  for (size_t i = 0; i < report.progress.size(); ++i) {
+    const ProgressSample& sample = report.progress[i];
+    if (i != 0) out << ',';
+    out << "{\"comparisons\":" << sample.comparisons
+        << ",\"matches\":" << sample.matches << ",\"elapsed_ms\":";
+    WriteDoubleJson(out, sample.elapsed_ms);
+    out << ",\"new_matches_per_1k\":";
+    WriteDoubleJson(out, MatchesPerThousand(report.progress, i));
+    out << '}';
+  }
+  out << ']';
+
+  out << ",\"pool\":{\"tasks_executed\":" << report.pool.tasks_executed
+      << ",\"queue_wait_micros\":" << report.pool.queue_wait_micros
+      << ",\"busy_micros_total\":" << report.pool.TotalBusyMicros()
+      << ",\"worker_busy_micros\":[";
+  for (size_t i = 0; i < report.pool.worker_busy_micros.size(); ++i) {
+    if (i != 0) out << ',';
+    out << report.pool.worker_busy_micros[i];
+  }
+  out << "]}";
+
+  out << ",\"counters\":{";
+  for (size_t i = 0; i < report.metrics.counters.size(); ++i) {
+    if (i != 0) out << ',';
+    WriteJsonString(out, report.metrics.counters[i].first);
+    out << ':' << report.metrics.counters[i].second;
+  }
+  out << '}';
+
+  out << ",\"gauges\":{";
+  for (size_t i = 0; i < report.metrics.gauges.size(); ++i) {
+    if (i != 0) out << ',';
+    WriteJsonString(out, report.metrics.gauges[i].first);
+    out << ':' << report.metrics.gauges[i].second;
+  }
+  out << '}';
+
+  out << ",\"histograms\":{";
+  for (size_t i = 0; i < report.metrics.histograms.size(); ++i) {
+    const auto& [name, histogram] = report.metrics.histograms[i];
+    if (i != 0) out << ',';
+    WriteJsonString(out, name);
+    out << ":{\"count\":" << histogram.count << ",\"sum\":" << histogram.sum;
+    if (histogram.count > 0) {
+      out << ",\"min\":" << histogram.min << ",\"max\":" << histogram.max;
+    } else {
+      out << ",\"min\":0,\"max\":0";
+    }
+    out << ",\"mean\":";
+    WriteDoubleJson(out, histogram.Mean());
+    out << '}';
+  }
+  out << '}';
+
+  out << ",\"peak_rss_bytes\":" << report.peak_rss_bytes << "}\n";
+}
+
+}  // namespace obs
+}  // namespace minoan

@@ -1,0 +1,53 @@
+// Copyright 2026 The MinoanER Authors.
+// StatsReport: the flat JSON export bundling everything one resolution run
+// observed — per-phase wall times, the progressive-quality curve, thread
+// pool utilization, peak RSS, and the merged metrics registry snapshot.
+// This is the file `minoan resolve --metrics-out` writes and
+// tools/bench_compare.py --stats reads.
+
+#ifndef MINOAN_OBS_REPORT_H_
+#define MINOAN_OBS_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "util/thread_pool.h"
+
+namespace minoan {
+namespace obs {
+
+/// Wall time + output size of one pipeline phase (mirrors core PhaseStats;
+/// duplicated here so obs does not depend on core).
+struct PhaseTiming {
+  std::string name;
+  double millis = 0;
+  uint64_t cardinality = 0;
+};
+
+/// Everything one run observed, ready for export.
+struct StatsReport {
+  StatsSnapshot metrics;
+  std::vector<PhaseTiming> phases;
+  std::vector<ProgressSample> progress;
+  ThreadPoolStats pool;
+  uint64_t peak_rss_bytes = 0;
+};
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss).
+/// Monotone over the process lifetime — it never decreases.
+uint64_t PeakRssBytes();
+
+/// Flat JSON: {"schema":"minoan-stats-v1","phases":[...],"progress":[...],
+/// "pool":{...},"counters":{...},"gauges":{...},"histograms":{...},
+/// "peak_rss_bytes":N}. Progress samples carry the derived
+/// new-matches-per-1k-comparisons slope.
+void WriteStatsJson(std::ostream& out, const StatsReport& report);
+
+}  // namespace obs
+}  // namespace minoan
+
+#endif  // MINOAN_OBS_REPORT_H_

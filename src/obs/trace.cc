@@ -1,0 +1,109 @@
+// Copyright 2026 The MinoanER Authors.
+
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace minoan {
+namespace obs {
+
+namespace {
+// Per-thread nesting depth for span events. A plain thread_local is enough:
+// spans open and close on the same thread by construction (RAII).
+thread_local uint32_t t_span_depth = 0;
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = snapshot();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":";
+    WriteJsonString(out, event.name);
+    // "X" = complete event (begin + duration in one record); pid is
+    // constant — everything here is one process.
+    out << ",\"ph\":\"X\",\"ts\":" << event.start_us
+        << ",\"dur\":" << event.dur_us << ",\"pid\":1,\"tid\":" << event.tid
+        << ",\"args\":{\"depth\":" << event.depth;
+    for (const auto& [name, delta] : event.counter_deltas) {
+      out << ',';
+      WriteJsonString(out, name);
+      out << ':' << delta;
+    }
+    out << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+PhaseSpan::PhaseSpan(TraceRecorder* recorder, std::string name)
+    : recorder_(recorder), name_(std::move(name)) {
+  if (recorder_ == nullptr) return;
+  depth_ = t_span_depth++;
+  if (MetricsRegistry::Default().enabled()) {
+    counters_before_ = MetricsRegistry::Default().CounterValues();
+  }
+  start_us_ = recorder_->NowMicros();
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (recorder_ == nullptr) return;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.tid = ThisThreadIndex();
+  event.depth = depth_;
+  event.start_us = start_us_;
+  event.dur_us = recorder_->NowMicros() - start_us_;
+  if (!counters_before_.empty() || MetricsRegistry::Default().enabled()) {
+    std::vector<std::pair<std::string, uint64_t>> after =
+        MetricsRegistry::Default().CounterValues();
+    // Both lists are name-sorted (registry map order); a merge walk finds
+    // counters that advanced. Names only ever get added, so `after` is a
+    // superset of `counters_before_`.
+    size_t bi = 0;
+    for (const auto& [name, value] : after) {
+      uint64_t before = 0;
+      while (bi < counters_before_.size() &&
+             counters_before_[bi].first < name) {
+        ++bi;
+      }
+      if (bi < counters_before_.size() &&
+          counters_before_[bi].first == name) {
+        before = counters_before_[bi].second;
+      }
+      if (value > before) {
+        event.counter_deltas.emplace_back(name, value - before);
+      }
+    }
+  }
+  t_span_depth = depth_;  // restore (we incremented past it at entry)
+  recorder_->Append(std::move(event));
+}
+
+double PhaseSpan::ElapsedMillis() const {
+  if (recorder_ == nullptr) return 0.0;
+  return static_cast<double>(recorder_->NowMicros() - start_us_) / 1000.0;
+}
+
+}  // namespace obs
+}  // namespace minoan

@@ -1,0 +1,93 @@
+// Copyright 2026 The MinoanER Authors.
+// Phase tracing: RAII spans that record wall time plus the counter activity
+// that happened inside them, exported as Chrome-trace JSON (loadable in
+// chrome://tracing and ui.perfetto.dev) or consumed as structured events.
+//
+// Spans nest (a "step" span inside a session contains the scheduler and
+// evaluator work it drove) and are thread-tagged with the same dense index
+// the metrics cells use. A null recorder makes PhaseSpan inert, so
+// call sites are unconditional:
+//
+//   {
+//     obs::PhaseSpan span(recorder /* may be null */, "blocking");
+//     ... build blocks ...
+//   }  // span end: duration + counter deltas recorded
+
+#ifndef MINOAN_OBS_TRACE_H_
+#define MINOAN_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace minoan {
+namespace obs {
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  uint32_t tid = 0;
+  /// Nesting depth on the recording thread (0 = outermost).
+  uint32_t depth = 0;
+  /// Microseconds since the recorder's epoch.
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  /// Registry counters that advanced during the span (name, delta),
+  /// name-sorted. Attributes e.g. comparisons to the phase that spent them.
+  std::vector<std::pair<std::string, uint64_t>> counter_deltas;
+};
+
+/// Collects spans for one session/run. Thread-safe; events are appended in
+/// completion order.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  /// Microseconds since this recorder was constructed (steady clock).
+  uint64_t NowMicros() const;
+
+  void Append(TraceEvent event);
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome-trace JSON: {"traceEvents":[{"ph":"X",...}],...}. Complete
+  /// events carry duration, thread id, and counter deltas in "args".
+  void WriteChromeTrace(std::ostream& out) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. Construction snapshots time (and registry counters when the
+/// registry is metering); destruction appends the completed event. Inert
+/// when `recorder` is null — no time or counter reads at all.
+class PhaseSpan {
+ public:
+  PhaseSpan(TraceRecorder* recorder, std::string name);
+  ~PhaseSpan();
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  /// Wall time so far in milliseconds (0 when inert).
+  double ElapsedMillis() const;
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  uint32_t depth_ = 0;
+  uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters_before_;
+};
+
+}  // namespace obs
+}  // namespace minoan
+
+#endif  // MINOAN_OBS_TRACE_H_

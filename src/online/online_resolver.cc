@@ -6,6 +6,7 @@
 #include <string_view>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "text/similarity.h"
 #include "util/hash.h"
 #include "util/serde.h"
@@ -128,6 +129,9 @@ Result<EntityId> OnlineResolver::Ingest(
   MINOAN_ASSIGN_OR_RETURN(EntityId id, coll_.Ingest(kb_id, triples));
   IndexEntity(id);
   ConsumeSameAsSeeds();
+  static obs::Counter& ingested =
+      obs::MetricsRegistry::Default().counter("online.ingested");
+  ingested.Increment();
   return id;
 }
 
@@ -332,10 +336,19 @@ OnlineStepResult OnlineResolver::ResolveBudget(uint64_t max_comparisons) {
       /*execute=*/
       [&](uint64_t pair, EntityId, EntityId) { ExecuteComparison(pair); });
   out.matches.assign(run_.matches.begin() + match_mark, run_.matches.end());
+  static obs::Counter& comparisons =
+      obs::MetricsRegistry::Default().counter("online.resolve_comparisons");
+  static obs::Counter& matches =
+      obs::MetricsRegistry::Default().counter("online.resolve_matches");
+  comparisons.Add(out.comparisons);
+  matches.Add(out.matches.size());
   return out;
 }
 
 std::vector<QueryCandidate> OnlineResolver::Query(EntityId id, uint32_t k) {
+  static obs::Counter& queries =
+      obs::MetricsRegistry::Default().counter("online.queries");
+  queries.Increment();
   std::vector<QueryCandidate> out;
   if (k == 0 || id >= partners_.size()) return out;
 

@@ -148,6 +148,7 @@ StepResult ProgressiveResolver::Step(uint64_t max_comparisons) {
       /*execute=*/
       [&](uint64_t pair, EntityId a, EntityId b) {
         ExecuteComparison(pair, a, b);
+        SampleProgress();
       });
   out.comparisons = stats.comparisons;
   out.exhausted = stats.exhausted;
@@ -190,6 +191,13 @@ void ProgressiveResolver::ExecuteComparison(uint64_t pair, EntityId a,
   // ---- Update phase -------------------------------------------------------
   if (options_.enable_update_phase) {
     UpdatePhase(a, b);
+  }
+}
+
+void ProgressiveResolver::SampleProgress() {
+  if (progress_ != nullptr) {
+    progress_->OnProgress(result_.run.comparisons_executed,
+                          result_.run.matches.size());
   }
 }
 

@@ -43,6 +43,7 @@
 #include "kb/collection.h"
 #include "kb/neighbor_graph.h"
 #include "matching/matcher.h"
+#include "obs/progress.h"
 #include "matching/similarity_evaluator.h"
 #include "metablocking/meta_blocking_types.h"
 #include "progressive/benefit.h"
@@ -147,6 +148,12 @@ class ProgressiveResolver {
     on_match_ = std::move(callback);
   }
 
+  /// Installs (or clears) the progressive-quality sampler (caller-owned,
+  /// must outlive the resolver). Observational only: the meter sees the
+  /// cumulative (comparisons, matches) totals after every executed
+  /// comparison and never influences scheduling.
+  void set_progress_meter(obs::ProgressMeter* meter) { progress_ = meter; }
+
   // --- Checkpoint / restore ------------------------------------------------
 
   /// Serializes the complete loop state (schedule, evidence, executed set,
@@ -181,6 +188,8 @@ class ProgressiveResolver {
                   ResolutionState& state) const;
   void ExecuteComparison(uint64_t pair, EntityId a, EntityId b);
   void UpdatePhase(EntityId a, EntityId b);
+  /// Feeds the installed progress meter the post-comparison totals.
+  void SampleProgress();
 
   const EntityCollection* collection_;
   const NeighborGraph* graph_;
@@ -189,6 +198,7 @@ class ProgressiveResolver {
   BenefitEstimator estimator_;
   ThreadPool* pool_;  // optional, not owned
   MatchCallback on_match_;
+  obs::ProgressMeter* progress_ = nullptr;  // optional, not owned
 
   // Loop state (reset by Begin, serialized by SaveState).
   std::unordered_map<uint64_t, double> likelihood_;

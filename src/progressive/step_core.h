@@ -18,10 +18,12 @@
 #define MINOAN_PROGRESSIVE_STEP_CORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "kb/entity.h"
 #include "matching/matcher.h"
+#include "obs/metrics.h"
 #include "progressive/scheduler.h"
 #include "util/hash.h"
 
@@ -36,6 +38,13 @@ struct StepResult {
   std::vector<MatchEvent> matches;
   /// True when the queue drained before the budget was spent.
   bool exhausted = false;
+  /// Wall time this call took (filled by the session-level drivers;
+  /// observational, never part of any determinism contract).
+  double wall_millis = 0.0;
+  /// Metrics-registry snapshot taken as the call returned (filled by
+  /// ResolutionSession::Step while the registry is enabled; null
+  /// otherwise). Shared: snapshots are immutable once taken.
+  std::shared_ptr<const obs::StatsSnapshot> stats;
 };
 
 /// Pops and executes up to `max_comparisons` scheduled comparisons

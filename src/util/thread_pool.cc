@@ -2,14 +2,36 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace minoan {
 
+namespace {
+
+// Timing is metered only while the registry is enabled, so the pool costs
+// zero clock reads when observability is switched off. Timestamps are
+// steady-clock micros; 0 doubles as the "timing was off" sentinel.
+bool MeteringEnabled() {
+  return obs::MetricsRegistry::Default().enabled();
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
+  worker_busy_ = std::make_unique<BusyCell[]>(num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -25,9 +47,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const uint64_t enqueued_us = MeteringEnabled() ? NowMicros() : 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), enqueued_us});
     ++in_flight_;
   }
   work_cv_.notify_one();
@@ -43,7 +66,7 @@ void ThreadPool::Wait() {
   if (pending) std::rethrow_exception(pending);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   // Guarantees the in_flight_ decrement on every path out of a task,
   // including exceptional ones — otherwise Wait() deadlocks forever.
   struct TaskGuard {
@@ -54,7 +77,7 @@ void ThreadPool::WorkerLoop() {
     }
   };
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -65,14 +88,26 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t start_us =
+        task.enqueued_us != 0 && MeteringEnabled() ? NowMicros() : 0;
+    if (start_us != 0) {
+      queue_wait_micros_.fetch_add(start_us - std::min(start_us,
+                                                       task.enqueued_us),
+                                   std::memory_order_relaxed);
+    }
     {
       TaskGuard guard{this};
       try {
-        task();
+        task.fn();
       } catch (...) {
         std::unique_lock<std::mutex> lock(mu_);
         if (!first_exception_) first_exception_ = std::current_exception();
       }
+    }
+    if (start_us != 0) {
+      worker_busy_[worker_index].micros.fetch_add(NowMicros() - start_us,
+                                                  std::memory_order_relaxed);
     }
   }
 }
@@ -90,6 +125,19 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     });
   }
   Wait();
+}
+
+ThreadPoolStats ThreadPool::Stats() const {
+  ThreadPoolStats stats;
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  stats.queue_wait_micros =
+      queue_wait_micros_.load(std::memory_order_relaxed);
+  stats.worker_busy_micros.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    stats.worker_busy_micros.push_back(
+        worker_busy_[i].micros.load(std::memory_order_relaxed));
+  }
+  return stats;
 }
 
 }  // namespace minoan

@@ -5,6 +5,7 @@
 #define MINOAN_UTIL_THREAD_POOL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -12,12 +13,30 @@
 #include <exception>
 #include <functional>
 #include <iterator>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace minoan {
+
+/// Utilization snapshot of a pool (see ThreadPool::Stats). All values are
+/// cumulative since construction; timing fields are only accumulated while
+/// the metrics registry is enabled.
+struct ThreadPoolStats {
+  uint64_t tasks_executed = 0;
+  /// Total time tasks sat queued before a worker picked them up.
+  uint64_t queue_wait_micros = 0;
+  /// Time each worker spent running task bodies, indexed by worker.
+  std::vector<uint64_t> worker_busy_micros;
+
+  uint64_t TotalBusyMicros() const {
+    uint64_t total = 0;
+    for (uint64_t micros : worker_busy_micros) total += micros;
+    return total;
+  }
+};
 
 /// A minimal fixed-size thread pool. Tasks are void() callables. An
 /// exception escaping a task is captured (first one wins; later ones are
@@ -49,17 +68,33 @@ class ThreadPool {
   /// still run to completion before the rethrow).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Utilization so far. Safe to call concurrently with running work; a
+  /// snapshot taken while tasks run may miss in-flight increments.
+  ThreadPoolStats Stats() const;
+
  private:
-  void WorkerLoop();
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueued_us = 0;  // 0 when timing was off at enqueue
+  };
+  struct alignas(64) BusyCell {
+    std::atomic<uint64_t> micros{0};
+  };
+
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers
   std::condition_variable idle_cv_;   // signals Wait()
   size_t in_flight_ = 0;
   bool stop_ = false;
   std::exception_ptr first_exception_;  // set by workers, drained by Wait()
+
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> queue_wait_micros_{0};
+  std::unique_ptr<BusyCell[]> worker_busy_;  // one padded cell per worker
 };
 
 /// Resolves the "0 = hardware concurrency" convention shared by every

@@ -5,10 +5,13 @@
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "util/hash.h"
 #include "util/interner.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -452,6 +455,110 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   EXPECT_GE(b, a);
   watch.Restart();
   EXPECT_GE(watch.ElapsedMicros(), 0);
+}
+
+TEST(StopwatchTest, UnitsAreConsistent) {
+  Stopwatch watch;
+  // Busy-wait a hair so the reading is non-trivially positive, then take
+  // one micros reading and check the derived units scale from it (separate
+  // Elapsed* calls would each re-read the clock, so compare with slack).
+  while (watch.ElapsedMicros() < 200) {
+  }
+  const int64_t micros = watch.ElapsedMicros();
+  EXPECT_GE(micros, 200);
+  EXPECT_GE(watch.ElapsedMillis(), static_cast<double>(micros) / 1000.0);
+  EXPECT_GE(watch.ElapsedSeconds(), static_cast<double>(micros) / 1e6);
+  EXPECT_LT(watch.ElapsedSeconds(), 60.0);
+}
+
+TEST(StopwatchTest, RestartResetsTheEpoch) {
+  Stopwatch watch;
+  while (watch.ElapsedMicros() < 500) {
+  }
+  watch.Restart();
+  // Immediately after Restart the elapsed time must be far below the
+  // pre-restart reading (generous bound: half of it).
+  EXPECT_LT(watch.ElapsedMicros(), 250);
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------------
+
+/// Installs a capturing sink for the test's lifetime and restores the
+/// previous level + default sink on destruction, so tests stay isolated.
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(LogLevel level) : saved_level_(Logger::level()) {
+    Logger::set_level(level);
+    Logger::set_sink([this](LogLevel lvl, std::string_view msg) {
+      records_.emplace_back(lvl, std::string(msg));
+    });
+  }
+  ~ScopedLogCapture() {
+    Logger::set_sink(nullptr);
+    Logger::set_level(saved_level_);
+  }
+
+  const std::vector<std::pair<LogLevel, std::string>>& records() const {
+    return records_;
+  }
+
+ private:
+  LogLevel saved_level_;
+  std::vector<std::pair<LogLevel, std::string>> records_;
+};
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_EQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_EQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_EQ(LogLevelName(LogLevel::kOff), "OFF");
+}
+
+TEST(LoggingTest, SinkCapturesLevelAndMessage) {
+  ScopedLogCapture capture(LogLevel::kDebug);
+  MINOAN_LOG(kInfo) << "built " << 42 << " blocks";
+  ASSERT_EQ(capture.records().size(), 1u);
+  EXPECT_EQ(capture.records()[0].first, LogLevel::kInfo);
+  // The message is prefixed "file:line] " with the path stripped to its
+  // basename.
+  const std::string& msg = capture.records()[0].second;
+  EXPECT_NE(msg.find("util_test.cc:"), std::string::npos);
+  EXPECT_EQ(msg.find('/'), std::string::npos);
+  EXPECT_NE(msg.find("] built 42 blocks"), std::string::npos);
+}
+
+TEST(LoggingTest, ActiveLevelFiltersLowerSeverities) {
+  ScopedLogCapture capture(LogLevel::kWarning);
+  MINOAN_LOG(kDebug) << "dropped";
+  MINOAN_LOG(kInfo) << "dropped too";
+  MINOAN_LOG(kWarning) << "kept";
+  MINOAN_LOG(kError) << "kept too";
+  ASSERT_EQ(capture.records().size(), 2u);
+  EXPECT_EQ(capture.records()[0].first, LogLevel::kWarning);
+  EXPECT_EQ(capture.records()[1].first, LogLevel::kError);
+}
+
+TEST(LoggingTest, OffSilencesEverything) {
+  ScopedLogCapture capture(LogLevel::kOff);
+  MINOAN_LOG(kError) << "never seen";
+  EXPECT_TRUE(capture.records().empty());
+}
+
+TEST(LoggingTest, FilteredStatementDoesNotEvaluateOperands) {
+  ScopedLogCapture capture(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "costly";
+  };
+  MINOAN_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  MINOAN_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(capture.records().size(), 1u);
 }
 
 }  // namespace

@@ -21,6 +21,14 @@ hardware_concurrency differs from the current machine's, timing
 regressions downgrade to warnings (the identical=false gate still fails)
 and the run reminds you to reseed. Refresh a baseline with --update after
 an intentional change — run on the CI runner class, not a laptop.
+
+With --stats STATS.json (a `minoan resolve --metrics-out` file, schema
+minoan-stats-v1) the tool additionally prints a per-phase wall-time
+breakdown — phase name, milliseconds, share of the total, output
+cardinality — plus thread-pool utilization and peak RSS. --stats can also
+be used on its own, without --baseline/--current, as a quick pretty-printer:
+
+  tools/bench_compare.py --stats metrics.json
 """
 
 import argparse
@@ -61,10 +69,60 @@ def load(path):
         sys.exit(f"bench_compare: cannot read {path}: {err}")
 
 
+def print_stats_breakdown(path):
+    """Pretty-prints the per-phase timing breakdown of a minoan-stats-v1
+    file (the `minoan resolve --metrics-out` output)."""
+    stats = load(path)
+    schema = stats.get("schema")
+    if schema != "minoan-stats-v1":
+        sys.exit(
+            f"bench_compare: {path} is not a minoan-stats-v1 file "
+            f"(schema {schema!r})"
+        )
+    phases = stats.get("phases", [])
+    total_ms = sum(p.get("millis", 0.0) for p in phases)
+    print(f"bench_compare: phase breakdown from {path}")
+    name_width = max([len(p.get("name", "")) for p in phases] + [5])
+    for phase in phases:
+        millis = phase.get("millis", 0.0)
+        share = (100.0 * millis / total_ms) if total_ms > 0 else 0.0
+        print(
+            f"  {phase.get('name', '?'):<{name_width}}  "
+            f"{millis:>10.2f} ms  {share:>5.1f}%  "
+            f"cardinality {phase.get('cardinality', 0)}"
+        )
+    print(f"  {'total':<{name_width}}  {total_ms:>10.2f} ms")
+    pool = stats.get("pool", {})
+    workers = pool.get("worker_busy_micros", [])
+    if pool.get("tasks_executed"):
+        busy_ms = pool.get("busy_micros_total", 0) / 1000.0
+        print(
+            f"  pool: {pool.get('tasks_executed')} tasks across "
+            f"{len(workers)} workers, {busy_ms:.2f} ms busy, "
+            f"{pool.get('queue_wait_micros', 0) / 1000.0:.2f} ms queue wait"
+        )
+    progress = stats.get("progress", [])
+    if progress:
+        last = progress[-1]
+        print(
+            f"  progress: {len(progress)} samples, final "
+            f"{last.get('matches', 0)} matches / "
+            f"{last.get('comparisons', 0)} comparisons"
+        )
+    rss = stats.get("peak_rss_bytes", 0)
+    if rss:
+        print(f"  peak rss: {rss / (1 << 20):.1f} MiB")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline")
+    parser.add_argument("--current")
+    parser.add_argument(
+        "--stats",
+        help="minoan-stats-v1 JSON (--metrics-out output); prints the "
+        "per-phase timing breakdown",
+    )
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -78,6 +136,15 @@ def main():
         help="copy --current over --baseline instead of comparing",
     )
     args = parser.parse_args()
+
+    if args.stats:
+        print_stats_breakdown(args.stats)
+        if not (args.baseline or args.current):
+            return 0
+        print()
+    if not (args.baseline and args.current):
+        parser.error("--baseline and --current are required unless running "
+                     "--stats on its own")
 
     if args.update:
         shutil.copyfile(args.current, args.baseline)

@@ -11,6 +11,8 @@
 //                  [--seeds] [--threads N] [--filter-ratio F] [--out FILE]
 //                  [--step-budget N] [--stream]
 //                  [--memory-budget BYTES] [--spill-dir DIR]
+//                  [--metrics-out FILE] [--trace-out FILE]
+//                  [--progress-every N]
 //       Resolves all KBs in DIR and writes discovered owl:sameAs links.
 //       Scores against DIR/ground_truth.tsv when present. With
 //       --step-budget N the comparison budget is spent in increments of N
@@ -20,6 +22,13 @@
 //       shuffles may hold (suffixes k/m/g accepted, e.g. 512m); overflow
 //       spills sorted runs to temp files under --spill-dir (default: the
 //       system temp dir) with byte-identical results.
+//       Observability (out-of-band; results are identical with or without):
+//       --metrics-out writes the flat stats JSON (per-phase wall times,
+//       progressive-quality curve, pool utilization, spill counters, peak
+//       RSS); --trace-out writes a Chrome-trace JSON of the phase spans
+//       (load it in chrome://tracing or ui.perfetto.dev); --progress-every N
+//       samples the quality curve every N comparisons (defaults to 1000
+//       when --metrics-out is given, else off).
 //
 //   minoan session checkpoint DIR --state FILE [--step-budget N] [opts]
 //   minoan session resume     DIR --state FILE [--step-budget N] [opts]
@@ -316,10 +325,38 @@ Result<WorkflowOptions> ParseWorkflowOptions(const std::string& verb,
                                    threads_arg + "\"");
   }
   options.num_threads = static_cast<uint32_t>(threads);
+  // Observability: --trace-out switches phase-span recording on;
+  // --progress-every sets the quality-curve cadence (default 1000 when a
+  // metrics file was requested, so --metrics-out alone yields a curve).
+  options.obs.enable_trace = flags.Has("trace-out");
+  options.obs.progress_every =
+      flags.GetInt("progress-every", flags.Has("metrics-out") ? 1000 : 0);
   if (Status st = options.Validate(); !st.ok()) {
     return Status(st.code(), verb + ": " + st.message());
   }
   return options;
+}
+
+/// Writes the --metrics-out / --trace-out files when requested. Called
+/// after the run (resolve) or after the final/partial step (session).
+int WriteObsOutputs(const Flags& flags, const ResolutionSession& session) {
+  const std::string metrics_path = flags.Get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) return Fail(Status::IoError("cannot write " + metrics_path));
+    session.WriteStatsJson(out);
+    std::printf("wrote run stats to %s\n", metrics_path.c_str());
+  }
+  const std::string trace_path = flags.Get("trace-out", "");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) return Fail(Status::IoError("cannot write " + trace_path));
+    session.WriteTraceJson(out);
+    std::printf("wrote phase trace to %s (open in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  return 0;
 }
 
 /// --stream sink: prints every confirmed match the moment it lands.
@@ -418,6 +455,7 @@ int CmdResolve(const Flags& flags) {
                   static_cast<unsigned long long>(session->matches_found()));
     }
   }
+  if (int rc = WriteObsOutputs(flags, *session); rc != 0) return rc;
   return ReportAndWriteLinks(dir, flags, *collection,
                              session->Report());
 }
@@ -467,6 +505,7 @@ int CmdSession(const Flags& flags) {
               static_cast<unsigned long long>(session->comparisons_spent()),
               static_cast<unsigned long long>(session->matches_found()));
 
+  if (int rc = WriteObsOutputs(flags, *session); rc != 0) return rc;
   if (session->finished()) {
     std::printf("%s; final report:\n", session->exhausted()
                                            ? "queue drained"
@@ -546,7 +585,8 @@ void Usage() {
                "  resolve DIR [--threshold F --budget N --benefit "
                "quantity|attr|coverage|relationship --seeds --threads N "
                "--filter-ratio F --step-budget N --stream --out FILE "
-               "--memory-budget N[k|m|g] --spill-dir DIR]\n"
+               "--memory-budget N[k|m|g] --spill-dir DIR "
+               "--metrics-out FILE --trace-out FILE --progress-every N]\n"
                "  session checkpoint|resume DIR --state FILE "
                "[--step-budget N + resolve options]\n"
                "  online DIR [--script FILE --threshold F --pis --seeds "

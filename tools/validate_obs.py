@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""CI validator for the observability outputs of `minoan resolve`.
+
+Checks the two files the CLI writes:
+
+  --metrics-out metrics.json   flat stats (schema minoan-stats-v1)
+  --trace-out trace.json       Chrome-trace JSON (chrome://tracing,
+                               ui.perfetto.dev)
+
+Usage (the CI smoke run):
+
+  tools/validate_obs.py --metrics metrics.json --trace trace.json \
+      --expect-spill --expect-progress
+
+The trace check enforces the Chrome Trace Event format contract every
+viewer relies on: a "traceEvents" array of complete ("ph":"X") events,
+each with name / integer ts / non-negative dur / pid / tid, so the file is
+loadable in Perfetto without guessing. The stats check enforces the
+minoan-stats-v1 shape: every static pipeline phase timed, non-empty
+counters with the blocking/prune signals, pool utilization consistent with
+the worker vector, and a positive peak RSS. --expect-spill requires the
+spill.* counters to show actual spill activity (the smoke run forces it
+with a tiny --memory-budget); --expect-progress requires a non-empty
+progressive-quality curve with internally consistent samples.
+
+Exit 0 when everything holds; exit 1 listing every violation otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# Static phases the session must have timed, in pipeline order.
+EXPECTED_PHASES = (
+    "blocking",
+    "block-cleaning",
+    "meta-blocking",
+    "graph+evaluator",
+)
+
+# Counters every instrumented resolve run must report (non-zero).
+EXPECTED_COUNTERS = (
+    "blocking.chunks",
+    "blocking.postings",
+    "prune.chunks",
+    "prune.retained",
+)
+
+SPILL_COUNTERS = ("spill.runs", "spill.bytes", "spill.sinks_spilled")
+
+
+def load(path, problems):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        problems.append(f"cannot read {path}: {err}")
+        return None
+
+
+def check_trace(trace, problems):
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append("trace: traceEvents missing or not an array")
+        return
+    if not events:
+        problems.append("trace: no events recorded (was --trace-out passed?)")
+        return
+    names = set()
+    for i, event in enumerate(events):
+        where = f"trace: event {i}"
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing name")
+            continue
+        names.add(event["name"])
+        if event.get("ph") != "X":
+            problems.append(f"{where}: ph must be 'X' (complete event)")
+        for field in ("ts", "dur", "pid", "tid"):
+            if not isinstance(event.get(field), int) or event[field] < 0:
+                problems.append(
+                    f"{where}: {field} must be a non-negative integer"
+                )
+        args = event.get("args")
+        if not isinstance(args, dict) or "depth" not in args:
+            problems.append(f"{where}: args.depth missing")
+    for phase in EXPECTED_PHASES:
+        if phase not in names:
+            problems.append(f"trace: no span named {phase!r}")
+    if "open" not in names:
+        problems.append("trace: no enclosing 'open' span")
+
+
+def check_stats(stats, problems, expect_spill, expect_progress):
+    if stats.get("schema") != "minoan-stats-v1":
+        problems.append(
+            f"stats: schema is {stats.get('schema')!r}, "
+            "expected 'minoan-stats-v1'"
+        )
+    phase_names = [p.get("name") for p in stats.get("phases", [])]
+    for phase in EXPECTED_PHASES:
+        if phase not in phase_names:
+            problems.append(f"stats: phase {phase!r} missing")
+    for phase in stats.get("phases", []):
+        if phase.get("millis", -1) < 0:
+            problems.append(f"stats: phase {phase.get('name')!r} has no "
+                            "wall time")
+
+    counters = stats.get("counters", {})
+    for name in EXPECTED_COUNTERS:
+        if not counters.get(name):
+            problems.append(f"stats: counter {name!r} missing or zero")
+    if expect_spill:
+        for name in SPILL_COUNTERS:
+            if not counters.get(name):
+                problems.append(
+                    f"stats: counter {name!r} missing or zero — the smoke "
+                    "run must force spilling with a tiny --memory-budget"
+                )
+
+    pool = stats.get("pool", {})
+    workers = pool.get("worker_busy_micros")
+    if not isinstance(workers, list):
+        problems.append("stats: pool.worker_busy_micros missing")
+    elif pool.get("busy_micros_total") != sum(workers):
+        problems.append("stats: pool.busy_micros_total does not equal the "
+                        "sum of worker_busy_micros")
+
+    progress = stats.get("progress", [])
+    if expect_progress:
+        if not progress:
+            problems.append("stats: progress curve empty — pass "
+                            "--progress-every to the smoke run")
+        prev = None
+        for i, sample in enumerate(progress):
+            comparisons = sample.get("comparisons", -1)
+            matches = sample.get("matches", -1)
+            if comparisons < 0 or matches < 0:
+                problems.append(f"stats: progress sample {i} malformed")
+                continue
+            if matches > comparisons:
+                problems.append(
+                    f"stats: progress sample {i} reports more matches than "
+                    "comparisons"
+                )
+            if prev is not None and (
+                comparisons <= prev["comparisons"]
+                or matches < prev["matches"]
+            ):
+                problems.append(
+                    f"stats: progress sample {i} is not monotone"
+                )
+            prev = sample
+
+    if stats.get("peak_rss_bytes", 0) <= 0:
+        problems.append("stats: peak_rss_bytes missing or zero")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", required=True,
+                        help="--metrics-out file (minoan-stats-v1)")
+    parser.add_argument("--trace", required=True,
+                        help="--trace-out file (Chrome-trace JSON)")
+    parser.add_argument("--expect-spill", action="store_true",
+                        help="require non-zero spill.* counters")
+    parser.add_argument("--expect-progress", action="store_true",
+                        help="require a non-empty quality curve")
+    args = parser.parse_args()
+
+    problems = []
+    stats = load(args.metrics, problems)
+    trace = load(args.trace, problems)
+    if stats is not None:
+        check_stats(stats, problems, args.expect_spill, args.expect_progress)
+    if trace is not None:
+        check_trace(trace, problems)
+
+    if problems:
+        for problem in problems:
+            print(f"validate_obs: FAIL: {problem}", file=sys.stderr)
+        return 1
+    counters = len(stats.get("counters", {}))
+    events = len(trace.get("traceEvents", []))
+    print(f"validate_obs: OK ({events} trace events, {counters} counters, "
+          f"{len(stats.get('progress', []))} progress samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
