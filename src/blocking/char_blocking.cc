@@ -1,9 +1,9 @@
 #include "blocking/char_blocking.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "blocking/sharded_blocking.h"
+#include "util/interner.h"
 
 namespace minoan {
 
@@ -33,30 +33,45 @@ BlockCollection QGramBlocking::Build(const EntityCollection& collection,
                                      ThreadPool* pool) const {
   const uint32_t q = std::max<uint32_t>(1, options_.q);
   const uint32_t n = collection.num_entities();
-  // Pass 1: global q-gram document frequencies, counted per entity chunk
-  // and summed in chunk order (integer sums — identical at every thread
-  // count).
-  std::vector<std::unordered_map<std::string, uint32_t>> chunk_df(
-      NumChunks(n, kBlockingChunkEntities));
+  // Pass 1: global q-gram document frequencies. Each chunk counts into a
+  // local interner + dense count array (no per-gram node allocation), then
+  // the locals fold into one global interner in chunk order — global gram
+  // ids are first-seen-in-chunk-order, so the fold (integer sums over a
+  // dense array) is identical at every thread count.
+  struct ChunkCounts {
+    StringInterner grams;
+    std::vector<uint32_t> counts;
+  };
+  std::vector<ChunkCounts> chunk_df(NumChunks(n, kBlockingChunkEntities));
   RunChunkedTasks(pool, n, kBlockingChunkEntities,
                   [&](size_t c, size_t begin, size_t end) {
+                    ChunkCounts& local = chunk_df[c];
                     std::vector<std::string> grams;
                     for (size_t e = begin; e < end; ++e) {
                       EntityGrams(collection, static_cast<EntityId>(e), q,
                                   grams);
                       for (const std::string& gram : grams) {
-                        ++chunk_df[c][gram];
+                        const uint32_t id = local.grams.Intern(gram);
+                        if (id >= local.counts.size()) {
+                          local.counts.resize(id + 1, 0);
+                        }
+                        ++local.counts[id];
                       }
                     }
                   });
-  std::unordered_map<std::string, uint32_t> df;
-  for (const auto& local : chunk_df) {
-    for (const auto& [gram, count] : local) df[gram] += count;
+  StringInterner gram_ids;
+  std::vector<uint32_t> df;
+  for (const ChunkCounts& local : chunk_df) {
+    for (uint32_t i = 0; i < local.grams.size(); ++i) {
+      const uint32_t id = gram_ids.Intern(local.grams.View(i));
+      if (id >= df.size()) df.resize(id + 1, 0);
+      df[id] += local.counts[i];
+    }
   }
 
   // Pass 2: keep the rarest grams per entity (they carry the signal), build
-  // postings through the sharded core. `df` is frozen — read-only across
-  // workers.
+  // postings through the sharded core. `gram_ids`/`df` are frozen —
+  // Find() is a const read, safe across workers.
   auto postings = BuildShardedPostings<std::string>(
       n, pool,
       [&](EntityId e, std::vector<std::string>& keys) {
@@ -66,8 +81,10 @@ BlockCollection QGramBlocking::Build(const EntityCollection& collection,
           std::partial_sort(
               keys.begin(), keys.begin() + options_.max_grams_per_entity,
               keys.end(),
-              [&df](const std::string& a, const std::string& b) {
-                const uint32_t da = df.at(a), db = df.at(b);
+              [&](const std::string& a, const std::string& b) {
+                // Every gram was counted in pass 1, so Find never misses.
+                const uint32_t da = df[gram_ids.Find(a)];
+                const uint32_t db = df[gram_ids.Find(b)];
                 return da != db ? da < db : a < b;  // rarest first
               });
           keys.resize(options_.max_grams_per_entity);

@@ -177,12 +177,24 @@ std::vector<KeyedPosting<Key>> BuildShardedPostings(
   };
   std::vector<ChunkShards> chunk_shards(
       NumChunks(num_entities, kBlockingChunkEntities));
+  // Per-worker scratch arenas: the emission/key/shard buffers grow once to
+  // a chunk's high-water mark and are reused by every later chunk the same
+  // worker picks up, instead of reallocating per chunk.
+  struct ChunkScratch {
+    std::vector<Key> keys;
+    std::vector<Emission> emissions;
+    std::vector<uint8_t> shard_of;
+  };
+  WorkerScratch<ChunkScratch> arenas(pool);
   RunChunkedTasks(
       pool, num_entities, kBlockingChunkEntities,
       [&](size_t c, size_t begin, size_t end) {
-        std::vector<Key> keys;
-        std::vector<Emission> scratch;
-        std::vector<uint8_t> shard_of;
+        ChunkScratch& arena = arenas.Local();
+        std::vector<Key>& keys = arena.keys;
+        std::vector<Emission>& scratch = arena.emissions;
+        std::vector<uint8_t>& shard_of = arena.shard_of;
+        scratch.clear();
+        shard_of.clear();
         for (EntityId e = static_cast<EntityId>(begin);
              e < static_cast<EntityId>(end); ++e) {
           keys.clear();

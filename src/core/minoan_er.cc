@@ -134,7 +134,10 @@ Result<BlockCollection> MinoanEr::BuildBlocks(
     const EntityCollection& collection) const {
   const uint32_t threads = ResolveThreadCount(options_.num_threads);
   std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(
+        threads, ThreadPoolOptions{options_.pin_threads});
+  }
   try {
     BlockCollection blocks =
         MakeWorkflowBlocker(options_)->Build(collection, pool.get());

@@ -96,6 +96,12 @@ struct WorkflowOptions {
   /// report is identical for every value.
   uint32_t num_threads = 1;
 
+  /// Pin pool workers to CPU cores (Linux; no-op elsewhere) so per-worker
+  /// scratch stays in one core's cache. CLI: --pin-threads. A placement
+  /// hint like num_threads: results are identical either way, so it is
+  /// excluded from the checkpoint options digest.
+  bool pin_threads = false;
+
   /// Observability (phase tracing, progress sampling). Never part of the
   /// checkpoint options digest; see ObsOptions.
   ObsOptions obs;

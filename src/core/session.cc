@@ -79,6 +79,8 @@ uint64_t OptionsDigest(const WorkflowOptions& o) {
   h = Mix(h, o.progressive.evidence.staleness_tolerance);
   h = Mix(h, static_cast<uint64_t>(o.progressive.mode));
   h = Mix(h, static_cast<uint64_t>(o.use_same_as_seeds));
+  // Deliberately excluded: num_threads, pin_threads, memory, obs — pure
+  // execution hints that never change the trajectory.
   return h;
 }
 
@@ -125,7 +127,9 @@ struct ResolutionSession::Impl {
     const uint32_t prog_threads =
         ResolveThreadCount(progressive.num_threads);
     if (pool == nullptr && std::max(meta_threads, prog_threads) > 1) {
-      pool = std::make_unique<ThreadPool>(std::max(meta_threads, prog_threads));
+      pool = std::make_unique<ThreadPool>(
+          std::max(meta_threads, prog_threads),
+          ThreadPoolOptions{options.pin_threads});
     }
     graph = std::make_unique<NeighborGraph>(*collection);
     evaluator =
@@ -181,7 +185,8 @@ Result<ResolutionSession> ResolutionSession::Open(
   const uint32_t pool_threads =
       std::max({meta_threads, prog_threads, block_threads});
   if (pool_threads > 1) {
-    impl->pool = std::make_unique<ThreadPool>(pool_threads);
+    impl->pool = std::make_unique<ThreadPool>(
+        pool_threads, ThreadPoolOptions{options.pin_threads});
   }
 
   // ---- Blocking + cleaning + meta-blocking --------------------------------

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <set>
-#include <unordered_map>
-#include <unordered_set>
+#include <string_view>
+#include <utility>
 
 #include "rdf/iri.h"
+#include "util/interner.h"
 
 namespace minoan {
 
@@ -38,22 +39,35 @@ CloudStats ComputeCloudStats(const EntityCollection& collection) {
   }
 
   // Vocabulary statistics: namespaces of predicates, per-KB usage.
-  std::unordered_map<std::string, std::unordered_set<uint32_t>> vocab_users;
+  // Namespaces are interned to dense ids and usage is a flat
+  // (namespace id, kb) pair list — sort + unique replaces a map of sets,
+  // with no per-namespace node allocation. The reported numbers are
+  // identical: distinct namespaces, and namespaces used by exactly one KB.
+  StringInterner vocab;
+  std::vector<std::pair<uint32_t, uint32_t>> uses;  // (namespace id, kb)
+  const auto record = [&](uint32_t predicate, uint32_t kb) {
+    const std::string_view ns =
+        rdf::IriNamespace(collection.predicates().View(predicate));
+    if (!ns.empty()) uses.emplace_back(vocab.Intern(ns), kb);
+  };
   for (const EntityDescription& desc : collection.entities()) {
     for (const Attribute& attr : desc.attributes) {
-      const std::string ns(
-          rdf::IriNamespace(collection.predicates().View(attr.predicate)));
-      if (!ns.empty()) vocab_users[ns].insert(desc.kb);
+      record(attr.predicate, desc.kb);
     }
     for (const Relation& rel : desc.relations) {
-      const std::string ns(
-          rdf::IriNamespace(collection.predicates().View(rel.predicate)));
-      if (!ns.empty()) vocab_users[ns].insert(desc.kb);
+      record(rel.predicate, desc.kb);
     }
   }
-  stats.num_vocabularies = static_cast<uint32_t>(vocab_users.size());
-  for (const auto& [ns, users] : vocab_users) {
-    if (users.size() == 1) ++stats.proprietary_vocabularies;
+  std::sort(uses.begin(), uses.end());
+  uses.erase(std::unique(uses.begin(), uses.end()), uses.end());
+  stats.num_vocabularies = vocab.size();
+  // After dedup, a namespace's uses are one contiguous run; a run of
+  // length 1 is a namespace proprietary to a single KB.
+  for (size_t i = 0; i < uses.size();) {
+    size_t j = i + 1;
+    while (j < uses.size() && uses[j].first == uses[i].first) ++j;
+    if (j - i == 1) ++stats.proprietary_vocabularies;
+    i = j;
   }
   stats.proprietary_ratio =
       stats.num_vocabularies == 0

@@ -137,7 +137,8 @@ Result<EntityId> OnlineResolver::Ingest(
 
 OnlineResolver::PairState& OnlineResolver::PairRef(uint64_t pair,
                                                    bool* created) {
-  const auto [it, inserted] = pairs_.try_emplace(pair);
+  bool inserted = false;
+  PairState& ps = pairs_.FindOrInsert(pair, &inserted);
   if (inserted) {
     const EntityId a = PairKeyFirst(pair);
     const EntityId b = PairKeySecond(pair);
@@ -145,7 +146,7 @@ OnlineResolver::PairState& OnlineResolver::PairRef(uint64_t pair,
     partners_[b].push_back(a);
   }
   if (created != nullptr) *created = inserted;
-  return it->second;
+  return ps;
 }
 
 void OnlineResolver::IndexEntity(EntityId id) {
@@ -191,7 +192,7 @@ void OnlineResolver::FlushDeferredScores() {
   const auto score = [&](size_t i) {
     const uint64_t pair = deferred_pairs_[i];
     priorities[i] = Priority(PairKeyFirst(pair), PairKeySecond(pair),
-                             pairs_.find(pair)->second);
+                             *pairs_.Find(pair));
   };
   const uint32_t threads = ResolveThreadCount(options_.num_threads);
   if (threads > 1 && deferred_pairs_.size() >= 2048) {
@@ -326,12 +327,12 @@ OnlineStepResult OnlineResolver::ResolveBudget(uint64_t max_comparisons) {
       /*should_stop=*/[] { return false; },
       /*already_executed=*/
       [&](uint64_t pair) {
-        const auto it = pairs_.find(pair);
-        return it == pairs_.end() || it->second.executed;
+        const PairState* ps = pairs_.Find(pair);
+        return ps == nullptr || ps->executed;
       },
       /*current_priority=*/
       [&](EntityId a, EntityId b, uint64_t pair) {
-        return Priority(a, b, pairs_.find(pair)->second);
+        return Priority(a, b, *pairs_.Find(pair));
       },
       /*execute=*/
       [&](uint64_t pair, EntityId, EntityId) { ExecuteComparison(pair); });
@@ -357,14 +358,15 @@ std::vector<QueryCandidate> OnlineResolver::Query(EntityId id, uint32_t k) {
   // position covers the appended tail).
   for (size_t i = 0; i < partners_[id].size(); ++i) {
     const uint64_t pair = PairKey(id, partners_[id][i]);
-    if (!pairs_[pair].executed) ExecuteComparison(pair);
+    // Every partner pair is registered in pairs_ by PairRef.
+    if (!pairs_.Find(pair)->executed) ExecuteComparison(pair);
   }
 
   // Rank with the query side's TF-IDF vector built once, not per partner.
   if (options_.similarity.use_tfidf) BuildTfidf(collection(), id, tfidf_a_);
   out.reserve(partners_[id].size());
   for (const EntityId p : partners_[id]) {
-    const PairState& ps = pairs_[PairKey(id, p)];
+    const PairState& ps = *pairs_.Find(PairKey(id, p));
     out.push_back(QueryCandidate{
         p, ProfileSimilarityWithA(id, tfidf_a_, p) + EvidenceBonus(ps),
         state_->SameCluster(id, p)});
@@ -408,8 +410,11 @@ Status OnlineResolver::SaveState(std::ostream& out) const {
   save_adjacency(neighbors_);
   save_adjacency(partners_);
 
-  std::vector<std::pair<uint64_t, PairState>> pairs(pairs_.begin(),
-                                                    pairs_.end());
+  std::vector<std::pair<uint64_t, PairState>> pairs;
+  pairs.reserve(pairs_.size());
+  pairs_.ForEach([&pairs](uint64_t pair, const PairState& ps) {
+    pairs.emplace_back(pair, ps);
+  });
   std::sort(pairs.begin(), pairs.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   serde::WriteU64(out, pairs.size());
@@ -505,8 +510,8 @@ Status OnlineResolver::LoadState(std::istream& in) {
 
   uint64_t n_pairs;
   if (!serde::ReadU64(in, n_pairs)) return truncated();
-  pairs_.clear();
-  pairs_.reserve(std::min(n_pairs, kMaxUpfrontReserve) * 2);
+  pairs_.Clear();
+  pairs_.Reserve(std::min(n_pairs, kMaxUpfrontReserve));
   for (uint64_t i = 0; i < n_pairs; ++i) {
     uint64_t pair;
     PairState ps;
@@ -517,7 +522,7 @@ Status OnlineResolver::LoadState(std::istream& in) {
       return truncated();
     }
     ps.executed = executed != 0;
-    pairs_.emplace(pair, ps);
+    pairs_.InsertOrAssign(pair, ps);
   }
 
   uint64_t n_live;

@@ -33,7 +33,6 @@
 #include <memory>
 #include <ostream>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -46,6 +45,7 @@
 #include "progressive/scheduler.h"
 #include "progressive/state.h"
 #include "progressive/step_core.h"
+#include "util/flat_table.h"
 #include "util/status.h"
 
 namespace minoan {
@@ -221,7 +221,11 @@ class OnlineResolver {
   /// first-seen order (drives Query).
   std::vector<std::vector<EntityId>> partners_;
 
-  std::unordered_map<uint64_t, PairState> pairs_;
+  /// Flat open-addressing table (util/flat_table.h): every scheduled pop,
+  /// query, and evidence update probes this map, and SaveState sorts its
+  /// contents into ascending-pair order before writing, so the layout is
+  /// pure hot-path win with no bytes-on-disk effect.
+  FlatPairMap<PairState> pairs_;
 
   ResolutionRun run_;
   uint64_t discovered_pairs_ = 0;

@@ -32,11 +32,11 @@ ProgressiveResolver::ProgressiveResolver(const EntityCollection& collection,
       pool_(pool) {}
 
 double ProgressiveResolver::Likelihood(uint64_t pair) const {
-  const auto it = likelihood_.find(pair);
-  const double base = it == likelihood_.end() ? 0.0 : it->second;
-  const auto ev = evidence_.find(pair);
-  if (ev == evidence_.end()) return base;
-  return base + options_.evidence.priority * std::min(1.0, ev->second);
+  const double* base = likelihood_.Find(pair);
+  const double* ev = evidence_.Find(pair);
+  if (ev == nullptr) return base == nullptr ? 0.0 : *base;
+  return (base == nullptr ? 0.0 : *base) +
+         options_.evidence.priority * std::min(1.0, *ev);
 }
 
 double ProgressiveResolver::Priority(EntityId a, EntityId b, uint64_t pair,
@@ -49,11 +49,11 @@ double ProgressiveResolver::Priority(EntityId a, EntityId b, uint64_t pair,
 void ProgressiveResolver::Begin(
     const std::vector<WeightedComparison>& candidates,
     const std::vector<Comparison>& seeds) {
-  likelihood_.clear();
-  evidence_.clear();
-  executed_.clear();
-  likelihood_.reserve(candidates.size() * 2);
-  executed_.reserve(candidates.size() * 2);
+  likelihood_.Clear();
+  evidence_.Clear();
+  executed_.Clear();
+  likelihood_.Reserve(candidates.size());
+  executed_.Reserve(candidates.size());
   scheduler_ = ComparisonScheduler();
   result_ = ProgressiveResult();
   seeds_.clear();
@@ -70,7 +70,7 @@ void ProgressiveResolver::Begin(
   std::vector<uint64_t> pairs(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
     pairs[i] = PairKey(candidates[i].a, candidates[i].b);
-    likelihood_[pairs[i]] = candidates[i].weight * scale;
+    likelihood_.InsertOrAssign(pairs[i], candidates[i].weight * scale);
   }
   // Score the candidates. Safe to fan out: the state is pristine (no match
   // recorded yet — seeds apply below), so every cluster is a singleton and
@@ -107,7 +107,7 @@ void ProgressiveResolver::Begin(
   // issues the identical RecordMatch sequence.
   for (const Comparison& seed : seeds) {
     const uint64_t pair = PairKey(seed.a, seed.b);
-    if (!executed_.insert(pair).second) continue;
+    if (!executed_.Insert(pair)) continue;
     seeds_.push_back(seed);
     scheduler_.Erase(pair);
     state_->RecordMatch(seed.a, seed.b);
@@ -140,7 +140,7 @@ StepResult ProgressiveResolver::Step(uint64_t max_comparisons) {
                    static_cast<double>(options_.budget_millis);
       },
       /*already_executed=*/
-      [&](uint64_t pair) { return executed_.count(pair) > 0; },
+      [&](uint64_t pair) { return executed_.Contains(pair); },
       /*current_priority=*/
       [&](EntityId a, EntityId b, uint64_t pair) {
         return Priority(a, b, pair, *state_);
@@ -162,14 +162,13 @@ StepResult ProgressiveResolver::Step(uint64_t max_comparisons) {
 void ProgressiveResolver::ExecuteComparison(uint64_t pair, EntityId a,
                                             EntityId b) {
   // ---- Matching phase -----------------------------------------------------
-  executed_.insert(pair);
+  executed_.Insert(pair);
   ++result_.run.comparisons_executed;
   const double profile_sim = evaluator_->Similarity(a, b);
-  const auto ev = evidence_.find(pair);
+  const double* ev = evidence_.Find(pair);
   const double bonus =
-      ev == evidence_.end()
-          ? 0.0
-          : options_.evidence.weight * std::min(1.0, ev->second);
+      ev == nullptr ? 0.0
+                    : options_.evidence.weight * std::min(1.0, *ev);
   const double sim = profile_sim + bonus;
   if (sim < options_.matcher.threshold) return;
 
@@ -183,7 +182,7 @@ void ProgressiveResolver::ExecuteComparison(uint64_t pair, EntityId a,
   if (profile_sim < options_.matcher.threshold) {
     ++result_.evidence_assisted_matches;
   }
-  if (likelihood_.find(pair) == likelihood_.end()) {
+  if (!likelihood_.Contains(pair)) {
     ++result_.discovered_matches;
   }
   if (on_match_) on_match_(result_.run.matches.back());
@@ -241,13 +240,13 @@ void ProgressiveResolver::UpdatePhase(EntityId a, EntityId b) {
       if (x == y) continue;
       if (clean && !collection_->CrossKb(x, y)) continue;
       const uint64_t pair = PairKey(x, y);
-      if (executed_.count(pair)) continue;
+      if (executed_.Contains(pair)) continue;
       if (state_->SameCluster(x, y)) continue;
       // Accumulate similarity evidence: the matched pair (a, b) vouches for
-      // its aligned neighbors.
-      double& ev = evidence_[pair];
-      const bool first_sighting =
-          ev == 0.0 && likelihood_.find(pair) == likelihood_.end();
+      // its aligned neighbors. The reference stays valid through the
+      // increment below — nothing inserts into evidence_ before it.
+      double& ev = evidence_.FindOrInsert(pair);
+      const bool first_sighting = ev == 0.0 && !likelihood_.Contains(pair);
       ev += options_.evidence.increment;
       if (first_sighting) {
         // A candidate blocking never produced: discovered via the graph.
@@ -265,9 +264,12 @@ void ProgressiveResolver::UpdatePhase(EntityId a, EntityId b) {
 namespace {
 
 /// Writes an unordered (pair -> double) map in canonical ascending-key order.
-void WritePairDoubleMap(std::ostream& out,
-                        const std::unordered_map<uint64_t, double>& map) {
-  std::vector<std::pair<uint64_t, double>> entries(map.begin(), map.end());
+void WritePairDoubleMap(std::ostream& out, const FlatPairMap<double>& map) {
+  std::vector<std::pair<uint64_t, double>> entries;
+  entries.reserve(map.size());
+  map.ForEach([&entries](uint64_t pair, const double& value) {
+    entries.emplace_back(pair, value);
+  });
   std::sort(entries.begin(), entries.end());
   serde::WriteU64(out, entries.size());
   for (const auto& [pair, value] : entries) {
@@ -280,11 +282,11 @@ using serde::kMaxUpfrontReserve;
 using serde::ValidPairKey;
 
 bool ReadPairDoubleMap(std::istream& in, uint32_t num_entities,
-                       std::unordered_map<uint64_t, double>& map) {
+                       FlatPairMap<double>& map) {
   uint64_t n;
   if (!serde::ReadU64(in, n)) return false;
-  map.clear();
-  map.reserve(std::min(n, kMaxUpfrontReserve) * 2);
+  map.Clear();
+  map.Reserve(std::min(n, kMaxUpfrontReserve));
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t pair;
     double value;
@@ -292,7 +294,7 @@ bool ReadPairDoubleMap(std::istream& in, uint32_t num_entities,
         !ValidPairKey(pair, num_entities)) {
       return false;
     }
-    map.emplace(pair, value);
+    map.InsertOrAssign(pair, value);
   }
   return true;
 }
@@ -308,7 +310,9 @@ Status ProgressiveResolver::SaveState(std::ostream& out) const {
   WritePairDoubleMap(out, likelihood_);
   WritePairDoubleMap(out, evidence_);
 
-  std::vector<uint64_t> executed(executed_.begin(), executed_.end());
+  std::vector<uint64_t> executed;
+  executed.reserve(executed_.size());
+  executed_.ForEach([&executed](uint64_t pair) { executed.push_back(pair); });
   std::sort(executed.begin(), executed.end());
   serde::WriteU64(out, executed.size());
   for (const uint64_t pair : executed) serde::WriteU64(out, pair);
@@ -361,14 +365,14 @@ Status ProgressiveResolver::LoadState(std::istream& in) {
 
   uint64_t n_executed;
   if (!serde::ReadU64(in, n_executed)) return truncated();
-  executed_.clear();
-  executed_.reserve(std::min(n_executed, kMaxUpfrontReserve) * 2);
+  executed_.Clear();
+  executed_.Reserve(std::min(n_executed, kMaxUpfrontReserve));
   for (uint64_t i = 0; i < n_executed; ++i) {
     uint64_t pair;
     if (!serde::ReadU64(in, pair) || !ValidPairKey(pair, num_entities)) {
       return truncated();
     }
-    executed_.insert(pair);
+    executed_.Insert(pair);
   }
 
   uint64_t n_live;

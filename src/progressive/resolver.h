@@ -36,8 +36,6 @@
 #include <istream>
 #include <memory>
 #include <ostream>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "kb/collection.h"
@@ -51,6 +49,7 @@
 #include "progressive/scheduler.h"
 #include "progressive/state.h"
 #include "progressive/step_core.h"
+#include "util/flat_table.h"
 #include "util/status.h"
 
 namespace minoan {
@@ -200,10 +199,14 @@ class ProgressiveResolver {
   MatchCallback on_match_;
   obs::ProgressMeter* progress_ = nullptr;  // optional, not owned
 
-  // Loop state (reset by Begin, serialized by SaveState).
-  std::unordered_map<uint64_t, double> likelihood_;
-  std::unordered_map<uint64_t, double> evidence_;
-  std::unordered_set<uint64_t> executed_;
+  // Loop state (reset by Begin, serialized by SaveState). Flat
+  // open-addressing tables: every scheduled comparison probes likelihood,
+  // evidence, and the executed set, so these are the hottest lookups of the
+  // whole loop. Serialization canonicalizes to ascending-pair order, so the
+  // container swap never shows in checkpoint bytes.
+  FlatPairMap<double> likelihood_;
+  FlatPairMap<double> evidence_;
+  FlatPairSet executed_;
   std::unique_ptr<ResolutionState> state_;
   ComparisonScheduler scheduler_;
   ProgressiveResult result_;

@@ -6,7 +6,7 @@ namespace minoan {
 
 void ComparisonScheduler::Push(uint64_t pair, double priority) {
   const uint64_t version = ++next_version_;
-  versions_[pair] = Live{version, priority};
+  versions_.InsertOrAssign(pair, Live{version, priority});
   heap_.push(Entry{priority, pair, version});
   ++total_pushes_;
 }
@@ -15,11 +15,11 @@ bool ComparisonScheduler::Pop(uint64_t& pair, double& priority) {
   while (!heap_.empty()) {
     const Entry top = heap_.top();
     heap_.pop();
-    auto it = versions_.find(top.pair);
-    if (it == versions_.end() || it->second.version != top.version) {
+    const Live* live = versions_.Find(top.pair);
+    if (live == nullptr || live->version != top.version) {
       continue;  // stale entry
     }
-    versions_.erase(it);
+    versions_.Erase(top.pair);
     pair = top.pair;
     priority = top.priority;
     return true;
@@ -31,9 +31,9 @@ std::vector<std::pair<uint64_t, double>> ComparisonScheduler::LiveEntries()
     const {
   std::vector<std::pair<uint64_t, double>> entries;
   entries.reserve(versions_.size());
-  for (const auto& [pair, live] : versions_) {
+  versions_.ForEach([&entries](uint64_t pair, const Live& live) {
     entries.emplace_back(pair, live.priority);
-  }
+  });
   std::sort(entries.begin(), entries.end());
   return entries;
 }
@@ -42,19 +42,20 @@ void ComparisonScheduler::RestoreFrom(
     const std::vector<std::pair<uint64_t, double>>& entries,
     uint64_t total_pushes) {
   heap_ = {};
-  versions_.clear();
+  versions_.Clear();
+  versions_.Reserve(entries.size());
   next_version_ = 0;
   for (const auto& [pair, priority] : entries) {
     const uint64_t version = ++next_version_;
-    versions_[pair] = Live{version, priority};
+    versions_.InsertOrAssign(pair, Live{version, priority});
     heap_.push(Entry{priority, pair, version});
   }
   total_pushes_ = total_pushes;
 }
 
 double ComparisonScheduler::PriorityOf(uint64_t pair) const {
-  auto it = versions_.find(pair);
-  return it == versions_.end() ? -1.0 : it->second.priority;
+  const Live* live = versions_.Find(pair);
+  return live == nullptr ? -1.0 : live->priority;
 }
 
 }  // namespace minoan

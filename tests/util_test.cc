@@ -2,6 +2,8 @@
 // TopK, tables, and the thread pool.
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -444,6 +446,65 @@ TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
   ThreadPool pool(2);
   pool.Wait();  // must not deadlock
   SUCCEED();
+}
+
+TEST(ThreadPoolTest, PinnedPoolExecutesAllTasks) {
+  // Pinning is a placement hint; the pool must behave identically with it
+  // on — including when workers outnumber cores and wrap around.
+  ThreadPool pool(8, ThreadPoolOptions{/*pin_threads=*/true});
+  EXPECT_TRUE(pool.pin_threads());
+  std::atomic<int> count{0};
+  pool.ParallelFor(500, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPoolTest, UnpinnedIsTheDefault) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.pin_threads());
+}
+
+TEST(ThreadPoolTest, WorkerSlotsAreDistinctAndInRange) {
+  ThreadPool pool(4);
+  // The submitting thread is slot 0; each worker owns slot i + 1.
+  EXPECT_EQ(ThreadPool::CurrentWorkerSlot(), 0u);
+  std::mutex mu;
+  std::set<size_t> seen;
+  std::condition_variable cv;
+  size_t arrived = 0;
+  // Park every worker until all four checked in, so each reports from a
+  // distinct thread.
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      seen.insert(ThreadPool::CurrentWorkerSlot());
+      if (++arrived == 4) cv.notify_all();
+      cv.wait(lock, [&] { return arrived == 4; });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(seen, (std::set<size_t>{1, 2, 3, 4}));
+}
+
+TEST(WorkerScratchTest, LocalIsPerThreadAndReused) {
+  ThreadPool pool(3);
+  WorkerScratch<std::vector<int>> scratch(&pool);
+  EXPECT_EQ(scratch.num_slots(), 4u);  // 3 workers + inline slot 0
+  // Every chunk appends to its thread's arena; arenas never interleave
+  // within one chunk even when chunks race, so the total survives.
+  std::atomic<int> total{0};
+  pool.ParallelFor(300, [&](size_t i) {
+    std::vector<int>& local = scratch.Local();
+    local.push_back(static_cast<int>(i));
+    total.fetch_add(1);
+  });
+  EXPECT_EQ(total.load(), 300);
+
+  // Inline use without a pool lands every call in slot 0.
+  WorkerScratch<std::vector<int>> inline_scratch(nullptr);
+  EXPECT_EQ(inline_scratch.num_slots(), 1u);
+  inline_scratch.Local().push_back(7);
+  EXPECT_EQ(inline_scratch.Local().size(), 1u);
+  EXPECT_EQ(inline_scratch.Local()[0], 7);
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

@@ -163,15 +163,20 @@ def main():
                 f"(baseline {baseline.get(field)!r}, "
                 f"current {current.get(field)!r})"
             )
+    # Machine class = core count AND pinning mode: a pinned run on the same
+    # silicon has different cache behavior than an unpinned one, so timings
+    # only gate against a baseline recorded the same way.
     same_machine_class = baseline.get("hardware_concurrency") == current.get(
         "hardware_concurrency"
-    )
+    ) and baseline.get("pin_threads") == current.get("pin_threads")
     if not same_machine_class:
         print(
             "bench_compare: WARNING: baseline was recorded on a different "
             f"machine class (hardware_concurrency "
             f"{baseline.get('hardware_concurrency')} vs "
-            f"{current.get('hardware_concurrency')}); timing regressions "
+            f"{current.get('hardware_concurrency')}, pin_threads "
+            f"{baseline.get('pin_threads')} vs "
+            f"{current.get('pin_threads')}); timing regressions "
             "are advisory until the baseline is reseeded with --update on "
             "this runner class"
         )

@@ -8,7 +8,8 @@
 //       Prints the cloud-structure statistics of the .nt/.ttl files in DIR.
 //
 //   minoan resolve DIR [--threshold F] [--budget N] [--benefit NAME]
-//                  [--seeds] [--threads N] [--filter-ratio F] [--out FILE]
+//                  [--seeds] [--threads N] [--pin-threads]
+//                  [--filter-ratio F] [--out FILE]
 //                  [--step-budget N] [--stream]
 //                  [--memory-budget BYTES] [--spill-dir DIR]
 //                  [--metrics-out FILE] [--trace-out FILE]
@@ -325,6 +326,9 @@ Result<WorkflowOptions> ParseWorkflowOptions(const std::string& verb,
                                    threads_arg + "\"");
   }
   options.num_threads = static_cast<uint32_t>(threads);
+  // --pin-threads: pin pool workers to cores (Linux; no-op elsewhere).
+  // A cache-placement hint only — results are identical either way.
+  options.pin_threads = flags.Has("pin-threads");
   // Observability: --trace-out switches phase-span recording on;
   // --progress-every sets the quality-curve cadence (default 1000 when a
   // metrics file was requested, so --metrics-out alone yields a curve).
@@ -584,7 +588,8 @@ void Usage() {
                "  stats DIR\n"
                "  resolve DIR [--threshold F --budget N --benefit "
                "quantity|attr|coverage|relationship --seeds --threads N "
-               "--filter-ratio F --step-budget N --stream --out FILE "
+               "--pin-threads --filter-ratio F --step-budget N --stream "
+               "--out FILE "
                "--memory-budget N[k|m|g] --spill-dir DIR "
                "--metrics-out FILE --trace-out FILE --progress-every N]\n"
                "  session checkpoint|resume DIR --state FILE "
