@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "rdf/iri.h"
+#include "util/serde.h"
 
 namespace minoan {
 
@@ -254,6 +255,235 @@ EntityId EntityCollection::FindByIri(std::string_view iri) const {
     return kInvalidEntity;
   }
   return iri_to_entity_[iri_id];
+}
+
+namespace {
+
+/// Format tag of the serialized collection; bump on layout changes.
+constexpr std::string_view kCollectionMagic = "MNER-COLL-v1";
+
+void SaveInterner(std::ostream& out, const StringInterner& interner) {
+  serde::WriteU32(out, interner.size());
+  for (uint32_t i = 0; i < interner.size(); ++i) {
+    serde::WriteString(out, interner.View(i));
+  }
+}
+
+/// Re-interning every string in id order reproduces the exact dense ids
+/// (and arena bytes) of the saving interner.
+bool LoadInterner(std::istream& in, StringInterner& interner) {
+  uint32_t count;
+  if (!serde::ReadU32(in, count)) return false;
+  std::string s;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!serde::ReadString(in, s)) return false;
+    if (interner.Intern(s) != i) return false;  // duplicate string in stream
+  }
+  return true;
+}
+
+}  // namespace
+
+Status EntityCollection::Save(std::ostream& out) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition(
+        "only finalized collections are serializable");
+  }
+  serde::WriteString(out, kCollectionMagic);
+  serde::WriteU32(out, options_.tokenizer.min_token_length);
+  serde::WriteU8(out, options_.tokenizer.keep_numeric ? 1 : 0);
+  serde::WriteU8(out, options_.tokenizer.normalize ? 1 : 0);
+  serde::WriteDouble(out, options_.max_token_frequency);
+  serde::WriteU8(out, options_.index_types ? 1 : 0);
+
+  SaveInterner(out, iris_);
+  SaveInterner(out, predicates_);
+  SaveInterner(out, values_);
+  SaveInterner(out, tokens_);
+
+  serde::WriteU32(out, num_kbs());
+  for (const KnowledgeBaseInfo& kb : kbs_) {
+    serde::WriteString(out, kb.name);
+    serde::WriteU64(out, kb.triples);
+    serde::WriteU32(out, kb.first_entity);
+    serde::WriteU32(out, kb.end_entity);
+    serde::WriteU32(out, kb.appended_entities);
+  }
+
+  serde::WriteU32(out, num_entities());
+  for (const EntityDescription& e : entities_) {
+    serde::WriteU32(out, e.iri);
+    serde::WriteU32(out, e.kb);
+    serde::WriteU32(out, static_cast<uint32_t>(e.attributes.size()));
+    for (const Attribute& a : e.attributes) {
+      serde::WriteU32(out, a.predicate);
+      serde::WriteU32(out, a.value);
+    }
+    serde::WriteU32(out, static_cast<uint32_t>(e.relations.size()));
+    for (const Relation& r : e.relations) {
+      serde::WriteU32(out, r.predicate);
+      serde::WriteU32(out, r.target);
+    }
+    serde::WriteU32(out, static_cast<uint32_t>(e.tokens.size()));
+    for (const uint32_t t : e.tokens) serde::WriteU32(out, t);
+    serde::WriteU32(out, static_cast<uint32_t>(e.token_bag.size()));
+    for (const uint32_t t : e.token_bag) serde::WriteU32(out, t);
+  }
+
+  serde::WriteU64(out, same_as_links_.size());
+  for (const SameAsLink& link : same_as_links_) {
+    serde::WriteU32(out, link.a);
+    serde::WriteU32(out, link.b);
+  }
+
+  // Document frequencies are serialized verbatim rather than rebuilt from
+  // the entity token sets: stop-token removal (max_token_frequency) strips
+  // tokens from the sets AFTER their frequencies were counted.
+  serde::WriteU32(out, static_cast<uint32_t>(token_df_.size()));
+  for (const uint32_t df : token_df_) serde::WriteU32(out, df);
+
+  serde::WriteU64(out, total_triples_);
+  if (!out) return Status::IoError("collection write failed");
+  return Status::Ok();
+}
+
+Status EntityCollection::Load(std::istream& in) {
+  const auto truncated = [] {
+    return Status::ParseError("truncated or corrupt serialized collection");
+  };
+  std::string magic;
+  if (!serde::ReadString(in, magic, kCollectionMagic.size())) {
+    return truncated();
+  }
+  if (magic != kCollectionMagic) {
+    return Status::ParseError("not a MinoanER serialized collection");
+  }
+
+  uint8_t keep_numeric, normalize, index_types;
+  CollectionOptions options;
+  if (!serde::ReadU32(in, options.tokenizer.min_token_length) ||
+      !serde::ReadU8(in, keep_numeric) || !serde::ReadU8(in, normalize) ||
+      !serde::ReadDouble(in, options.max_token_frequency) ||
+      !serde::ReadU8(in, index_types)) {
+    return truncated();
+  }
+  options.tokenizer.keep_numeric = keep_numeric != 0;
+  options.tokenizer.normalize = normalize != 0;
+  options.index_types = index_types != 0;
+  options_ = options;
+  tokenizer_ = Tokenizer(options.tokenizer);
+
+  iris_ = StringInterner();
+  predicates_ = StringInterner();
+  values_ = StringInterner();
+  tokens_ = StringInterner();
+  if (!LoadInterner(in, iris_) || !LoadInterner(in, predicates_) ||
+      !LoadInterner(in, values_) || !LoadInterner(in, tokens_)) {
+    return truncated();
+  }
+
+  uint32_t num_kbs;
+  if (!serde::ReadU32(in, num_kbs)) return truncated();
+  kbs_.clear();
+  kbs_.reserve(serde::ClampedReserve(num_kbs));
+  for (uint32_t i = 0; i < num_kbs; ++i) {
+    KnowledgeBaseInfo kb;
+    if (!serde::ReadString(in, kb.name) || !serde::ReadU64(in, kb.triples) ||
+        !serde::ReadU32(in, kb.first_entity) ||
+        !serde::ReadU32(in, kb.end_entity) ||
+        !serde::ReadU32(in, kb.appended_entities) ||
+        kb.first_entity > kb.end_entity) {
+      return truncated();
+    }
+    kbs_.push_back(std::move(kb));
+  }
+
+  uint32_t num_entities;
+  if (!serde::ReadU32(in, num_entities)) return truncated();
+  entities_.clear();
+  entities_.reserve(serde::ClampedReserve(num_entities));
+  const auto read_ids = [&](std::vector<uint32_t>& ids, uint32_t bound) {
+    uint32_t count;
+    if (!serde::ReadU32(in, count)) return false;
+    ids.clear();
+    ids.reserve(serde::ClampedReserve(count));
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t id;
+      if (!serde::ReadU32(in, id) || id >= bound) return false;
+      ids.push_back(id);
+    }
+    return true;
+  };
+  for (uint32_t i = 0; i < num_entities; ++i) {
+    EntityDescription e;
+    e.id = i;
+    uint32_t n_attrs, n_rels;
+    if (!serde::ReadU32(in, e.iri) || !serde::ReadU32(in, e.kb) ||
+        e.iri >= iris_.size() || e.kb >= kbs_.size() ||
+        !serde::ReadU32(in, n_attrs)) {
+      return truncated();
+    }
+    e.attributes.reserve(serde::ClampedReserve(n_attrs));
+    for (uint32_t j = 0; j < n_attrs; ++j) {
+      Attribute a;
+      if (!serde::ReadU32(in, a.predicate) || !serde::ReadU32(in, a.value) ||
+          a.predicate >= predicates_.size() || a.value >= values_.size()) {
+        return truncated();
+      }
+      e.attributes.push_back(a);
+    }
+    if (!serde::ReadU32(in, n_rels)) return truncated();
+    e.relations.reserve(serde::ClampedReserve(n_rels));
+    for (uint32_t j = 0; j < n_rels; ++j) {
+      Relation r;
+      if (!serde::ReadU32(in, r.predicate) || !serde::ReadU32(in, r.target) ||
+          r.predicate >= predicates_.size() || r.target >= num_entities) {
+        return truncated();
+      }
+      e.relations.push_back(r);
+    }
+    if (!read_ids(e.tokens, tokens_.size()) ||
+        !read_ids(e.token_bag, tokens_.size())) {
+      return truncated();
+    }
+    entities_.push_back(std::move(e));
+  }
+
+  uint64_t n_links;
+  if (!serde::ReadU64(in, n_links)) return truncated();
+  same_as_links_.clear();
+  same_as_links_.reserve(serde::ClampedReserve(n_links));
+  for (uint64_t i = 0; i < n_links; ++i) {
+    SameAsLink link;
+    if (!serde::ReadU32(in, link.a) || !serde::ReadU32(in, link.b) ||
+        link.a >= num_entities || link.b >= num_entities) {
+      return truncated();
+    }
+    same_as_links_.push_back(link);
+  }
+
+  uint32_t n_df;
+  if (!serde::ReadU32(in, n_df) || n_df != tokens_.size()) return truncated();
+  token_df_.clear();
+  token_df_.reserve(serde::ClampedReserve(n_df));
+  for (uint32_t i = 0; i < n_df; ++i) {
+    uint32_t df;
+    if (!serde::ReadU32(in, df)) return truncated();
+    token_df_.push_back(df);
+  }
+  if (!serde::ReadU64(in, total_triples_)) return truncated();
+
+  // Derived lookup tables: first-added entity per IRI and per (KB, IRI) —
+  // id order IS first-added order, so set-if-absent reproduces both maps.
+  iri_to_entity_.assign(iris_.size(), kInvalidEntity);
+  kb_iri_to_entity_.clear();
+  for (const EntityDescription& e : entities_) {
+    if (iri_to_entity_[e.iri] == kInvalidEntity) iri_to_entity_[e.iri] = e.id;
+    kb_iri_to_entity_.emplace(KbIriKey(e.kb, e.iri), e.id);
+  }
+  pending_same_as_.clear();
+  finalized_ = true;
+  return Status::Ok();
 }
 
 double EntityCollection::TokenIdf(uint32_t token) const {

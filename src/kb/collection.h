@@ -13,6 +13,8 @@
 #define MINOAN_KB_COLLECTION_H_
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -136,6 +138,24 @@ class EntityCollection {
   double TokenIdf(uint32_t token) const;
 
   uint64_t total_triples() const { return total_triples_; }
+
+  // --- Serialization ----------------------------------------------------
+
+  /// Writes the full finalized collection — interners, KB metadata, every
+  /// entity description, sameAs links, document frequencies, and the
+  /// ingestion options — in the fixed little-endian util/serde.h format
+  /// ("MNER-COLL-v1"). Load reproduces a byte-identical collection: interned
+  /// ids, token bags, and appended entities all come back exactly, so
+  /// engines restored over a loaded collection continue deterministically.
+  Status Save(std::ostream& out) const;
+
+  /// Replaces this collection with the stream's contents (only meaningful on
+  /// a default-constructed collection). The serialized options are adopted,
+  /// derived lookup tables are rebuilt, and every id read is range-checked,
+  /// so corrupt or hostile input fails with a Status instead of leaving
+  /// out-of-bounds references behind. On failure the collection is
+  /// half-overwritten and must be discarded.
+  Status Load(std::istream& in);
 
   /// True when entity `a` and `b` come from different KBs (the only pairs a
   /// clean-clean workflow may compare).

@@ -46,6 +46,15 @@ std::vector<std::vector<rdf::Triple>> GroupBySubject(
   return groups;
 }
 
+Status IncrementalCollection::LoadCollection(std::istream& in) {
+  MINOAN_RETURN_IF_ERROR(collection_.Load(in));
+  kb_by_name_.clear();
+  for (uint32_t kb = 0; kb < collection_.num_kbs(); ++kb) {
+    kb_by_name_.emplace(collection_.kb(kb).name, kb);
+  }
+  return Status::Ok();
+}
+
 Result<EntityId> IncrementalCollection::Ingest(
     uint32_t kb_id, const std::vector<rdf::Triple>& triples) {
   // Both constructors guarantee collection_ is finalized; AppendEntity

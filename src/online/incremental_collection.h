@@ -13,6 +13,7 @@
 #ifndef MINOAN_ONLINE_INCREMENTAL_COLLECTION_H_
 #define MINOAN_ONLINE_INCREMENTAL_COLLECTION_H_
 
+#include <istream>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -47,6 +48,12 @@ class IncrementalCollection {
   /// yet described in `kb_id`. Returns the new dense entity id.
   Result<EntityId> Ingest(uint32_t kb_id,
                           const std::vector<rdf::Triple>& triples);
+
+  /// Replaces the wrapped collection with a serialized one
+  /// (EntityCollection::Load) and rebuilds the KB-name index — the restore
+  /// path of a self-contained engine state (MNER-ONLN-v2 embeds the
+  /// collection). On failure the store must be discarded.
+  Status LoadCollection(std::istream& in);
 
   const EntityCollection& collection() const { return collection_; }
   uint32_t num_entities() const { return collection_.num_entities(); }

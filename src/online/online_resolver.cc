@@ -37,8 +37,14 @@ void BuildTfidf(const EntityCollection& collection, EntityId e,
   }
 }
 
-/// Format tag of the serialized engine state; bump on layout changes.
-constexpr std::string_view kOnlineStateMagic = "MNER-ONLN-v1";
+/// Format tags of the serialized engine state; bump on layout changes.
+/// v1: dynamic state only — Restore needs the caller to rebuild the exact
+///     collection snapshot. Still loadable (golden blobs, old checkpoints).
+/// v2: v1 plus the serialized IncrementalCollection right after the header,
+///     so a v2 stream restores self-contained. The dynamic-state sections
+///     are byte-identical to v1's.
+constexpr std::string_view kOnlineStateMagicV1 = "MNER-ONLN-v1";
+constexpr std::string_view kOnlineStateMagicV2 = "MNER-ONLN-v2";
 
 uint64_t MixU(uint64_t seed, uint64_t v) { return HashCombine(seed, v); }
 uint64_t MixD(uint64_t seed, double v) {
@@ -116,10 +122,41 @@ OnlineResolver::OnlineResolver(OnlineOptions options, EntityCollection&& warm,
   // (including state_ — building one here would be discarded work).
 }
 
+OnlineResolver::OnlineResolver(OnlineOptions options, RestoreTag)
+    : options_(options),
+      coll_(options.collection),
+      index_(options.blocking),
+      estimator_(options.benefit, options.evidence.max_neighbors_per_side) {
+  // Self-contained restore: LoadState reads the embedded collection (v2)
+  // and every dynamic structure from the stream.
+}
+
 Result<std::unique_ptr<OnlineResolver>> OnlineResolver::Restore(
     OnlineOptions options, EntityCollection&& warm, std::istream& in) {
+  const uint32_t warm_entities = warm.num_entities();
+  const uint32_t warm_kbs = warm.num_kbs();
+  const uint64_t warm_triples = warm.total_triples();
   std::unique_ptr<OnlineResolver> resolver(
       new OnlineResolver(options, std::move(warm), RestoreTag{}));
+  MINOAN_RETURN_IF_ERROR(resolver->LoadState(in));
+  // v2 streams replace `warm` with the embedded collection, but a caller
+  // snapshot that disagrees with the saved state still signals the caller
+  // restored the wrong file — reject it rather than silently diverge from
+  // what they believe the engine holds. (v1 verifies this inside LoadState.)
+  const EntityCollection& c = resolver->collection();
+  if (c.num_entities() != warm_entities || c.num_kbs() != warm_kbs ||
+      c.total_triples() != warm_triples) {
+    return Status::InvalidArgument(
+        "online state was saved over a different collection than the "
+        "caller's snapshot");
+  }
+  return resolver;
+}
+
+Result<std::unique_ptr<OnlineResolver>> OnlineResolver::Restore(
+    OnlineOptions options, std::istream& in) {
+  std::unique_ptr<OnlineResolver> resolver(
+      new OnlineResolver(options, RestoreTag{}));
   MINOAN_RETURN_IF_ERROR(resolver->LoadState(in));
   return resolver;
 }
@@ -388,11 +425,15 @@ std::vector<QueryCandidate> OnlineResolver::Query(EntityId id, uint32_t k) {
 
 Status OnlineResolver::SaveState(std::ostream& out) const {
   const EntityCollection& c = collection();
-  serde::WriteString(out, kOnlineStateMagic);
+  serde::WriteString(out, kOnlineStateMagicV2);
   serde::WriteU32(out, c.num_entities());
   serde::WriteU32(out, c.num_kbs());
   serde::WriteU64(out, c.total_triples());
   serde::WriteU64(out, OnlineOptionsDigest(options_));
+
+  // v2: the collection travels with the state, so Restore(options, in)
+  // needs no snapshot from the caller.
+  MINOAN_RETURN_IF_ERROR(c.Save(out));
 
   index_.Save(out);
 
@@ -458,14 +499,11 @@ Status OnlineResolver::LoadState(std::istream& in) {
   const auto truncated = [] {
     return Status::ParseError("truncated or corrupt online engine state");
   };
-  const EntityCollection& c = collection();
-  const uint32_t n = c.num_entities();
-
   std::string magic;
-  if (!serde::ReadString(in, magic, kOnlineStateMagic.size())) {
+  if (!serde::ReadString(in, magic, kOnlineStateMagicV2.size())) {
     return truncated();
   }
-  if (magic != kOnlineStateMagic) {
+  if (magic != kOnlineStateMagicV1 && magic != kOnlineStateMagicV2) {
     return Status::ParseError("not a MinoanER online engine state");
   }
   uint32_t num_entities, num_kbs;
@@ -474,16 +512,27 @@ Status OnlineResolver::LoadState(std::istream& in) {
       !serde::ReadU64(in, total_triples) || !serde::ReadU64(in, digest)) {
     return truncated();
   }
-  if (num_entities != n || num_kbs != c.num_kbs() ||
-      total_triples != c.total_triples()) {
-    return Status::InvalidArgument(
-        "online state was saved over a different collection (entity/KB/"
-        "triple counts differ)");
-  }
   if (digest != OnlineOptionsDigest(options_)) {
     return Status::InvalidArgument(
         "online state was saved with different options; restore with the "
         "options used at save time");
+  }
+  if (magic == kOnlineStateMagicV2) {
+    // The collection travels with the state; whatever the engine held
+    // (usually the empty store of the self-contained Restore) is replaced
+    // by the saved snapshot before the header counts are cross-checked.
+    MINOAN_RETURN_IF_ERROR(coll_.LoadCollection(in));
+  }
+  const EntityCollection& c = collection();
+  const uint32_t n = c.num_entities();
+  if (num_entities != n || num_kbs != c.num_kbs() ||
+      total_triples != c.total_triples()) {
+    return Status::InvalidArgument(
+        magic == kOnlineStateMagicV2
+            ? "online state header disagrees with its embedded collection"
+            : "online state was saved over a different collection (entity/"
+              "KB/triple counts differ); v1 states restore only over the "
+              "exact snapshot the saving engine held");
   }
 
   if (!index_.Load(in, n)) return truncated();

@@ -96,15 +96,24 @@ class OnlineResolver {
   /// accepts new ones.
   OnlineResolver(OnlineOptions options, EntityCollection&& warm);
 
-  /// Reopens an engine from a SaveState stream. `warm` must be the same
-  /// collection snapshot the saving engine held (entity/KB/triple counts
-  /// are verified) and `options` the options it ran with (digest verified).
-  /// Unlike the warm constructor nothing is re-indexed or re-scored: the
-  /// incremental index, the PairState map, the schedule, and the cluster
-  /// state all come from the stream, so resolution (and further ingests)
-  /// continue exactly where the saved engine stopped — byte-identically.
+  /// Reopens an engine from a SaveState stream. `options` must be the
+  /// options the saving engine ran with (digest verified). For current (v2)
+  /// states `warm` is superseded by the collection embedded in the stream;
+  /// for legacy v1 states it must be the exact snapshot the saving engine
+  /// held (entity/KB/triple counts are verified). Unlike the warm
+  /// constructor nothing is re-indexed or re-scored: the incremental index,
+  /// the PairState map, the schedule, and the cluster state all come from
+  /// the stream, so resolution (and further ingests) continue exactly where
+  /// the saved engine stopped — byte-identically.
   static Result<std::unique_ptr<OnlineResolver>> Restore(
       OnlineOptions options, EntityCollection&& warm, std::istream& in);
+
+  /// Self-contained restore: the collection snapshot is read from the
+  /// stream itself (SaveState serializes it since MNER-ONLN-v2), so the
+  /// caller supplies nothing but the original options. Rejects v1 states —
+  /// those carry no collection and need the overload above.
+  static Result<std::unique_ptr<OnlineResolver>> Restore(
+      OnlineOptions options, std::istream& in);
 
   /// Pinned: state_ holds the addresses of coll_'s collection and
   /// neighbors_, so a compiler-generated move would leave it dangling.
@@ -128,10 +137,12 @@ class OnlineResolver {
   /// (ties broken by ascending id). Empty for unknown ids or k == 0.
   std::vector<QueryCandidate> Query(EntityId id, uint32_t k);
 
-  /// Serializes the full engine state — incremental index (postings +
-  /// watermarks + emitted pairs), PairState map, schedule, neighbor/partner
-  /// adjacencies, the cluster-merge log, and the run record — in the fixed
-  /// little-endian util/serde.h format, for a later Restore.
+  /// Serializes the full engine state — the collection snapshot itself
+  /// (MNER-ONLN-v2; restores are self-contained), the incremental index
+  /// (postings + watermarks + emitted pairs), PairState map, schedule,
+  /// neighbor/partner adjacencies, the cluster-merge log, and the run
+  /// record — in the fixed little-endian util/serde.h format, for a later
+  /// Restore.
   Status SaveState(std::ostream& out) const;
 
   /// Restores a SaveState stream into this engine, replacing its dynamic
@@ -172,6 +183,9 @@ class OnlineResolver {
   /// LoadState fills every structure from the stream instead.
   struct RestoreTag {};
   OnlineResolver(OnlineOptions options, EntityCollection&& warm, RestoreTag);
+  /// Self-contained restore path: starts from an empty store; LoadState
+  /// reads the embedded (v2) collection along with the dynamic state.
+  OnlineResolver(OnlineOptions options, RestoreTag);
 
   void IndexEntity(EntityId id);
   /// Scores and pushes the pairs IndexEntity deferred during warm-start

@@ -1,0 +1,601 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "matching/matcher.h"
+#include "obs/metrics.h"
+#include "online/incremental_collection.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+#include "server/protocol.h"
+#include "server/wire.h"
+#include "util/serde.h"
+
+namespace minoan {
+namespace server {
+
+namespace {
+
+obs::Counter& RequestCounter(MessageId id) {
+  static obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  switch (id) {
+    case MessageId::kCreateSession: {
+      static obs::Counter& c = reg.counter("server.requests.create");
+      return c;
+    }
+    case MessageId::kStep: {
+      static obs::Counter& c = reg.counter("server.requests.step");
+      return c;
+    }
+    case MessageId::kMatches: {
+      static obs::Counter& c = reg.counter("server.requests.matches");
+      return c;
+    }
+    case MessageId::kCheckpoint: {
+      static obs::Counter& c = reg.counter("server.requests.checkpoint");
+      return c;
+    }
+    case MessageId::kClose: {
+      static obs::Counter& c = reg.counter("server.requests.close");
+      return c;
+    }
+    case MessageId::kIngest: {
+      static obs::Counter& c = reg.counter("server.requests.ingest");
+      return c;
+    }
+    case MessageId::kResolveBudget: {
+      static obs::Counter& c = reg.counter("server.requests.resolve");
+      return c;
+    }
+    case MessageId::kQuery: {
+      static obs::Counter& c = reg.counter("server.requests.query");
+      return c;
+    }
+    case MessageId::kLinks: {
+      static obs::Counter& c = reg.counter("server.requests.links");
+      return c;
+    }
+    default: {
+      static obs::Counter& c = reg.counter("server.requests.other");
+      return c;
+    }
+  }
+}
+
+obs::Histogram& RequestMicros() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Default().histogram("server.request_micros");
+  return h;
+}
+
+obs::Counter& ComparisonsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("server.comparisons");
+  return c;
+}
+
+/// Error-only response for a body that ended early.
+std::string Truncated(const char* what) {
+  return ErrorBody(Status::ParseError(std::string("truncated ") + what +
+                                      " request body"));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      sessions_(SessionManager::Options{options.state_dir,
+                                        options.max_sessions,
+                                        options.evict_after_seconds}),
+      fair_share_(ResolveThreadCount(options.num_threads)),
+      pool_(ResolveThreadCount(options.num_threads)) {}
+
+Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
+  std::unique_ptr<Server> server(new Server(options));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse listen address " +
+                                   options.host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::IoError("bind " + options.host + ":" +
+                                      std::to_string(options.port) + ": " +
+                                      std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status st =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    const Status st =
+        Status::IoError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(bound.sin_port);
+
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  if (options.evict_after_seconds > 0) {
+    server->sweeper_thread_ =
+        std::thread([s = server.get()] { s->SweeperLoop(); });
+  }
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Wait() {
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  shutdown_cv_.wait(lock, [this] { return shut_down_; });
+}
+
+void Server::Shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Second caller: wait for the first to finish tearing down.
+    Wait();
+    return;
+  }
+  // Unblock accept() and every connection's blocking read.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    shutdown_cv_.notify_all();  // wakes the sweeper
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (sweeper_thread_.joinable()) sweeper_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  shut_down_ = true;
+  shutdown_cv_.notify_all();
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::SweeperLoop() {
+  const double period_s =
+      std::max(0.05, std::min(1.0, options_.evict_after_seconds / 4.0));
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    shutdown_cv_.wait_for(
+        lock, std::chrono::duration<double>(period_s),
+        [this] { return stopping_.load(std::memory_order_relaxed); });
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    lock.unlock();
+    sessions_.EvictIdle();
+    lock.lock();
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Frame frame;
+    const Status read = ReadFrame(fd, frame);
+    if (!read.ok()) {
+      // A hostile length prefix leaves the stream unframed: answer once if
+      // the transport still works, then drop the connection. Clean EOF and
+      // torn connections just close.
+      if (read.code() == StatusCode::kParseError) {
+        (void)WriteFrame(fd, 0, ErrorBody(read));
+      }
+      break;
+    }
+    std::string response;
+    if (frame.version != kProtocolVersion) {
+      response = ErrorBody(Status::FailedPrecondition(
+          "protocol version " + std::to_string(frame.version) +
+          " not supported (server speaks " +
+          std::to_string(kProtocolVersion) + ")"));
+    } else {
+      response = Dispatch(frame);
+    }
+    if (!WriteFrame(fd, frame.id, response).ok()) break;
+  }
+  ::close(fd);
+}
+
+std::string Server::Dispatch(const Frame& frame) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto id = static_cast<MessageId>(frame.id);
+  RequestCounter(id).Increment();
+  std::istringstream body(frame.body);
+  std::string response;
+  switch (id) {
+    case MessageId::kCreateSession:
+      response = HandleCreateSession(body);
+      break;
+    case MessageId::kStep:
+      response = HandleStep(body, /*online=*/false);
+      break;
+    case MessageId::kResolveBudget:
+      response = HandleStep(body, /*online=*/true);
+      break;
+    case MessageId::kMatches:
+      response = HandleMatches(body);
+      break;
+    case MessageId::kCheckpoint:
+      response = HandleCheckpoint(body);
+      break;
+    case MessageId::kClose:
+      response = HandleClose(body);
+      break;
+    case MessageId::kIngest:
+      response = HandleIngest(body);
+      break;
+    case MessageId::kQuery:
+      response = HandleQuery(body);
+      break;
+    case MessageId::kLinks:
+      response = HandleLinks(body);
+      break;
+    case MessageId::kStats:
+      response = HandleStats();
+      break;
+    case MessageId::kPing: {
+      std::ostringstream out;
+      WriteStatusPrefix(out, Status::Ok());
+      response = out.str();
+      break;
+    }
+    default:
+      response = ErrorBody(Status::Unimplemented(
+          "unknown message id " + std::to_string(frame.id)));
+  }
+  RequestMicros().Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return response;
+}
+
+void Server::RunInstallment(const std::string& tenant,
+                            const std::function<uint64_t()>& fn) {
+  fair_share_.Acquire(tenant);
+  uint64_t cost = 0;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  pool_.Submit([&] {
+    cost = fn();
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+  // Flat requests charge at least 1 so vtime advances and FIFO cannot
+  // regress into starvation.
+  fair_share_.Release(tenant, std::max<uint64_t>(1, cost));
+  ComparisonsCounter().Add(cost);
+}
+
+std::string Server::HandleCreateSession(std::istream& body) {
+  SessionSpec spec;
+  uint8_t kind = 0;
+  uint8_t seeds = 0;
+  uint32_t threads = 1;
+  if (!serde::ReadString(body, spec.tenant, 1 << 10) ||
+      !serde::ReadU8(body, kind) ||
+      !serde::ReadString(body, spec.source, 1 << 12) ||
+      !serde::ReadDouble(body, spec.threshold) ||
+      !serde::ReadU8(body, seeds) || !serde::ReadU32(body, threads)) {
+    return Truncated("CreateSession");
+  }
+  if (kind > 1) {
+    return ErrorBody(Status::InvalidArgument("session kind must be 0 or 1"));
+  }
+  if (spec.tenant.empty()) {
+    return ErrorBody(Status::InvalidArgument("tenant must not be empty"));
+  }
+  if (!std::isfinite(spec.threshold) || spec.threshold < 0 ||
+      spec.threshold > 1) {
+    return ErrorBody(
+        Status::InvalidArgument("threshold must be a finite value in [0, 1]"));
+  }
+  if (threads > 1024) {
+    return ErrorBody(Status::InvalidArgument("num_threads must be <= 1024"));
+  }
+  spec.kind = static_cast<SessionKind>(kind);
+  spec.use_same_as_seeds = seeds != 0;
+  spec.num_threads = threads;
+
+  uint64_t id = 0;
+  Status status = Status::Ok();
+  // Session construction (corpus load + static phases) is expensive work —
+  // it goes through the gate like any installment, charged by corpus size.
+  RunInstallment(spec.tenant, [&]() -> uint64_t {
+    auto created = sessions_.Create(spec);
+    if (!created.ok()) {
+      status = created.status();
+      return 1;
+    }
+    id = *created;
+    return 1;
+  });
+  if (!status.ok()) return ErrorBody(status);
+  std::ostringstream out;
+  WriteStatusPrefix(out, Status::Ok());
+  serde::WriteU64(out, id);
+  return out.str();
+}
+
+std::string Server::HandleStep(std::istream& body, bool online) {
+  uint64_t session = 0;
+  uint64_t budget = 0;
+  if (!serde::ReadU64(body, session) || !serde::ReadU64(body, budget)) {
+    return Truncated(online ? "ResolveBudget" : "Step");
+  }
+  auto lease = sessions_.Acquire(session);
+  if (!lease.ok()) return ErrorBody(lease.status());
+  if (online != (lease->online() != nullptr)) {
+    return ErrorBody(Status::FailedPrecondition(
+        online ? "ResolveBudget requires an online session"
+               : "Step requires a batch session"));
+  }
+  const std::string tenant = lease->spec().tenant;
+
+  // The budget is spent in fair-share installments: each slice is admitted
+  // separately, so another tenant's work interleaves between slices. The
+  // result is byte-identical to one big Step — the session contract.
+  uint64_t call_comparisons = 0;
+  uint64_t call_matches = 0;
+  bool finished = false;
+  bool exhausted = false;
+  uint64_t remaining = budget;
+  while (true) {
+    uint64_t slice = options_.installment == 0 ? 2048 : options_.installment;
+    if (budget != 0) {
+      if (remaining == 0) break;
+      slice = std::min(slice, remaining);
+    }
+    StepResult step;
+    RunInstallment(tenant, [&]() -> uint64_t {
+      step = online ? lease->online()->ResolveBudget(slice)
+                    : lease->batch()->Step(slice);
+      return step.comparisons;
+    });
+    call_comparisons += step.comparisons;
+    call_matches += step.matches.size();
+    if (budget != 0) remaining -= std::min(remaining, slice);
+    if (online) {
+      exhausted = step.exhausted;
+      finished = step.exhausted;
+    } else {
+      exhausted = lease->batch()->exhausted();
+      finished = lease->batch()->finished();
+    }
+    if (finished) break;
+    // A slice that spent nothing and did not finish cannot make progress.
+    if (step.comparisons == 0) break;
+  }
+
+  std::ostringstream out;
+  WriteStatusPrefix(out, Status::Ok());
+  serde::WriteU64(out, call_comparisons);
+  serde::WriteU64(out, call_matches);
+  serde::WriteU8(out, finished ? 1 : 0);
+  serde::WriteU8(out, exhausted ? 1 : 0);
+  if (online) {
+    serde::WriteU64(out, lease->online()->run().comparisons_executed);
+    serde::WriteU64(out, lease->online()->run().matches.size());
+  } else {
+    serde::WriteU64(out, lease->batch()->comparisons_spent());
+    serde::WriteU64(out, lease->batch()->matches_found());
+  }
+  return out.str();
+}
+
+std::string Server::HandleMatches(std::istream& body) {
+  uint64_t session = 0;
+  uint64_t since = 0;
+  if (!serde::ReadU64(body, session) || !serde::ReadU64(body, since)) {
+    return Truncated("Matches");
+  }
+  auto lease = sessions_.Acquire(session);
+  if (!lease.ok()) return ErrorBody(lease.status());
+  const std::vector<MatchEvent>& matches =
+      lease->online() != nullptr
+          ? lease->online()->run().matches
+          : lease->batch()->Report().progressive.run.matches;
+  const size_t begin = std::min<size_t>(since, matches.size());
+  std::ostringstream out;
+  WriteStatusPrefix(out, Status::Ok());
+  serde::WriteU32(out, static_cast<uint32_t>(matches.size() - begin));
+  for (size_t i = begin; i < matches.size(); ++i) {
+    serde::WriteU32(out, matches[i].a);
+    serde::WriteU32(out, matches[i].b);
+    serde::WriteU64(out, matches[i].comparisons_done);
+    serde::WriteDouble(out, matches[i].similarity);
+  }
+  return out.str();
+}
+
+std::string Server::HandleCheckpoint(std::istream& body) {
+  uint64_t session = 0;
+  if (!serde::ReadU64(body, session)) return Truncated("Checkpoint");
+  auto bytes = sessions_.Checkpoint(session);
+  if (!bytes.ok()) return ErrorBody(bytes.status());
+  std::ostringstream out;
+  WriteStatusPrefix(out, Status::Ok());
+  serde::WriteU64(out, *bytes);
+  return out.str();
+}
+
+std::string Server::HandleClose(std::istream& body) {
+  uint64_t session = 0;
+  if (!serde::ReadU64(body, session)) return Truncated("Close");
+  if (Status st = sessions_.Close(session); !st.ok()) return ErrorBody(st);
+  std::ostringstream out;
+  WriteStatusPrefix(out, Status::Ok());
+  return out.str();
+}
+
+std::string Server::HandleIngest(std::istream& body) {
+  uint64_t session = 0;
+  std::string kb_name;
+  std::string document;
+  if (!serde::ReadU64(body, session) ||
+      !serde::ReadString(body, kb_name, 1 << 10) ||
+      !serde::ReadString(body, document, kMaxFrameBytes)) {
+    return Truncated("Ingest");
+  }
+  auto lease = sessions_.Acquire(session);
+  if (!lease.ok()) return ErrorBody(lease.status());
+  if (lease->online() == nullptr) {
+    return ErrorBody(
+        Status::FailedPrecondition("Ingest requires an online session"));
+  }
+  auto triples = rdf::NTriplesParser().ParseString(document);
+  if (!triples.ok()) return ErrorBody(triples.status());
+
+  std::vector<EntityId> ids;
+  Status status = Status::Ok();
+  RunInstallment(lease->spec().tenant, [&]() -> uint64_t {
+    online::OnlineResolver& engine = *lease->online();
+    const uint64_t before = engine.run().comparisons_executed;
+    const uint32_t kb = engine.EnsureKb(kb_name);
+    for (const auto& group : online::GroupBySubject(*triples)) {
+      auto id = engine.Ingest(kb, group);
+      if (!id.ok()) {
+        status = id.status();
+        break;
+      }
+      ids.push_back(*id);
+    }
+    // Ingest itself executes no comparisons; charge the entity count so a
+    // bulk-loading tenant still pays its way through the gate.
+    return ids.size() + (engine.run().comparisons_executed - before);
+  });
+  if (!status.ok()) return ErrorBody(status);
+  std::ostringstream out;
+  WriteStatusPrefix(out, Status::Ok());
+  serde::WriteU32(out, static_cast<uint32_t>(ids.size()));
+  for (const EntityId id : ids) serde::WriteU32(out, id);
+  return out.str();
+}
+
+std::string Server::HandleQuery(std::istream& body) {
+  uint64_t session = 0;
+  uint32_t entity = 0;
+  uint32_t k = 0;
+  if (!serde::ReadU64(body, session) || !serde::ReadU32(body, entity) ||
+      !serde::ReadU32(body, k)) {
+    return Truncated("Query");
+  }
+  auto lease = sessions_.Acquire(session);
+  if (!lease.ok()) return ErrorBody(lease.status());
+  if (lease->online() == nullptr) {
+    return ErrorBody(
+        Status::FailedPrecondition("Query requires an online session"));
+  }
+  std::vector<online::QueryCandidate> candidates;
+  RunInstallment(lease->spec().tenant, [&]() -> uint64_t {
+    online::OnlineResolver& engine = *lease->online();
+    const uint64_t before = engine.run().comparisons_executed;
+    candidates = engine.Query(entity, k);
+    return engine.run().comparisons_executed - before;
+  });
+  std::ostringstream out;
+  WriteStatusPrefix(out, Status::Ok());
+  serde::WriteU32(out, static_cast<uint32_t>(candidates.size()));
+  for (const auto& c : candidates) {
+    serde::WriteU32(out, c.id);
+    serde::WriteDouble(out, c.similarity);
+    serde::WriteU8(out, c.matched ? 1 : 0);
+  }
+  return out.str();
+}
+
+std::string Server::HandleLinks(std::istream& body) {
+  uint64_t session = 0;
+  if (!serde::ReadU64(body, session)) return Truncated("Links");
+  auto lease = sessions_.Acquire(session);
+  if (!lease.ok()) return ErrorBody(lease.status());
+  const EntityCollection& collection = lease->collection();
+  const std::vector<MatchEvent>& matches =
+      lease->online() != nullptr
+          ? lease->online()->run().matches
+          : lease->batch()->Report().progressive.run.matches;
+  // Same clustering + rendering as the CLI's discovered-links file, so a
+  // served run diffs byte-for-byte against `minoan resolve`.
+  const auto links = UniqueMappingClustering(matches, collection);
+  std::ostringstream text;
+  rdf::NTriplesWriter writer(text);
+  for (const MatchEvent& m : links) {
+    writer.Write({rdf::Term::Iri(std::string(collection.EntityIri(m.a))),
+                  rdf::Term::Iri(std::string(rdf::kOwlSameAs)),
+                  rdf::Term::Iri(std::string(collection.EntityIri(m.b)))});
+  }
+  std::ostringstream out;
+  WriteStatusPrefix(out, Status::Ok());
+  serde::WriteString(out, text.str());
+  return out.str();
+}
+
+std::string Server::HandleStats() {
+  std::ostringstream out;
+  WriteStatusPrefix(out, Status::Ok());
+  serde::WriteU64(out, sessions_.live_sessions());
+  serde::WriteU64(out, sessions_.num_sessions());
+  return out.str();
+}
+
+}  // namespace server
+}  // namespace minoan

@@ -1,0 +1,137 @@
+// Copyright 2026 The MinoanER Authors.
+// Server: the TCP front end of resolution-as-a-service (`minoan serve`).
+//
+// One process hosts many tenants' sessions behind the length-prefixed
+// protocol of protocol.h. The moving parts:
+//
+//   - an accept loop (own thread) handing each connection to a handler
+//     thread; a connection is a plain request/response stream, and any
+//     number of connections may address the same session id;
+//   - a SessionManager holding every session, LRU-evicting past the live
+//     cap and (with evict_after_seconds) checkpointing idle sessions —
+//     a background sweeper thread runs the idle scan;
+//   - a FairShare gate in front of every expensive request: Step and
+//     ResolveBudget bodies are sliced into `installment`-sized
+//     sub-budgets, each admitted separately and run on the shared
+//     ThreadPool, so a tenant stepping millions of comparisons
+//     interleaves with — never starves — a tenant stepping thousands.
+//     Slicing is invisible in the results: Step(n/2) twice is
+//     byte-identical to Step(n) (the session contract).
+//
+// Determinism: for a fixed corpus, options, and request sequence per
+// session, every reply is byte-identical regardless of thread count,
+// concurrent tenants, eviction timing, or installment size.
+//
+// Metrics (out-of-band): server.requests.<kind> counters,
+// server.request_micros histogram, server.comparisons counter, and the
+// SessionManager's server.sessions.* family.
+
+#ifndef MINOAN_SERVER_SERVER_H_
+#define MINOAN_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/fair_share.h"
+#include "server/session_manager.h"
+#include "server/wire.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace minoan {
+namespace server {
+
+struct ServerOptions {
+  /// Listen address. Port 0 picks an ephemeral port (tests, CI) — read the
+  /// chosen one back with port().
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Live-session cap (LRU-evicts beyond it) and idle-eviction horizon.
+  size_t max_sessions = 64;
+  double evict_after_seconds = 0;
+  /// Checkpoint directory for evicted sessions.
+  std::string state_dir = "/tmp/minoan-serve";
+  /// Fair-share slots AND workers of the shared installment pool
+  /// (0 = hardware concurrency).
+  uint32_t num_threads = 1;
+  /// Comparisons per admitted installment: the fairness quantum. Smaller =
+  /// tighter interleaving, more gate traffic.
+  uint64_t installment = 2048;
+};
+
+class Server {
+ public:
+  /// Binds, listens, and starts the accept loop + sweeper. The returned
+  /// server is running.
+  static Result<std::unique_ptr<Server>> Start(ServerOptions options);
+
+  /// Stops accepting, closes live connections, joins every thread. Safe to
+  /// call twice; the destructor calls it.
+  void Shutdown();
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves port 0 to the kernel's pick).
+  uint16_t port() const { return port_; }
+  const ServerOptions& options() const { return options_; }
+  SessionManager& sessions() { return sessions_; }
+
+  /// Blocks until Shutdown() is called (the serve loop's main thread).
+  void Wait();
+
+ private:
+  explicit Server(ServerOptions options);
+
+  void AcceptLoop();
+  void SweeperLoop();
+  void HandleConnection(int fd);
+  /// Decodes one request frame and produces the response body. Never
+  /// throws; internal errors become error responses.
+  std::string Dispatch(const Frame& frame);
+
+  std::string HandleCreateSession(std::istream& body);
+  std::string HandleStep(std::istream& body, bool online);
+  std::string HandleMatches(std::istream& body);
+  std::string HandleCheckpoint(std::istream& body);
+  std::string HandleClose(std::istream& body);
+  std::string HandleIngest(std::istream& body);
+  std::string HandleQuery(std::istream& body);
+  std::string HandleLinks(std::istream& body);
+  std::string HandleStats();
+
+  /// Runs `fn` as one fair-share installment on the shared pool, charging
+  /// `tenant` the cost fn reports.
+  void RunInstallment(const std::string& tenant,
+                      const std::function<uint64_t()>& fn);
+
+  const ServerOptions options_;
+  SessionManager sessions_;
+  FairShare fair_share_;
+  ThreadPool pool_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::thread sweeper_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+  std::condition_variable shutdown_cv_;
+  bool shut_down_ = false;
+};
+
+}  // namespace server
+}  // namespace minoan
+
+#endif  // MINOAN_SERVER_SERVER_H_

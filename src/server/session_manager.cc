@@ -1,0 +1,464 @@
+#include "server/session_manager.h"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "datagen/lod_generator.h"
+#include "obs/metrics.h"
+#include "rdf/turtle.h"
+#include "util/thread_pool.h"
+
+namespace minoan {
+namespace server {
+
+namespace {
+
+obs::Counter& CreatedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("server.sessions.created");
+  return c;
+}
+obs::Counter& EvictedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("server.sessions.evicted");
+  return c;
+}
+obs::Counter& RestoredCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("server.sessions.restored");
+  return c;
+}
+obs::Counter& ClosedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("server.sessions.closed");
+  return c;
+}
+obs::Gauge& LiveGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Default().gauge("server.sessions.live");
+  return g;
+}
+obs::Histogram& CheckpointBytes() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Default().histogram("server.checkpoint_bytes");
+  return h;
+}
+
+WorkflowOptions BatchOptions(const SessionSpec& spec) {
+  WorkflowOptions options;
+  options.progressive.matcher.threshold = spec.threshold;
+  options.use_same_as_seeds = spec.use_same_as_seeds;
+  options.num_threads = spec.num_threads;
+  return options;
+}
+
+online::OnlineOptions OnlineOptionsFor(const SessionSpec& spec) {
+  online::OnlineOptions options;
+  options.matcher.threshold = spec.threshold;
+  options.use_same_as_seeds = spec.use_same_as_seeds;
+  options.num_threads = spec.num_threads;
+  return options;
+}
+
+}  // namespace
+
+Result<EntityCollection> LoadCorpus(const std::string& source) {
+  if (source.rfind("dir:", 0) == 0) {
+    const std::string dir = source.substr(4);
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".nt" || ext == ".ttl" || ext == ".turtle") {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      return Status::IoError("cannot read corpus directory " + dir + ": " +
+                             ec.message());
+    }
+    if (files.empty()) {
+      return Status::NotFound("no .nt/.ttl files in " + dir);
+    }
+    // Sorted order + file-stem KB names: exactly what the CLI's directory
+    // loader does, so a served session and `minoan resolve DIR` run over
+    // the identical collection (the byte-parity contract of kLinks).
+    std::sort(files.begin(), files.end());
+    EntityCollection collection;
+    for (const std::string& file : files) {
+      MINOAN_ASSIGN_OR_RETURN(std::vector<rdf::Triple> triples,
+                              rdf::LoadTriples(file));
+      MINOAN_RETURN_IF_ERROR(
+          collection
+              .AddKnowledgeBase(std::filesystem::path(file).stem().string(),
+                                triples)
+              .status());
+    }
+    MINOAN_RETURN_IF_ERROR(collection.Finalize());
+    return collection;
+  }
+  if (source.rfind("synthetic:", 0) == 0) {
+    // synthetic:<seed>:<entities>:<kbs>:<center>
+    uint64_t fields[4] = {0, 0, 0, 0};
+    size_t pos = 10;
+    for (int i = 0; i < 4; ++i) {
+      const size_t end = i == 3 ? source.size() : source.find(':', pos);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument(
+            "synthetic source needs seed:entities:kbs:center, got " + source);
+      }
+      const auto [ptr, ec] =
+          std::from_chars(source.data() + pos, source.data() + end, fields[i]);
+      if (ec != std::errc() || ptr != source.data() + end) {
+        return Status::InvalidArgument("bad synthetic source field in " +
+                                       source);
+      }
+      pos = end + 1;
+    }
+    datagen::LodCloudConfig config;
+    config.seed = fields[0];
+    config.num_real_entities = static_cast<uint32_t>(fields[1]);
+    config.num_kbs = static_cast<uint32_t>(fields[2]);
+    config.center_kbs = static_cast<uint32_t>(fields[3]);
+    MINOAN_ASSIGN_OR_RETURN(datagen::LodCloud cloud,
+                            datagen::GenerateLodCloud(config));
+    return cloud.BuildCollection();
+  }
+  return Status::InvalidArgument(
+      "corpus source must be dir:<path> or "
+      "synthetic:<seed>:<entities>:<kbs>:<center>, got \"" +
+      source + "\"");
+}
+
+/// One managed session. `mu` serializes every operation on the live
+/// engines; the manager's lock never blocks on it (try_lock only), so a
+/// lease holder cannot deadlock the manager.
+struct SessionManager::Lease::Entry {
+  uint64_t id = 0;
+  SessionSpec spec;
+  std::string ckpt_path;
+
+  std::mutex mu;
+  bool evicted = false;
+  bool closed = false;
+  /// Batch: the shared corpus (must outlive `batch`).
+  std::shared_ptr<const EntityCollection> corpus;
+  std::unique_ptr<ResolutionSession> batch;
+  std::unique_ptr<online::OnlineResolver> online;
+
+  /// LRU bookkeeping, written under the manager lock (Touch) and read by
+  /// the eviction scans.
+  uint64_t lru_seq = 0;
+  std::atomic<int64_t> idle_since_ns{0};
+};
+
+namespace {
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+SessionManager::Lease::~Lease() {
+  if (entry_ != nullptr) {
+    entry_->idle_since_ns.store(SteadyNowNs(), std::memory_order_relaxed);
+  }
+}
+
+const SessionSpec& SessionManager::Lease::spec() const { return entry_->spec; }
+ResolutionSession* SessionManager::Lease::batch() {
+  return entry_->batch.get();
+}
+online::OnlineResolver* SessionManager::Lease::online() {
+  return entry_->online.get();
+}
+const EntityCollection& SessionManager::Lease::collection() const {
+  return entry_->online != nullptr ? entry_->online->collection()
+                                   : *entry_->corpus;
+}
+
+SessionManager::SessionManager(Options options) : options_(std::move(options)) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.state_dir, ec);
+  // A bad state_dir surfaces on the first eviction/checkpoint, with the
+  // failing path in the message — not worth failing construction for.
+}
+
+std::string SessionManager::CheckpointPath(uint64_t id) const {
+  return options_.state_dir + "/session-" + std::to_string(id) + ".ckpt";
+}
+
+Result<std::shared_ptr<const EntityCollection>> SessionManager::CorpusFor(
+    const std::string& source) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = corpus_cache_.find(source);
+    if (it != corpus_cache_.end()) {
+      if (auto cached = it->second.lock()) return cached;
+    }
+  }
+  // Load outside the manager lock: other sessions keep working while a
+  // corpus loads. Two racing loaders of one source both succeed (identical
+  // collections); last one wins the cache slot.
+  MINOAN_ASSIGN_OR_RETURN(EntityCollection loaded, LoadCorpus(source));
+  auto shared =
+      std::make_shared<const EntityCollection>(std::move(loaded));
+  std::lock_guard<std::mutex> lock(mu_);
+  corpus_cache_[source] = shared;
+  return shared;
+}
+
+Status SessionManager::Materialize(Entry& entry) {
+  if (entry.spec.kind == SessionKind::kBatch) {
+    if (entry.spec.source.empty()) {
+      return Status::InvalidArgument("batch sessions require a corpus source");
+    }
+    MINOAN_ASSIGN_OR_RETURN(entry.corpus, CorpusFor(entry.spec.source));
+    auto session =
+        ResolutionSession::Open(*entry.corpus, BatchOptions(entry.spec));
+    MINOAN_RETURN_IF_ERROR(session.status());
+    entry.batch =
+        std::make_unique<ResolutionSession>(std::move(session).value());
+    return Status::Ok();
+  }
+  if (entry.spec.source.empty()) {
+    entry.online =
+        std::make_unique<online::OnlineResolver>(OnlineOptionsFor(entry.spec));
+    return Status::Ok();
+  }
+  // Online warm start owns its collection — load a private copy (the
+  // shared corpus cache hands out const snapshots, but the online engine
+  // grows its store).
+  MINOAN_ASSIGN_OR_RETURN(EntityCollection warm, LoadCorpus(entry.spec.source));
+  entry.online = std::make_unique<online::OnlineResolver>(
+      OnlineOptionsFor(entry.spec), std::move(warm));
+  return Status::Ok();
+}
+
+Status SessionManager::RestoreEntry(Entry& entry) {
+  std::ifstream in(entry.ckpt_path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot read checkpoint " + entry.ckpt_path);
+  }
+  if (entry.spec.kind == SessionKind::kBatch) {
+    MINOAN_ASSIGN_OR_RETURN(entry.corpus, CorpusFor(entry.spec.source));
+    auto session = ResolutionSession::Restore(*entry.corpus,
+                                              BatchOptions(entry.spec), in);
+    MINOAN_RETURN_IF_ERROR(session.status());
+    entry.batch =
+        std::make_unique<ResolutionSession>(std::move(session).value());
+  } else {
+    // Self-contained: MNER-ONLN-v2 embeds the collection, so an online
+    // session restores with no corpus rebuild at all.
+    auto engine = online::OnlineResolver::Restore(OnlineOptionsFor(entry.spec),
+                                                  in);
+    MINOAN_RETURN_IF_ERROR(engine.status());
+    entry.online = std::move(engine).value();
+  }
+  entry.evicted = false;
+  live_.fetch_add(1, std::memory_order_relaxed);
+  LiveGauge().Add(1);
+  RestoredCounter().Increment();
+  return Status::Ok();
+}
+
+Status SessionManager::EvictEntry(Entry& entry) {
+  std::ofstream out(entry.ckpt_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot write checkpoint " + entry.ckpt_path);
+  }
+  MINOAN_RETURN_IF_ERROR(entry.batch != nullptr ? entry.batch->Checkpoint(out)
+                                                : entry.online->SaveState(out));
+  out.flush();
+  if (!out) {
+    return Status::IoError("short write to checkpoint " + entry.ckpt_path);
+  }
+  CheckpointBytes().Record(static_cast<uint64_t>(out.tellp()));
+  out.close();
+  entry.batch.reset();
+  entry.online.reset();
+  entry.corpus.reset();
+  entry.evicted = true;
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  LiveGauge().Add(-1);
+  EvictedCounter().Increment();
+  return Status::Ok();
+}
+
+Result<uint64_t> SessionManager::Create(const SessionSpec& spec) {
+  auto entry = std::make_shared<Entry>();
+  entry->spec = spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->id = next_id_++;
+    entry->lru_seq = ++lru_clock_;
+    entry->ckpt_path = CheckpointPath(entry->id);
+    sessions_.emplace(entry->id, entry);
+  }
+  entry->idle_since_ns.store(SteadyNowNs(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (Status st = Materialize(*entry); !st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_.erase(entry->id);
+      return st;
+    }
+  }
+  live_.fetch_add(1, std::memory_order_relaxed);
+  LiveGauge().Add(1);
+  CreatedCounter().Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  EnforceCapLocked();
+  return entry->id;
+}
+
+Result<SessionManager::Lease> SessionManager::Acquire(uint64_t id) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session " + std::to_string(id));
+    }
+    entry = it->second;
+    entry->lru_seq = ++lru_clock_;
+  }
+  std::unique_lock<std::mutex> entry_lock(entry->mu);
+  if (entry->closed) {
+    return Status::NotFound("session " + std::to_string(id) + " is closed");
+  }
+  if (entry->evicted) {
+    MINOAN_RETURN_IF_ERROR(RestoreEntry(*entry));
+    std::lock_guard<std::mutex> lock(mu_);
+    EnforceCapLocked();
+  }
+  entry->idle_since_ns.store(SteadyNowNs(), std::memory_order_relaxed);
+  return Lease(std::move(entry), std::move(entry_lock));
+}
+
+Result<uint64_t> SessionManager::Checkpoint(uint64_t id) {
+  MINOAN_ASSIGN_OR_RETURN(Lease lease, Acquire(id));
+  Entry& entry = *lease.entry_;
+  std::ofstream out(entry.ckpt_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot write checkpoint " + entry.ckpt_path);
+  }
+  MINOAN_RETURN_IF_ERROR(entry.batch != nullptr ? entry.batch->Checkpoint(out)
+                                                : entry.online->SaveState(out));
+  out.flush();
+  if (!out) {
+    return Status::IoError("short write to checkpoint " + entry.ckpt_path);
+  }
+  const auto bytes = static_cast<uint64_t>(out.tellp());
+  CheckpointBytes().Record(bytes);
+  return bytes;
+}
+
+Status SessionManager::Evict(uint64_t id) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session " + std::to_string(id));
+    }
+    entry = it->second;
+  }
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  if (entry->closed) {
+    return Status::NotFound("session " + std::to_string(id) + " is closed");
+  }
+  if (entry->evicted) return Status::Ok();
+  return EvictEntry(*entry);
+}
+
+size_t SessionManager::EvictIdle() {
+  if (options_.evict_after_seconds <= 0) return 0;
+  const int64_t cutoff =
+      SteadyNowNs() -
+      static_cast<int64_t>(options_.evict_after_seconds * 1e9);
+  std::vector<std::shared_ptr<Entry>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, entry] : sessions_) candidates.push_back(entry);
+  }
+  size_t evicted = 0;
+  for (const auto& entry : candidates) {
+    if (entry->idle_since_ns.load(std::memory_order_relaxed) > cutoff) {
+      continue;
+    }
+    // try_lock: a session mid-request is busy, not idle — skip it.
+    std::unique_lock<std::mutex> entry_lock(entry->mu, std::try_to_lock);
+    if (!entry_lock.owns_lock() || entry->evicted || entry->closed) continue;
+    if (entry->idle_since_ns.load(std::memory_order_relaxed) > cutoff) {
+      continue;
+    }
+    if (EvictEntry(*entry).ok()) ++evicted;
+  }
+  return evicted;
+}
+
+void SessionManager::EnforceCapLocked() {
+  const size_t cap = std::max<size_t>(1, options_.max_live_sessions);
+  while (live_.load(std::memory_order_relaxed) > cap) {
+    // Oldest lru_seq first; entries mid-request (lock held) are skipped —
+    // the cap is best-effort under contention, exact once requests drain.
+    std::shared_ptr<Entry> victim;
+    uint64_t victim_seq = 0;
+    for (const auto& [id, entry] : sessions_) {
+      if (entry->evicted || entry->closed) continue;
+      if (victim == nullptr || entry->lru_seq < victim_seq) {
+        victim = entry;
+        victim_seq = entry->lru_seq;
+      }
+    }
+    if (victim == nullptr) return;
+    std::unique_lock<std::mutex> entry_lock(victim->mu, std::try_to_lock);
+    if (!entry_lock.owns_lock()) return;
+    if (victim->evicted || victim->closed) continue;
+    if (!EvictEntry(*victim).ok()) return;
+  }
+}
+
+Status SessionManager::Close(uint64_t id) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session " + std::to_string(id));
+    }
+    entry = it->second;
+    sessions_.erase(it);
+  }
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  if (!entry->evicted && !entry->closed) {
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    LiveGauge().Add(-1);
+  }
+  entry->closed = true;
+  entry->batch.reset();
+  entry->online.reset();
+  entry->corpus.reset();
+  std::error_code ec;
+  std::filesystem::remove(entry->ckpt_path, ec);
+  ClosedCounter().Increment();
+  return Status::Ok();
+}
+
+size_t SessionManager::live_sessions() const {
+  return live_.load(std::memory_order_relaxed);
+}
+
+size_t SessionManager::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace server
+}  // namespace minoan

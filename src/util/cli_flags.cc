@@ -1,0 +1,114 @@
+#include "util/cli_flags.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace minoan {
+namespace cli {
+
+Flags::Flags(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc &&
+               std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      // Everything up to the next --flag is this flag's value; a single
+      // leading dash is allowed so negative numbers parse as values.
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::string Flags::Get(const std::string& name,
+                       const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "error: --%s expects a number, got \"%s\"\n",
+                 name.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+uint64_t Flags::GetInt(const std::string& name, uint64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  uint64_t v = 0;
+  const char* begin = it->second.data();
+  const char* end = begin + it->second.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr != end) {
+    std::fprintf(stderr,
+                 "error: --%s expects a non-negative integer, got \"%s\"\n",
+                 name.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+uint64_t Flags::GetByteSize(const std::string& name, uint64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& raw = it->second;
+  uint64_t v = 0;
+  const char* begin = raw.data();
+  const char* end = begin + raw.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  uint64_t shift = 0;
+  bool bad_suffix = false;
+  std::string suffix(ptr, end);
+  for (char& c : suffix) c = static_cast<char>(std::tolower(c));
+  if (suffix == "k" || suffix == "kb") {
+    shift = 10;
+  } else if (suffix == "m" || suffix == "mb") {
+    shift = 20;
+  } else if (suffix == "g" || suffix == "gb") {
+    shift = 30;
+  } else if (!suffix.empty()) {
+    bad_suffix = true;
+  }
+  if (ec != std::errc() || ptr == begin || bad_suffix ||
+      (shift > 0 && v > (uint64_t{1} << (63 - shift)))) {
+    std::fprintf(stderr,
+                 "error: --%s expects a byte size like 65536, 64k or 1g, "
+                 "got \"%s\"\n",
+                 name.c_str(), raw.c_str());
+    std::exit(2);
+  }
+  return v << shift;
+}
+
+std::vector<std::string> Flags::UnknownFlags(
+    std::initializer_list<std::string_view> allowed) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;  // values_ is a sorted map — order is already stable
+}
+
+}  // namespace cli
+}  // namespace minoan

@@ -24,6 +24,13 @@ inline void WriteU8(std::ostream& out, uint8_t v) {
   out.put(static_cast<char>(v));
 }
 
+inline void WriteU16(std::ostream& out, uint16_t v) {
+  char buf[2];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  out.write(buf, 2);
+}
+
 inline void WriteU32(std::ostream& out, uint32_t v) {
   char buf[4];
   for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
@@ -49,6 +56,15 @@ inline bool ReadU8(std::istream& in, uint8_t& v) {
   char c;
   if (!in.get(c)) return false;
   v = static_cast<uint8_t>(c);
+  return true;
+}
+
+inline bool ReadU16(std::istream& in, uint16_t& v) {
+  char buf[2];
+  if (!in.read(buf, 2)) return false;
+  v = static_cast<uint16_t>(
+      static_cast<unsigned char>(buf[0]) |
+      (static_cast<uint16_t>(static_cast<unsigned char>(buf[1])) << 8));
   return true;
 }
 

@@ -1,0 +1,471 @@
+// Lifecycle tests for the resolution service: concurrent tenants must get
+// byte-identical results to in-process sessions, eviction + restore must be
+// invisible mid-stream, and hostile bytes on the wire must never crash the
+// daemon.
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/session.h"
+#include "gtest/gtest.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/session_manager.h"
+#include "util/serde.h"
+
+namespace minoan {
+namespace server {
+namespace {
+
+std::string SyntheticSource(uint64_t seed, uint32_t entities = 120,
+                            uint32_t kbs = 3, uint32_t center = 1) {
+  return "synthetic:" + std::to_string(seed) + ":" + std::to_string(entities) +
+         ":" + std::to_string(kbs) + ":" + std::to_string(center);
+}
+
+std::string FreshStateDir(const char* tag) {
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "minoan-server-test-" + tag + "-" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// The in-process ground truth: one ResolutionSession over the same corpus
+/// and options a served batch session uses, run to completion.
+std::vector<MatchEvent> InProcessMatches(const std::string& source,
+                                         double threshold) {
+  auto collection = LoadCorpus(source);
+  EXPECT_TRUE(collection.ok()) << collection.status().ToString();
+  WorkflowOptions options;
+  options.progressive.matcher.threshold = threshold;
+  auto session = ResolutionSession::Open(*collection, options);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  session->Step(0);
+  return session->Report().progressive.run.matches;
+}
+
+void ExpectSameMatches(const std::vector<MatchEvent>& got,
+                       const std::vector<MatchEvent>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].a, want[i].a) << "match " << i;
+    EXPECT_EQ(got[i].b, want[i].b) << "match " << i;
+    EXPECT_EQ(got[i].comparisons_done, want[i].comparisons_done)
+        << "match " << i;
+    EXPECT_EQ(got[i].similarity, want[i].similarity) << "match " << i;
+  }
+}
+
+/// Drives one tenant end to end over its own connection: create, step in
+/// uneven installments until finished, return the full match log.
+std::vector<MatchEvent> DriveTenant(uint16_t port, const std::string& tenant,
+                                    const std::string& source,
+                                    double threshold) {
+  auto client = Client::Connect("127.0.0.1", port);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  auto session = (*client)->CreateSession(tenant, SessionKind::kBatch, source,
+                                          threshold);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  // Deliberately uneven budgets: slicing must be invisible in the results.
+  const uint64_t budgets[] = {37, 500, 111, 0};
+  for (const uint64_t budget : budgets) {
+    auto step = (*client)->Step(*session, budget);
+    EXPECT_TRUE(step.ok()) << step.status().ToString();
+    if (step.ok() && step->finished) break;
+  }
+  auto matches = (*client)->Matches(*session);
+  EXPECT_TRUE(matches.ok()) << matches.status().ToString();
+  EXPECT_TRUE((*client)->Close(*session).ok());
+  return matches.ok() ? *matches : std::vector<MatchEvent>{};
+}
+
+void RunConcurrentTenants(uint32_t num_threads) {
+  const std::string source_a = SyntheticSource(11);
+  const std::string source_b = SyntheticSource(29, 90, 4, 2);
+  const std::vector<MatchEvent> want_a = InProcessMatches(source_a, 0.35);
+  const std::vector<MatchEvent> want_b = InProcessMatches(source_b, 0.30);
+  ASSERT_FALSE(want_a.empty());
+  ASSERT_FALSE(want_b.empty());
+
+  ServerOptions options;
+  options.state_dir = FreshStateDir("tenants");
+  options.num_threads = num_threads;
+  options.installment = 64;  // force many fair-share admissions per step
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::vector<MatchEvent> got_a;
+  std::vector<MatchEvent> got_b;
+  std::thread tenant_a([&] {
+    got_a = DriveTenant((*server)->port(), "alice", source_a, 0.35);
+  });
+  std::thread tenant_b([&] {
+    got_b = DriveTenant((*server)->port(), "bob", source_b, 0.30);
+  });
+  tenant_a.join();
+  tenant_b.join();
+  (*server)->Shutdown();
+
+  ExpectSameMatches(got_a, want_a);
+  ExpectSameMatches(got_b, want_b);
+}
+
+TEST(ServerTest, ConcurrentTenantsMatchInProcessSingleThread) {
+  RunConcurrentTenants(1);
+}
+
+TEST(ServerTest, ConcurrentTenantsMatchInProcessFourThreads) {
+  RunConcurrentTenants(4);
+}
+
+TEST(ServerTest, EvictRestoreMidStreamIsInvisible) {
+  // Big enough that a 50-comparison first step cannot finish the run.
+  const std::string source = SyntheticSource(7, 400);
+  const std::vector<MatchEvent> want = InProcessMatches(source, 0.35);
+  ASSERT_FALSE(want.empty());
+
+  ServerOptions options;
+  options.state_dir = FreshStateDir("evict");
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto session =
+      (*client)->CreateSession("carol", SessionKind::kBatch, source, 0.35);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  auto first = (*client)->Step(*session, 50);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_FALSE(first->finished);
+
+  // Forcibly evict between two steps of one stream; the next request must
+  // restore from the checkpoint transparently.
+  ASSERT_TRUE((*server)->sessions().Evict(*session).ok());
+  EXPECT_EQ((*server)->sessions().live_sessions(), 0u);
+
+  auto second = (*client)->Step(*session, 0);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->finished);
+  EXPECT_EQ((*server)->sessions().live_sessions(), 1u);
+
+  auto matches = (*client)->Matches(*session);
+  ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+  ExpectSameMatches(*matches, want);
+  (*server)->Shutdown();
+}
+
+TEST(ServerTest, OnlineEvictRestoreMatchesUninterruptedRun) {
+  // Two servers, same request sequence; one is force-evicted mid-stream.
+  // Every reply after the eviction must be identical.
+  const std::string doc =
+      "<http://a.org/e1> <http://xmlns.com/foaf/0.1/name> \"Ada "
+      "Lovelace\" .\n"
+      "<http://a.org/e1> <http://a.org/city> \"London\" .\n"
+      "<http://b.org/e1> <http://xmlns.com/foaf/0.1/name> \"Ada "
+      "Lovelace\" .\n"
+      "<http://b.org/e1> <http://b.org/town> \"London\" .\n"
+      "<http://b.org/e2> <http://xmlns.com/foaf/0.1/name> \"Alan "
+      "Turing\" .\n";
+
+  struct Run {
+    std::unique_ptr<Server> server;
+    std::unique_ptr<Client> client;
+    uint64_t session = 0;
+  };
+  auto start = [&](const char* tag) {
+    Run run;
+    ServerOptions options;
+    options.state_dir = FreshStateDir(tag);
+    auto server = Server::Start(options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    run.server = std::move(server).value();
+    auto client = Client::Connect("127.0.0.1", run.server->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    run.client = std::move(client).value();
+    auto session =
+        run.client->CreateSession("dave", SessionKind::kOnline, "", 0.2);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    run.session = *session;
+    return run;
+  };
+
+  Run plain = start("online-plain");
+  Run evicted = start("online-evict");
+  std::vector<EntityId> plain_ids;
+  for (Run* run : {&plain, &evicted}) {
+    auto ids = run->client->Ingest(run->session, "cloud", doc);
+    ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+    if (run == &plain) {
+      plain_ids = *ids;
+    } else {
+      EXPECT_EQ(*ids, plain_ids);
+    }
+    auto step = run->client->ResolveBudget(run->session, 2);
+    ASSERT_TRUE(step.ok()) << step.status().ToString();
+  }
+
+  ASSERT_TRUE(evicted.server->sessions().Evict(evicted.session).ok());
+
+  for (Run* run : {&plain, &evicted}) {
+    auto step = run->client->ResolveBudget(run->session, 0);
+    ASSERT_TRUE(step.ok()) << step.status().ToString();
+  }
+  ASSERT_FALSE(plain_ids.empty());
+  auto plain_hits = plain.client->Query(plain.session, plain_ids[0], 4);
+  auto evicted_hits = evicted.client->Query(evicted.session, plain_ids[0], 4);
+  ASSERT_TRUE(plain_hits.ok()) << plain_hits.status().ToString();
+  ASSERT_TRUE(evicted_hits.ok()) << evicted_hits.status().ToString();
+  ASSERT_EQ(plain_hits->size(), evicted_hits->size());
+  for (size_t i = 0; i < plain_hits->size(); ++i) {
+    EXPECT_EQ((*plain_hits)[i].id, (*evicted_hits)[i].id);
+    EXPECT_EQ((*plain_hits)[i].similarity, (*evicted_hits)[i].similarity);
+    EXPECT_EQ((*plain_hits)[i].matched, (*evicted_hits)[i].matched);
+  }
+  auto plain_matches = plain.client->Matches(plain.session);
+  auto evicted_matches = evicted.client->Matches(evicted.session);
+  ASSERT_TRUE(plain_matches.ok());
+  ASSERT_TRUE(evicted_matches.ok());
+  ExpectSameMatches(*evicted_matches, *plain_matches);
+  plain.server->Shutdown();
+  evicted.server->Shutdown();
+}
+
+TEST(ServerTest, LruCapEvictsAndRestoresTransparently) {
+  ServerOptions options;
+  options.state_dir = FreshStateDir("cap");
+  options.max_sessions = 1;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const std::string source = SyntheticSource(3);
+  auto first =
+      (*client)->CreateSession("erin", SessionKind::kBatch, source, 0.35);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second =
+      (*client)->CreateSession("erin", SessionKind::kBatch, source, 0.35);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // Cap 1: creating the second session evicted the first...
+  EXPECT_EQ((*server)->sessions().live_sessions(), 1u);
+  EXPECT_EQ((*server)->sessions().num_sessions(), 2u);
+  // ...but both still answer (the first restores on touch, evicting the
+  // other right back).
+  for (const uint64_t id : {*first, *second}) {
+    auto step = (*client)->Step(id, 0);
+    ASSERT_TRUE(step.ok()) << step.status().ToString();
+    EXPECT_TRUE(step->finished);
+  }
+  (*server)->Shutdown();
+}
+
+/// Raw socket for hostile-bytes tests — the typed Client refuses to send
+/// malformed frames, so speak TCP directly.
+class RawConnection {
+ public:
+  explicit RawConnection(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return;  // server already dropped us — fine
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Signals end-of-requests, then reads until the server closes its end;
+  /// returns everything received. (Without the write-side shutdown the
+  /// server would rightly keep a healthy connection open forever.)
+  std::string DrainToEof() {
+    ::shutdown(fd_, SHUT_WR);
+    std::string all;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return all;
+      all.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+std::string FrameBytes(uint16_t id, const std::string& body) {
+  std::ostringstream out;
+  serde::WriteU32(out, static_cast<uint32_t>(3 + body.size()));
+  serde::WriteU8(out, kProtocolVersion);
+  serde::WriteU16(out, id);
+  out << body;
+  return out.str();
+}
+
+TEST(ServerTest, MalformedFramesAreRejectedWithoutCrashing) {
+  ServerOptions options;
+  options.state_dir = FreshStateDir("fuzz");
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+
+  const auto expect_still_alive = [&] {
+    auto probe = Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+    EXPECT_TRUE((*probe)->Ping().ok());
+  };
+
+  {  // Oversized length prefix: must be refused, not allocated.
+    RawConnection conn(port);
+    ASSERT_TRUE(conn.connected());
+    std::ostringstream out;
+    serde::WriteU32(out, kMaxFrameBytes + 1);
+    conn.Send(out.str());
+    conn.DrainToEof();
+    expect_still_alive();
+  }
+  {  // Length prefix too small to hold version + id.
+    RawConnection conn(port);
+    std::ostringstream out;
+    serde::WriteU32(out, 2);
+    out << "xx";
+    conn.Send(out.str());
+    conn.DrainToEof();
+    expect_still_alive();
+  }
+  {  // Truncated frame: prefix promises more bytes than ever arrive.
+    RawConnection conn(port);
+    std::ostringstream out;
+    serde::WriteU32(out, 100);
+    out << "short";
+    conn.Send(out.str());
+    // Close without sending the rest (the destructor closes).
+  }
+  expect_still_alive();
+  {  // Wrong protocol version.
+    RawConnection conn(port);
+    std::ostringstream out;
+    serde::WriteU32(out, 3);
+    serde::WriteU8(out, 99);
+    serde::WriteU16(out, 11);  // Ping
+    conn.Send(out.str());
+    conn.DrainToEof();
+    expect_still_alive();
+  }
+  {  // Unknown message id: an error reply, and the connection survives.
+    RawConnection conn(port);
+    conn.Send(FrameBytes(0x7777, ""));
+    conn.Send(FrameBytes(static_cast<uint16_t>(MessageId::kPing), ""));
+    const std::string replies = conn.DrainToEof();
+    EXPECT_GE(replies.size(), 8u);  // two framed replies came back
+  }
+  {  // Well-framed requests with truncated bodies, for every message id.
+    for (uint16_t id = 0; id <= 12; ++id) {
+      RawConnection conn(port);
+      conn.Send(FrameBytes(id, "\x01"));
+      conn.DrainToEof();
+    }
+    expect_still_alive();
+  }
+  {  // Deterministic garbage: random bytes must never take the daemon down.
+    std::mt19937 rng(20260807);
+    for (int round = 0; round < 64; ++round) {
+      RawConnection conn(port);
+      std::string junk(1 + rng() % 96, '\0');
+      for (char& c : junk) c = static_cast<char>(rng());
+      conn.Send(junk);
+    }
+    expect_still_alive();
+  }
+  (*server)->Shutdown();
+}
+
+TEST(ServerTest, ServerSideErrorsLeaveTheConnectionUsable) {
+  ServerOptions options;
+  options.state_dir = FreshStateDir("errors");
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Unknown session.
+  EXPECT_FALSE((*client)->Step(999, 10).ok());
+  // Bad corpus source.
+  EXPECT_FALSE((*client)
+                   ->CreateSession("t", SessionKind::kBatch, "nope:", 0.35)
+                   .ok());
+  // Kind mismatch: batch session asked for an online request.
+  auto session = (*client)->CreateSession("t", SessionKind::kBatch,
+                                          SyntheticSource(5), 0.35);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_FALSE((*client)->ResolveBudget(*session, 10).ok());
+  EXPECT_FALSE((*client)->Query(*session, 0, 3).ok());
+  // The connection is still fine after all of the above.
+  auto step = (*client)->Step(*session, 0);
+  EXPECT_TRUE(step.ok()) << step.status().ToString();
+  EXPECT_TRUE((*client)->Ping().ok());
+  (*server)->Shutdown();
+}
+
+TEST(FairShareTest, ChargesAndAdmitsByVirtualTime) {
+  FairShare gate(1);
+  gate.Acquire("heavy");
+  gate.Release("heavy", 1000);
+  EXPECT_EQ(gate.TenantCost("heavy"), 1000u);
+  // Uncontended re-acquire works and keeps accumulating.
+  gate.Acquire("heavy");
+  gate.Release("heavy", 50);
+  EXPECT_EQ(gate.TenantCost("heavy"), 1050u);
+  EXPECT_EQ(gate.TenantCost("light"), 0u);
+}
+
+TEST(FairShareTest, ManyTenantsDrainWithoutDeadlock) {
+  FairShare gate(2);
+  std::vector<std::thread> tenants;
+  std::atomic<uint64_t> done{0};
+  for (int t = 0; t < 8; ++t) {
+    tenants.emplace_back([&gate, &done, t] {
+      const std::string name = "tenant-" + std::to_string(t);
+      for (int i = 0; i < 25; ++i) {
+        gate.Acquire(name);
+        gate.Release(name, 10);
+        done.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : tenants) t.join();
+  EXPECT_EQ(done.load(), 200u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace minoan

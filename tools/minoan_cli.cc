@@ -49,9 +49,14 @@
 //
 // All subcommands are deterministic for a fixed seed.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +67,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/minoan_er.h"
@@ -73,112 +79,41 @@
 #include "eval/metrics.h"
 #include "kb/stats.h"
 #include "matching/matcher.h"
+#include "obs/report.h"
 #include "rdf/ntriples.h"
 #include "rdf/turtle.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/cli_flags.h"
 #include "util/table.h"
 
 using namespace minoan;  // NOLINT
 
 namespace {
 
-/// Tiny flag parser: --name value and --name=value forms.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        positional_.push_back(std::move(arg));
-        continue;
-      }
-      arg = arg.substr(2);
-      const size_t eq = arg.find('=');
-      if (eq != std::string::npos) {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-      } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) !=
-                                     0) {
-        // Everything up to the next --flag is this flag's value; a single
-        // leading dash is allowed so negative numbers parse as values.
-        values_[arg] = argv[++i];
-      } else {
-        values_[arg] = "true";
-      }
-    }
-  }
+using cli::Flags;
 
-  std::string Get(const std::string& name, const std::string& fallback) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? fallback : it->second;
+/// A typo like --theshold must stop the run, not be silently ignored while
+/// the verb proceeds with defaults. Returns false after printing the
+/// specific offending flags; callers exit 2.
+bool CheckFlags(const char* verb, const Flags& flags,
+                std::initializer_list<std::string_view> allowed) {
+  const std::vector<std::string> unknown = flags.UnknownFlags(allowed);
+  if (unknown.empty()) return true;
+  for (const std::string& name : unknown) {
+    std::fprintf(stderr, "error: unknown flag --%s for 'minoan %s'\n",
+                 name.c_str(), verb);
   }
-  /// Numeric accessors exit with a specific message on malformed input
-  /// (never throw): "--threshold abc" is a usage error, not a crash.
-  double GetDouble(const std::string& name, double fallback) const {
-    auto it = values_.find(name);
-    if (it == values_.end()) return fallback;
-    char* end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0') {
-      std::fprintf(stderr, "error: --%s expects a number, got \"%s\"\n",
-                   name.c_str(), it->second.c_str());
-      std::exit(2);
-    }
-    return v;
-  }
-  uint64_t GetInt(const std::string& name, uint64_t fallback) const {
-    auto it = values_.find(name);
-    if (it == values_.end()) return fallback;
-    uint64_t v = 0;
-    const char* begin = it->second.data();
-    const char* end = begin + it->second.size();
-    const auto [ptr, ec] = std::from_chars(begin, end, v);
-    if (ec != std::errc() || ptr != end) {
-      std::fprintf(stderr,
-                   "error: --%s expects a non-negative integer, got \"%s\"\n",
-                   name.c_str(), it->second.c_str());
-      std::exit(2);
-    }
-    return v;
-  }
-  /// Byte sizes: a non-negative integer with an optional k/m/g (or kb/mb/gb,
-  /// case-insensitive) binary suffix — "65536", "64k", "1G".
-  uint64_t GetByteSize(const std::string& name, uint64_t fallback) const {
-    auto it = values_.find(name);
-    if (it == values_.end()) return fallback;
-    const std::string& raw = it->second;
-    uint64_t v = 0;
-    const char* begin = raw.data();
-    const char* end = begin + raw.size();
-    const auto [ptr, ec] = std::from_chars(begin, end, v);
-    uint64_t shift = 0;
-    bool bad_suffix = false;
-    std::string suffix(ptr, end);
-    for (char& c : suffix) c = static_cast<char>(std::tolower(c));
-    if (suffix == "k" || suffix == "kb") {
-      shift = 10;
-    } else if (suffix == "m" || suffix == "mb") {
-      shift = 20;
-    } else if (suffix == "g" || suffix == "gb") {
-      shift = 30;
-    } else if (!suffix.empty()) {
-      bad_suffix = true;
-    }
-    if (ec != std::errc() || ptr == begin || bad_suffix ||
-        (shift > 0 && v > (uint64_t{1} << (63 - shift)))) {
-      std::fprintf(stderr,
-                   "error: --%s expects a byte size like 65536, 64k or 1g, "
-                   "got \"%s\"\n",
-                   name.c_str(), raw.c_str());
-      std::exit(2);
-    }
-    return v << shift;
-  }
-  bool Has(const std::string& name) const { return values_.count(name) > 0; }
-  const std::vector<std::string>& positional() const { return positional_; }
+  std::fprintf(stderr, "run 'minoan' without arguments for usage\n");
+  return false;
+}
 
- private:
-  std::map<std::string, std::string> values_;
-  std::vector<std::string> positional_;
-};
+/// Flags shared by resolve and session (the workflow surface).
+const std::initializer_list<std::string_view> kResolveFlags = {
+    "threshold",     "budget",      "benefit",     "seeds",
+    "threads",       "pin-threads", "filter-ratio", "out",
+    "step-budget",   "stream",      "memory-budget", "spill-dir",
+    "metrics-out",   "trace-out",   "progress-every", "state"};
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -222,6 +157,11 @@ Result<EntityCollection> LoadDirectory(const std::string& dir) {
 }
 
 int CmdGenerate(const Flags& flags) {
+  if (!CheckFlags("generate", flags,
+                  {"out", "entities", "kbs", "center", "seed",
+                   "periphery-overlap", "sameas-rate"})) {
+    return 2;
+  }
   const std::string out = flags.Get("out", "");
   if (out.empty()) {
     std::fprintf(stderr, "generate requires --out DIR\n");
@@ -247,6 +187,7 @@ int CmdGenerate(const Flags& flags) {
 }
 
 int CmdStats(const Flags& flags) {
+  if (!CheckFlags("stats", flags, {})) return 2;
   if (flags.positional().empty()) {
     std::fprintf(stderr, "stats requires a directory\n");
     return 2;
@@ -424,6 +365,7 @@ int ReportAndWriteLinks(const std::string& dir, const Flags& flags,
 }
 
 int CmdResolve(const Flags& flags) {
+  if (!CheckFlags("resolve", flags, kResolveFlags)) return 2;
   if (flags.positional().empty()) {
     std::fprintf(stderr, "resolve requires a directory\n");
     return 2;
@@ -465,6 +407,7 @@ int CmdResolve(const Flags& flags) {
 }
 
 int CmdSession(const Flags& flags) {
+  if (!CheckFlags("session", flags, kResolveFlags)) return 2;
   if (flags.positional().size() < 2) {
     std::fprintf(stderr,
                  "usage: minoan session checkpoint|resume DIR --state FILE "
@@ -527,6 +470,11 @@ int CmdSession(const Flags& flags) {
 }
 
 int CmdOnline(const Flags& flags) {
+  if (!CheckFlags("online", flags,
+                  {"script", "threshold", "pis", "seeds", "threads",
+                   "benefit"})) {
+    return 2;
+  }
   if (flags.positional().empty()) {
     std::fprintf(stderr, "online requires a directory\n");
     return 2;
@@ -580,6 +528,310 @@ int CmdOnline(const Flags& flags) {
   return 0;
 }
 
+/// Self-pipe for signal-driven shutdown: the handler only writes a byte;
+/// the serve loop blocks reading the other end.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void HandleShutdownSignal(int) {
+  const char byte = 1;
+  // Best effort; a full pipe means a shutdown is already pending.
+  [[maybe_unused]] const ssize_t n = write(g_shutdown_pipe[1], &byte, 1);
+}
+
+int CmdServe(const Flags& flags) {
+  if (!CheckFlags("serve", flags,
+                  {"listen", "max-sessions", "evict-after", "state-dir",
+                   "threads", "installment", "metrics-out"})) {
+    return 2;
+  }
+  server::ServerOptions options;
+  const std::string listen = flags.Get("listen", "127.0.0.1:7411");
+  const size_t colon = listen.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "error: --listen expects HOST:PORT, got \"%s\"\n",
+                 listen.c_str());
+    return 2;
+  }
+  options.host = listen.substr(0, colon);
+  const uint64_t port = [&]() -> uint64_t {
+    uint64_t v = 0;
+    const std::string p = listen.substr(colon + 1);
+    const auto [ptr, ec] = std::from_chars(p.data(), p.data() + p.size(), v);
+    return (ec == std::errc() && ptr == p.data() + p.size() && v <= 65535)
+               ? v
+               : uint64_t{65536};
+  }();
+  if (port > 65535) {
+    std::fprintf(stderr, "error: --listen port must be in [0, 65535]\n");
+    return 2;
+  }
+  options.port = static_cast<uint16_t>(port);
+  options.max_sessions = flags.GetInt("max-sessions", 64);
+  options.evict_after_seconds = flags.GetDouble("evict-after", 0);
+  options.state_dir = flags.Get("state-dir", "/tmp/minoan-serve");
+  const uint64_t threads = flags.GetInt("threads", 1);
+  if (threads > 1024) {
+    std::fprintf(stderr, "error: serve: --threads must be in [0, 1024]\n");
+    return 2;
+  }
+  options.num_threads = static_cast<uint32_t>(threads);
+  options.installment = flags.GetInt("installment", 2048);
+
+  auto server = server::Server::Start(options);
+  if (!server.ok()) return Fail(server.status());
+  // CI and scripts parse this line for the resolved (port-0) port.
+  std::printf("serving on %s:%u (state-dir %s, max-sessions %llu, "
+              "evict-after %.3gs, threads %u)\n",
+              options.host.c_str(), (*server)->port(),
+              options.state_dir.c_str(),
+              static_cast<unsigned long long>(options.max_sessions),
+              options.evict_after_seconds,
+              ResolveThreadCount(options.num_threads));
+  std::fflush(stdout);
+
+  if (pipe(g_shutdown_pipe) != 0) {
+    return Fail(Status::IoError("cannot create shutdown pipe"));
+  }
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  char byte = 0;
+  while (read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("shutting down\n");
+  (*server)->Shutdown();
+
+  const std::string metrics_path = flags.Get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    obs::StatsReport report;
+    report.metrics = obs::MetricsRegistry::Default().Snapshot();
+    report.peak_rss_bytes = obs::PeakRssBytes();
+    std::ofstream out(metrics_path);
+    if (!out) return Fail(Status::IoError("cannot write " + metrics_path));
+    obs::WriteStatsJson(out, report);
+    std::printf("wrote server stats to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
+/// Executes one `minoan connect` script command against the server.
+/// Returns non-zero to stop the script (the exit code).
+int RunConnectCommand(server::Client& client,
+                      std::map<std::string, uint64_t>& sessions,
+                      const std::vector<std::string>& tokens) {
+  const auto session_of = [&](const std::string& name) -> Result<uint64_t> {
+    const auto it = sessions.find(name);
+    if (it == sessions.end()) {
+      return Status::NotFound("no session handle '" + name +
+                              "' (create one first)");
+    }
+    return it->second;
+  };
+  const std::string& cmd = tokens[0];
+  if (cmd == "create") {
+    // create <name> <batch|online> <source|-> <threshold> [tenant] [seeds]
+    if (tokens.size() < 5) {
+      return Fail(Status::InvalidArgument(
+          "create needs: create <name> <batch|online> <source|-> "
+          "<threshold> [tenant] [seeds]"));
+    }
+    const std::string& name = tokens[1];
+    server::SessionKind kind;
+    if (tokens[2] == "batch") {
+      kind = server::SessionKind::kBatch;
+    } else if (tokens[2] == "online") {
+      kind = server::SessionKind::kOnline;
+    } else {
+      return Fail(Status::InvalidArgument("session kind must be batch or "
+                                          "online, got " + tokens[2]));
+    }
+    const std::string source = tokens[3] == "-" ? "" : tokens[3];
+    const double threshold = std::strtod(tokens[4].c_str(), nullptr);
+    const std::string tenant = tokens.size() > 5 ? tokens[5] : name;
+    const bool seeds = tokens.size() > 6 && tokens[6] == "seeds";
+    auto id = client.CreateSession(tenant, kind, source, threshold, seeds);
+    if (!id.ok()) return Fail(id.status());
+    sessions[name] = *id;
+    std::printf("created %s = session %llu\n", name.c_str(),
+                static_cast<unsigned long long>(*id));
+    return 0;
+  }
+  if (cmd == "step" || cmd == "resolve") {
+    if (tokens.size() < 3) {
+      return Fail(Status::InvalidArgument(cmd + " needs: " + cmd +
+                                          " <name> <budget>"));
+    }
+    auto id = session_of(tokens[1]);
+    if (!id.ok()) return Fail(id.status());
+    const uint64_t budget = std::strtoull(tokens[2].c_str(), nullptr, 10);
+    auto reply = cmd == "step" ? client.Step(*id, budget)
+                               : client.ResolveBudget(*id, budget);
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("%s: +%llu comparisons, +%llu matches "
+                "(total %llu/%llu)%s\n",
+                tokens[1].c_str(),
+                static_cast<unsigned long long>(reply->comparisons),
+                static_cast<unsigned long long>(reply->matches),
+                static_cast<unsigned long long>(reply->total_comparisons),
+                static_cast<unsigned long long>(reply->total_matches),
+                reply->finished ? ", finished" : "");
+    return 0;
+  }
+  if (cmd == "matches") {
+    if (tokens.size() < 2) {
+      return Fail(Status::InvalidArgument("matches needs: matches <name>"));
+    }
+    auto id = session_of(tokens[1]);
+    if (!id.ok()) return Fail(id.status());
+    auto matches = client.Matches(*id);
+    if (!matches.ok()) return Fail(matches.status());
+    std::printf("%s: %zu matches\n", tokens[1].c_str(), matches->size());
+    for (const MatchEvent& m : *matches) {
+      std::printf("match %u %u %.6f @%llu\n", m.a, m.b, m.similarity,
+                  static_cast<unsigned long long>(m.comparisons_done));
+    }
+    return 0;
+  }
+  if (cmd == "links") {
+    // links <name> [file] — '-'/absent = stdout.
+    if (tokens.size() < 2) {
+      return Fail(Status::InvalidArgument("links needs: links <name> "
+                                          "[file]"));
+    }
+    auto id = session_of(tokens[1]);
+    if (!id.ok()) return Fail(id.status());
+    auto text = client.Links(*id);
+    if (!text.ok()) return Fail(text.status());
+    if (tokens.size() > 2 && tokens[2] != "-") {
+      std::ofstream out(tokens[2]);
+      if (!out) return Fail(Status::IoError("cannot write " + tokens[2]));
+      out << *text;
+      std::printf("%s: wrote links to %s\n", tokens[1].c_str(),
+                  tokens[2].c_str());
+    } else {
+      std::fputs(text->c_str(), stdout);
+    }
+    return 0;
+  }
+  if (cmd == "checkpoint") {
+    if (tokens.size() < 2) {
+      return Fail(Status::InvalidArgument("checkpoint needs: checkpoint "
+                                          "<name>"));
+    }
+    auto id = session_of(tokens[1]);
+    if (!id.ok()) return Fail(id.status());
+    auto bytes = client.Checkpoint(*id);
+    if (!bytes.ok()) return Fail(bytes.status());
+    std::printf("%s: checkpointed %llu bytes\n", tokens[1].c_str(),
+                static_cast<unsigned long long>(*bytes));
+    return 0;
+  }
+  if (cmd == "close") {
+    if (tokens.size() < 2) {
+      return Fail(Status::InvalidArgument("close needs: close <name>"));
+    }
+    auto id = session_of(tokens[1]);
+    if (!id.ok()) return Fail(id.status());
+    if (Status st = client.Close(*id); !st.ok()) return Fail(st);
+    sessions.erase(tokens[1]);
+    std::printf("closed %s\n", tokens[1].c_str());
+    return 0;
+  }
+  if (cmd == "ingest") {
+    // ingest <name> <kb> <file> — sends the client-local N-Triples file.
+    if (tokens.size() < 4) {
+      return Fail(Status::InvalidArgument("ingest needs: ingest <name> "
+                                          "<kb> <file>"));
+    }
+    auto id = session_of(tokens[1]);
+    if (!id.ok()) return Fail(id.status());
+    std::ifstream in(tokens[3]);
+    if (!in) return Fail(Status::IoError("cannot read " + tokens[3]));
+    std::ostringstream document;
+    document << in.rdbuf();
+    auto ids = client.Ingest(*id, tokens[2], document.str());
+    if (!ids.ok()) return Fail(ids.status());
+    std::printf("%s: ingested %zu entities into %s\n", tokens[1].c_str(),
+                ids->size(), tokens[2].c_str());
+    return 0;
+  }
+  if (cmd == "query") {
+    if (tokens.size() < 4) {
+      return Fail(Status::InvalidArgument("query needs: query <name> "
+                                          "<entity> <k>"));
+    }
+    auto id = session_of(tokens[1]);
+    if (!id.ok()) return Fail(id.status());
+    const auto entity =
+        static_cast<EntityId>(std::strtoul(tokens[2].c_str(), nullptr, 10));
+    const auto k =
+        static_cast<uint32_t>(std::strtoul(tokens[3].c_str(), nullptr, 10));
+    auto candidates = client.Query(*id, entity, k);
+    if (!candidates.ok()) return Fail(candidates.status());
+    for (const auto& c : *candidates) {
+      std::printf("candidate %u %.6f%s\n", c.id, c.similarity,
+                  c.matched ? " matched" : "");
+    }
+    return 0;
+  }
+  if (cmd == "stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("sessions: %llu live / %llu total\n",
+                static_cast<unsigned long long>(stats->live_sessions),
+                static_cast<unsigned long long>(stats->total_sessions));
+    return 0;
+  }
+  if (cmd == "ping") {
+    if (Status st = client.Ping(); !st.ok()) return Fail(st);
+    std::printf("pong\n");
+    return 0;
+  }
+  if (cmd == "sleep") {
+    // Lets a smoke script idle past --evict-after to exercise eviction.
+    if (tokens.size() < 2) {
+      return Fail(Status::InvalidArgument("sleep needs: sleep <seconds>"));
+    }
+    const double seconds = std::strtod(tokens[1].c_str(), nullptr);
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    return 0;
+  }
+  return Fail(Status::InvalidArgument("unknown connect command: " + cmd));
+}
+
+int CmdConnect(const Flags& flags) {
+  if (!CheckFlags("connect", flags, {"host", "port", "script"})) return 2;
+  const std::string host = flags.Get("host", "127.0.0.1");
+  const uint64_t port = flags.GetInt("port", 0);
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "connect requires --port (1..65535)\n");
+    return 2;
+  }
+  auto client = server::Client::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) return Fail(client.status());
+
+  std::ifstream file;
+  const std::string script_path = flags.Get("script", "");
+  if (!script_path.empty()) {
+    file.open(script_path);
+    if (!file) return Fail(Status::IoError("cannot read " + script_path));
+  }
+  std::istream& in = script_path.empty() ? std::cin : file;
+
+  std::map<std::string, uint64_t> sessions;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokenizer(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (tokenizer >> token) tokens.push_back(token);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    if (int rc = RunConnectCommand(**client, sessions, tokens); rc != 0) {
+      return rc;
+    }
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage: minoan <command> [options]\n"
@@ -596,7 +848,11 @@ void Usage() {
                "[--step-budget N + resolve options]\n"
                "  online DIR [--script FILE --threshold F --pis --seeds "
                "--threads N --benefit "
-               "quantity|attr|coverage|relationship]\n");
+               "quantity|attr|coverage|relationship]\n"
+               "  serve [--listen HOST:PORT --max-sessions N "
+               "--evict-after SECONDS --state-dir DIR --threads N "
+               "--installment N --metrics-out FILE]\n"
+               "  connect --port N [--host H --script FILE]\n");
 }
 
 }  // namespace
@@ -612,6 +868,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "resolve") == 0) return CmdResolve(flags);
   if (std::strcmp(argv[1], "session") == 0) return CmdSession(flags);
   if (std::strcmp(argv[1], "online") == 0) return CmdOnline(flags);
+  if (std::strcmp(argv[1], "serve") == 0) return CmdServe(flags);
+  if (std::strcmp(argv[1], "connect") == 0) return CmdConnect(flags);
   Usage();
   return 2;
 }

@@ -12,6 +12,12 @@ Usage (the CI smoke run):
   tools/validate_obs.py --metrics metrics.json --trace trace.json \
       --expect-spill --expect-progress
 
+With --server the file under --metrics is the one `minoan serve
+--metrics-out` writes at shutdown: same minoan-stats-v1 schema, but the
+pipeline-phase/pool/trace requirements are dropped (a daemon has no static
+pipeline of its own) and the server.* request/session counters plus the
+request-latency and checkpoint-size histograms must show real traffic.
+
 The trace check enforces the Chrome Trace Event format contract every
 viewer relies on: a "traceEvents" array of complete ("ph":"X") events,
 each with name / integer ts / non-negative dur / pid / tid, so the file is
@@ -47,6 +53,20 @@ EXPECTED_COUNTERS = (
 )
 
 SPILL_COUNTERS = ("spill.runs", "spill.bytes", "spill.sinks_spilled")
+
+# Counters a served smoke run must report (non-zero): requests were
+# answered, sessions were created, and eviction + transparent restore
+# actually happened.
+SERVER_COUNTERS = (
+    "server.requests.create",
+    "server.requests.step",
+    "server.comparisons",
+    "server.sessions.created",
+    "server.sessions.evicted",
+    "server.sessions.restored",
+)
+
+SERVER_HISTOGRAMS = ("server.request_micros", "server.checkpoint_bytes")
 
 
 def load(path, problems):
@@ -155,23 +175,61 @@ def check_stats(stats, problems, expect_spill, expect_progress):
         problems.append("stats: peak_rss_bytes missing or zero")
 
 
+def check_server_stats(stats, problems):
+    if stats.get("schema") != "minoan-stats-v1":
+        problems.append(
+            f"stats: schema is {stats.get('schema')!r}, "
+            "expected 'minoan-stats-v1'"
+        )
+    counters = stats.get("counters", {})
+    for name in SERVER_COUNTERS:
+        if not counters.get(name):
+            problems.append(
+                f"stats: counter {name!r} missing or zero — the smoke "
+                "script must create, step, and idle a session past "
+                "--evict-after before resuming it"
+            )
+    histograms = stats.get("histograms", {})
+    for name in SERVER_HISTOGRAMS:
+        hist = histograms.get(name)
+        if not isinstance(hist, dict) or hist.get("count", 0) <= 0:
+            problems.append(f"stats: histogram {name!r} missing or empty")
+        elif hist.get("min", -1) < 0 or hist.get("max", -1) < hist["min"]:
+            problems.append(f"stats: histogram {name!r} malformed")
+    gauges = stats.get("gauges", {})
+    if "server.sessions.live" not in gauges:
+        problems.append("stats: gauge 'server.sessions.live' missing")
+    if stats.get("peak_rss_bytes", 0) <= 0:
+        problems.append("stats: peak_rss_bytes missing or zero")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", required=True,
                         help="--metrics-out file (minoan-stats-v1)")
-    parser.add_argument("--trace", required=True,
-                        help="--trace-out file (Chrome-trace JSON)")
+    parser.add_argument("--trace",
+                        help="--trace-out file (Chrome-trace JSON); "
+                             "required unless --server")
     parser.add_argument("--expect-spill", action="store_true",
                         help="require non-zero spill.* counters")
     parser.add_argument("--expect-progress", action="store_true",
                         help="require a non-empty quality curve")
+    parser.add_argument("--server", action="store_true",
+                        help="validate a `minoan serve --metrics-out` file "
+                             "(server.* counters; no trace/phase checks)")
     args = parser.parse_args()
+    if not args.server and not args.trace:
+        parser.error("--trace is required unless --server")
 
     problems = []
     stats = load(args.metrics, problems)
-    trace = load(args.trace, problems)
+    trace = load(args.trace, problems) if args.trace else None
     if stats is not None:
-        check_stats(stats, problems, args.expect_spill, args.expect_progress)
+        if args.server:
+            check_server_stats(stats, problems)
+        else:
+            check_stats(stats, problems, args.expect_spill,
+                        args.expect_progress)
     if trace is not None:
         check_trace(trace, problems)
 
@@ -180,7 +238,7 @@ def main():
             print(f"validate_obs: FAIL: {problem}", file=sys.stderr)
         return 1
     counters = len(stats.get("counters", {}))
-    events = len(trace.get("traceEvents", []))
+    events = len(trace.get("traceEvents", [])) if trace is not None else 0
     print(f"validate_obs: OK ({events} trace events, {counters} counters, "
           f"{len(stats.get('progress', []))} progress samples)")
     return 0
