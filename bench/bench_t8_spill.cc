@@ -11,10 +11,17 @@
 // (monotone within a process, so per-mode deltas are an upper-bound
 // estimate, recorded for trend tracking rather than gating).
 //
+// Two mode families, each gated against its own in-memory reference:
+//   * stream-*: the default token+pis workflow under a budget — merged
+//     postings stream straight from the spill runs into the flat block
+//     store and graph view, never materializing a BlockCollection;
+//   * sn-extsort-*: sorted neighborhood under a budget — the sorted key
+//     list is produced by the external single-stream merge sort.
+//
 // Writes BENCH_t8_spill.json (consumed by tools/bench_compare.py; the
 // identity flag gates, single-thread in-memory timing regresses the gate).
 // Expected shape: the roomy budget costs a modest serialization overhead;
-// the tiny budget pays real I/O; both stay byte-identical.
+// the tiny budget pays real I/O; everything stays byte-identical.
 
 #include <algorithm>
 #include <array>
@@ -86,11 +93,20 @@ int main(int argc, char** argv) {
   struct Mode {
     const char* name;
     uint64_t budget_bytes;  // 0 = in-memory
+    BlockerChoice blocker;
+    int reference_group;  // modes gate against the group's in-memory run
   };
   const Mode modes[] = {
-      {"in-memory", 0},
-      {"spill-16m", 16ull << 20},
-      {"spill-64k", 64ull << 10},  // pathological: forces many runs/shard
+      // token+pis: budgeted runs stream merged postings into the flat
+      // block store (no materialized BlockCollection).
+      {"in-memory", 0, BlockerChoice::kTokenPlusPis, 0},
+      {"stream-16m", 16ull << 20, BlockerChoice::kTokenPlusPis, 0},
+      // pathological: forces many runs/shard
+      {"stream-64k", 64ull << 10, BlockerChoice::kTokenPlusPis, 0},
+      // sorted neighborhood: the budgeted run sorts its key list with the
+      // external single-stream merge sort.
+      {"sn-inmem", 0, BlockerChoice::kSortedNeighborhood, 1},
+      {"sn-extsort-64k", 64ull << 10, BlockerChoice::kSortedNeighborhood, 1},
   };
 
   Table table({"mode", "threads", "open_ms", "runs", "spill_mb",
@@ -106,11 +122,12 @@ int main(int argc, char** argv) {
   bool first_entry = true;
   bool all_identical = true;
 
-  ModeResult reference;
-  bool have_reference = false;
+  ModeResult references[2];
+  bool have_reference[2] = {false, false};
   for (const Mode& mode : modes) {
     for (uint32_t threads : {1u, 8u}) {
       WorkflowOptions options;
+      options.blocker = mode.blocker;
       options.num_threads = threads;
       options.progressive.matcher.threshold = 0.3;
       options.memory.shuffle_budget_bytes = mode.budget_bytes;
@@ -142,11 +159,12 @@ int main(int argc, char** argv) {
       result.peak_rss_after = PeakRssBytes();
 
       bool identical = true;
-      if (!have_reference) {
-        reference = result;
-        have_reference = true;
+      if (!have_reference[mode.reference_group]) {
+        references[mode.reference_group] = result;
+        have_reference[mode.reference_group] = true;
       } else {
-        identical = SameOutcome(reference.report, result.report);
+        identical = SameOutcome(references[mode.reference_group].report,
+                                result.report);
       }
       all_identical = all_identical && identical;
 

@@ -90,30 +90,60 @@ std::vector<uint32_t> LinkProfiledPredicates(
   return cluster;
 }
 
+/// Prefixes every key with "<name>:" before forwarding to the inner sink —
+/// the composite method's namespacing, applied without materializing the
+/// constituent's BlockCollection.
+class PrefixedSink : public BlockSink {
+ public:
+  PrefixedSink(std::string_view prefix, BlockSink& inner) : inner_(&inner) {
+    prefix_.assign(prefix);
+    prefix_ += ':';
+  }
+  bool wants_keys() const override { return inner_->wants_keys(); }
+  void Add(std::string_view key, std::vector<EntityId>& entities) override {
+    if (!inner_->wants_keys()) {
+      inner_->Add(key, entities);
+      return;
+    }
+    scratch_.assign(prefix_);
+    scratch_.append(key);
+    inner_->Add(scratch_, entities);
+  }
+
+ private:
+  BlockSink* inner_;
+  std::string prefix_;
+  std::string scratch_;
+};
+
 }  // namespace
 
-BlockCollection TokenBlocking::Build(const EntityCollection& collection,
-                                     ThreadPool* pool) const {
+void TokenBlocking::BuildInto(const EntityCollection& collection,
+                              ThreadPool* pool, BlockSink& sink) const {
   // Inverted index: token -> entities containing it (unique per entity),
   // built per entity chunk and merged canonically — ascending token id,
   // exactly the order the sequential postings array produced.
-  auto postings = BuildShardedPostings<uint32_t>(
-      collection.num_entities(), pool,
-      [&collection](EntityId e, std::vector<uint32_t>& keys) {
-        const EntityDescription& desc = collection.entity(e);
-        keys.insert(keys.end(), desc.tokens.begin(), desc.tokens.end());
-      },
-      HashU32, memory_or_null());
+  const auto emit = [&collection](EntityId e, std::vector<uint32_t>& keys) {
+    const EntityDescription& desc = collection.entity(e);
+    keys.insert(keys.end(), desc.tokens.begin(), desc.tokens.end());
+  };
   const uint64_t df_cap = static_cast<uint64_t>(
       options_.max_df_fraction * collection.num_entities());
-  BlockCollection out;
-  for (auto& posting : postings) {
-    if (posting.entities.size() < options_.min_df) continue;
-    if (df_cap > 0 && posting.entities.size() > df_cap) continue;
-    out.AddBlock(collection.tokens().View(posting.key),
-                 std::move(posting.entities));
+  const auto consume = [&](uint32_t key, std::vector<EntityId>& entities) {
+    if (entities.size() < options_.min_df) return;
+    if (df_cap > 0 && entities.size() > df_cap) return;
+    sink.Add(sink.wants_keys() ? collection.tokens().View(key)
+                               : std::string_view(),
+             entities);
+  };
+  if (memory_or_null() != nullptr) {
+    StreamShardedPostings<uint32_t>(collection.num_entities(), pool, emit,
+                                    HashU32, *memory_or_null(), consume);
+    return;
   }
-  return out;
+  auto postings = BuildShardedPostings<uint32_t>(collection.num_entities(),
+                                                 pool, emit, HashU32);
+  for (auto& posting : postings) consume(posting.key, posting.entities);
 }
 
 void AppendPisKeys(const PisBlocking::Options& options,
@@ -136,27 +166,33 @@ void AppendPisKeys(const PisBlocking::Options& options,
   }
 }
 
-BlockCollection PisBlocking::Build(const EntityCollection& collection,
-                                   ThreadPool* pool) const {
+void PisBlocking::BuildInto(const EntityCollection& collection,
+                            ThreadPool* pool, BlockSink& sink) const {
   // Per-entity key emission can repeat a key (suffix tokens); size filters
   // see the raw emission count, AddBlock dedups — both as before. Emission
   // order is canonical (sorted keys) for every thread count.
-  auto postings = BuildShardedPostings<std::string>(
-      collection.num_entities(), pool,
-      [this, &collection](EntityId e, std::vector<std::string>& keys) {
-        thread_local std::vector<std::string> token_scratch;
-        AppendPisKeys(options_, collection.tokenizer(),
-                      collection.iris().View(collection.entity(e).iri), keys,
-                      token_scratch);
-      },
-      HashString, memory_or_null());
-  BlockCollection out;
-  for (auto& posting : postings) {
-    if (posting.entities.size() < options_.min_block_size) continue;
-    if (posting.entities.size() > options_.max_block_size) continue;
-    out.AddBlock(posting.key, std::move(posting.entities));
+  const auto emit = [this, &collection](EntityId e,
+                                        std::vector<std::string>& keys) {
+    thread_local std::vector<std::string> token_scratch;
+    AppendPisKeys(options_, collection.tokenizer(),
+                  collection.iris().View(collection.entity(e).iri), keys,
+                  token_scratch);
+  };
+  const auto consume = [&](const std::string& key,
+                           std::vector<EntityId>& entities) {
+    if (entities.size() < options_.min_block_size) return;
+    if (entities.size() > options_.max_block_size) return;
+    sink.Add(key, entities);
+  };
+  if (memory_or_null() != nullptr) {
+    StreamShardedPostings<std::string>(collection.num_entities(), pool, emit,
+                                       HashString, *memory_or_null(),
+                                       consume);
+    return;
   }
-  return out;
+  auto postings = BuildShardedPostings<std::string>(collection.num_entities(),
+                                                    pool, emit, HashString);
+  for (auto& posting : postings) consume(posting.key, posting.entities);
 }
 
 std::vector<uint32_t> AttributeClusteringBlocking::ClusterPredicates(
@@ -269,59 +305,70 @@ std::vector<uint32_t> AttributeClusteringBlocking::ClusterPredicates(
   return LinkProfiledPredicates(pool, profile, options_.link_threshold);
 }
 
-BlockCollection AttributeClusteringBlocking::Build(
-    const EntityCollection& collection, ThreadPool* pool) const {
+void AttributeClusteringBlocking::BuildInto(const EntityCollection& collection,
+                                            ThreadPool* pool,
+                                            BlockSink& sink) const {
+  // The predicate→cluster table is vocabulary-bounded (one u32 per
+  // predicate plus capped profiles during clustering) and stays in memory
+  // under the budget; only the (cluster, token) postings stream.
   const std::vector<uint32_t> cluster = ClusterPredicates(collection, pool);
   // Token blocking keyed by (cluster, token), in canonical ascending key
   // order. Per-entity keys are deduplicated before emission, as before.
-  auto postings = BuildShardedPostings<uint64_t>(
-      collection.num_entities(), pool,
-      [&collection, &cluster](EntityId e, std::vector<uint64_t>& keys) {
-        thread_local std::vector<std::string> scratch;
-        const EntityDescription& desc = collection.entity(e);
-        for (const Attribute& attr : desc.attributes) {
-          const uint64_t c = cluster[attr.predicate];
-          scratch.clear();
-          collection.tokenizer().Tokenize(
-              collection.values().View(attr.value), scratch);
-          for (const std::string& tok : scratch) {
-            const uint32_t id = collection.tokens().Find(tok);
-            if (id != kInternNotFound) {
-              keys.push_back((c << 32) | id);
-            }
-          }
+  const auto emit = [&collection, &cluster](EntityId e,
+                                            std::vector<uint64_t>& keys) {
+    thread_local std::vector<std::string> scratch;
+    const EntityDescription& desc = collection.entity(e);
+    for (const Attribute& attr : desc.attributes) {
+      const uint64_t c = cluster[attr.predicate];
+      scratch.clear();
+      collection.tokenizer().Tokenize(collection.values().View(attr.value),
+                                      scratch);
+      for (const std::string& tok : scratch) {
+        const uint32_t id = collection.tokens().Find(tok);
+        if (id != kInternNotFound) {
+          keys.push_back((c << 32) | id);
         }
-        std::sort(keys.begin(), keys.end());
-        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-      },
-      HashU64, memory_or_null());
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  };
   const uint64_t df_cap = static_cast<uint64_t>(
       options_.max_df_fraction * collection.num_entities());
-  BlockCollection out;
-  for (auto& posting : postings) {
-    if (posting.entities.size() < options_.min_df) continue;
-    if (df_cap > 0 && posting.entities.size() > df_cap) continue;
-    const uint32_t c = static_cast<uint32_t>(posting.key >> 32);
-    const uint32_t tok = static_cast<uint32_t>(posting.key & 0xffffffffULL);
-    std::string key_str = "c" + std::to_string(c) + ":" +
-                          std::string(collection.tokens().View(tok));
-    out.AddBlock(key_str, std::move(posting.entities));
+  std::string key_str;
+  const auto consume = [&](uint64_t key, std::vector<EntityId>& entities) {
+    if (entities.size() < options_.min_df) return;
+    if (df_cap > 0 && entities.size() > df_cap) return;
+    if (sink.wants_keys()) {
+      const uint32_t c = static_cast<uint32_t>(key >> 32);
+      const uint32_t tok = static_cast<uint32_t>(key & 0xffffffffULL);
+      key_str = "c" + std::to_string(c) + ":" +
+                std::string(collection.tokens().View(tok));
+      sink.Add(key_str, entities);
+    } else {
+      sink.Add(std::string_view(), entities);
+    }
+  };
+  if (memory_or_null() != nullptr) {
+    StreamShardedPostings<uint64_t>(collection.num_entities(), pool, emit,
+                                    HashU64, *memory_or_null(), consume);
+    return;
   }
-  return out;
+  auto postings = BuildShardedPostings<uint64_t>(collection.num_entities(),
+                                                 pool, emit, HashU64);
+  for (auto& posting : postings) consume(posting.key, posting.entities);
 }
 
-BlockCollection CompositeBlocking::Build(const EntityCollection& collection,
-                                         ThreadPool* pool) const {
-  BlockCollection out;
+void CompositeBlocking::BuildInto(const EntityCollection& collection,
+                                  ThreadPool* pool, BlockSink& sink) const {
+  // Each constituent streams straight into the caller's sink through a
+  // "<name>:" key prefixer — no per-method BlockCollection. Normalization
+  // (sort/dedup/drop <2) is idempotent, so sinking each surviving block
+  // once matches the old materialize-then-re-add behavior byte for byte.
   for (const auto& method : methods_) {
-    BlockCollection part = method->Build(collection, pool);
-    for (const Block& b : part.blocks()) {
-      std::string key = std::string(method->name()) + ":" +
-                        std::string(part.KeyString(b.key));
-      out.AddBlock(key, b.entities);
-    }
+    PrefixedSink prefixed(method->name(), sink);
+    method->BuildInto(collection, pool, prefixed);
   }
-  return out;
 }
 
 }  // namespace minoan

@@ -16,7 +16,39 @@ namespace minoan {
 
 class ThreadPool;
 
-/// Abstract blocking method: entity collection in, block collection out.
+/// Receiver of a blocking method's emitted blocks, one call per surviving
+/// block in the method's canonical (deterministic) emission order.
+/// `entities` is caller-owned scratch: the sink may read, mutate, or steal
+/// it (BlockCollectionSink moves it into AddBlock). Lists may be unsorted
+/// and contain duplicates — sinks normalize exactly like
+/// BlockCollection::AddBlock always has.
+class BlockSink {
+ public:
+  virtual ~BlockSink() = default;
+
+  /// False when the sink ignores block keys (the out-of-core flat store
+  /// keeps only entity membership) — methods then skip materializing key
+  /// strings and may pass an empty view.
+  virtual bool wants_keys() const { return true; }
+
+  virtual void Add(std::string_view key, std::vector<EntityId>& entities) = 0;
+};
+
+/// The classic sink: interns keys and appends normalized blocks to a
+/// BlockCollection.
+class BlockCollectionSink : public BlockSink {
+ public:
+  explicit BlockCollectionSink(BlockCollection& out) : out_(&out) {}
+  void Add(std::string_view key, std::vector<EntityId>& entities) override {
+    out_->AddBlock(key, std::move(entities));
+  }
+
+ private:
+  BlockCollection* out_;
+};
+
+/// Abstract blocking method: entity collection in, blocks out (to a sink or
+/// a materialized BlockCollection).
 ///
 /// Every concrete method runs on the deterministic sharded-postings core
 /// (blocking/sharded_blocking.h): pass a pool and index construction fans
@@ -30,10 +62,24 @@ class BlockingMethod {
   /// Human-readable method name for reports ("token", "pis", ...).
   virtual std::string_view name() const = 0;
 
-  /// Builds blocks over all entities of `collection`. `pool` (caller-owned,
-  /// may be nullptr) parallelizes index construction with identical output.
-  virtual BlockCollection Build(const EntityCollection& collection,
-                                ThreadPool* pool) const = 0;
+  /// Emits the blocks of all entities of `collection` into `sink`, in the
+  /// method's canonical order. `pool` (caller-owned, may be nullptr)
+  /// parallelizes index construction with identical output. With a memory
+  /// budget set, construction streams through the spill engine and never
+  /// materializes the full postings — memory is bounded by the budget plus
+  /// one block.
+  virtual void BuildInto(const EntityCollection& collection, ThreadPool* pool,
+                         BlockSink& sink) const = 0;
+
+  /// Builds a materialized BlockCollection (BuildInto through a
+  /// BlockCollectionSink).
+  BlockCollection Build(const EntityCollection& collection,
+                        ThreadPool* pool) const {
+    BlockCollection out;
+    BlockCollectionSink sink(out);
+    BuildInto(collection, pool, sink);
+    return out;
+  }
 
   /// Sequential convenience spelling of Build(collection, nullptr).
   BlockCollection Build(const EntityCollection& collection) const {
@@ -41,14 +87,12 @@ class BlockingMethod {
   }
 
   /// External-memory budget for the postings shuffle. Disabled by default
-  /// (pure in-memory); when enabled, every postings-based Build (token,
-  /// PIS, attr-cluster, q-gram — anything on BuildShardedPostings) spills
-  /// sorted runs to temp files under the budget, with byte-identical
-  /// blocks either way (see extmem/shuffle.h). SortedNeighborhoodBlocking
-  /// is the exception: its sliding window runs over one globally sorted
-  /// key list and stays in-memory (see char_blocking.cc). Configuration,
-  /// not execution: call before Build (Build itself is const and never
-  /// mutates the method).
+  /// (pure in-memory); when enabled, every postings-based build (token,
+  /// PIS, attr-cluster, q-gram) streams through spilling shard sinks, and
+  /// SortedNeighborhood's global key sort becomes an external merge sort —
+  /// byte-identical blocks either way (see extmem/shuffle.h).
+  /// Configuration, not execution: call before Build (Build itself is
+  /// const and never mutates the method).
   virtual void set_memory_budget(const extmem::MemoryBudgetOptions& memory) {
     memory_ = memory;
   }
@@ -81,9 +125,8 @@ class TokenBlocking : public BlockingMethod {
   TokenBlocking() : options_{} {}
   explicit TokenBlocking(Options options) : options_(options) {}
   std::string_view name() const override { return "token"; }
-  using BlockingMethod::Build;
-  BlockCollection Build(const EntityCollection& collection,
-                        ThreadPool* pool) const override;
+  void BuildInto(const EntityCollection& collection, ThreadPool* pool,
+                 BlockSink& sink) const override;
 
  private:
   Options options_;
@@ -107,9 +150,8 @@ class PisBlocking : public BlockingMethod {
   PisBlocking() : options_{} {}
   explicit PisBlocking(Options options) : options_(options) {}
   std::string_view name() const override { return "pis"; }
-  using BlockingMethod::Build;
-  BlockCollection Build(const EntityCollection& collection,
-                        ThreadPool* pool) const override;
+  void BuildInto(const EntityCollection& collection, ThreadPool* pool,
+                 BlockSink& sink) const override;
 
  private:
   Options options_;
@@ -135,9 +177,8 @@ class AttributeClusteringBlocking : public BlockingMethod {
   AttributeClusteringBlocking() : options_{} {}
   explicit AttributeClusteringBlocking(Options options) : options_(options) {}
   std::string_view name() const override { return "attr-cluster"; }
-  using BlockingMethod::Build;
-  BlockCollection Build(const EntityCollection& collection,
-                        ThreadPool* pool) const override;
+  void BuildInto(const EntityCollection& collection, ThreadPool* pool,
+                 BlockSink& sink) const override;
 
   /// Exposed for tests: computes the predicate→cluster assignment. The
   /// pairwise vocabulary-linking pass runs on `pool` when given (identical
@@ -167,9 +208,8 @@ class CompositeBlocking : public BlockingMethod {
       std::vector<std::unique_ptr<BlockingMethod>> methods)
       : methods_(std::move(methods)) {}
   std::string_view name() const override { return "composite"; }
-  using BlockingMethod::Build;
-  BlockCollection Build(const EntityCollection& collection,
-                        ThreadPool* pool) const override;
+  void BuildInto(const EntityCollection& collection, ThreadPool* pool,
+                 BlockSink& sink) const override;
 
   /// Fans the budget out to the constituent methods eagerly, so Build
   /// stays a pure const read.

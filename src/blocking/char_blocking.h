@@ -36,9 +36,8 @@ class QGramBlocking : public BlockingMethod {
   QGramBlocking() : options_{} {}
   explicit QGramBlocking(Options options) : options_(options) {}
   std::string_view name() const override { return "qgram"; }
-  using BlockingMethod::Build;
-  BlockCollection Build(const EntityCollection& collection,
-                        ThreadPool* pool) const override;
+  void BuildInto(const EntityCollection& collection, ThreadPool* pool,
+                 BlockSink& sink) const override;
 
  private:
   Options options_;
@@ -58,9 +57,8 @@ class SortedNeighborhoodBlocking : public BlockingMethod {
   SortedNeighborhoodBlocking() : options_{} {}
   explicit SortedNeighborhoodBlocking(Options options) : options_(options) {}
   std::string_view name() const override { return "sorted-nbhd"; }
-  using BlockingMethod::Build;
-  BlockCollection Build(const EntityCollection& collection,
-                        ThreadPool* pool) const override;
+  void BuildInto(const EntityCollection& collection, ThreadPool* pool,
+                 BlockSink& sink) const override;
 
  private:
   Options options_;

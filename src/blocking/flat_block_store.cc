@@ -1,0 +1,230 @@
+#include "blocking/flat_block_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace minoan {
+
+namespace {
+
+/// Blocks (or entities) per cleaning work chunk — the same constant as
+/// block_cleaning.cc's. The chunking never changes results (the folds are
+/// chunk-ordered integer sums), it only shapes the parallelism.
+constexpr size_t kCleaningChunk = 256;
+
+}  // namespace
+
+void FlatBlockStore::AddBlock(std::vector<EntityId>& entities) {
+  std::sort(entities.begin(), entities.end());
+  entities.erase(std::unique(entities.begin(), entities.end()),
+                 entities.end());
+  if (entities.size() < 2) return;
+  entities_.insert(entities_.end(), entities.begin(), entities.end());
+  offsets_.push_back(entities_.size());
+}
+
+uint64_t FlatBlockStore::NumComparisons(uint32_t bi,
+                                        const EntityCollection& collection,
+                                        ResolutionMode mode) const {
+  const std::span<const EntityId> block = entities(bi);
+  const uint64_t n = block.size();
+  if (mode == ResolutionMode::kDirty) return n * (n - 1) / 2;
+  std::vector<std::pair<uint32_t, uint64_t>> kb_counts;
+  for (EntityId e : block) {
+    const uint32_t kb = collection.entity(e).kb;
+    bool found = false;
+    for (auto& [k, c] : kb_counts) {
+      if (k == kb) {
+        ++c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) kb_counts.emplace_back(kb, 1);
+  }
+  uint64_t sum_sq = 0;
+  for (const auto& [k, c] : kb_counts) sum_sq += c * c;
+  return (n * n - sum_sq) / 2;
+}
+
+uint64_t FlatBlockStore::AggregateComparisons(
+    const EntityCollection& collection, ResolutionMode mode) const {
+  uint64_t total = 0;
+  for (uint32_t bi = 0; bi < num_blocks(); ++bi) {
+    total += NumComparisons(bi, collection, mode);
+  }
+  return total;
+}
+
+std::vector<Comparison> FlatBlockStore::DistinctComparisons(
+    const EntityCollection& collection, ResolutionMode mode) const {
+  std::unordered_set<uint64_t> seen;
+  std::vector<Comparison> out;
+  for (uint32_t bi = 0; bi < num_blocks(); ++bi) {
+    const std::span<const EntityId> block = entities(bi);
+    for (size_t i = 0; i < block.size(); ++i) {
+      for (size_t j = i + 1; j < block.size(); ++j) {
+        const EntityId x = block[i], y = block[j];
+        if (mode == ResolutionMode::kCleanClean && !collection.CrossKb(x, y)) {
+          continue;
+        }
+        if (seen.insert(PairKey(x, y)).second) {
+          out.emplace_back(x, y);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void FlatBlockStore::BuildEntityIndex(uint32_t num_entities) {
+  index_offsets_.assign(static_cast<size_t>(num_entities) + 1, 0);
+  for (const EntityId e : entities_) ++index_offsets_[e + 1];
+  for (size_t i = 1; i < index_offsets_.size(); ++i) {
+    index_offsets_[i] += index_offsets_[i - 1];
+  }
+  index_blocks_.resize(index_offsets_.back());
+  std::vector<uint64_t> cursor(index_offsets_.begin(),
+                               index_offsets_.end() - 1);
+  for (uint32_t bi = 0; bi < num_blocks(); ++bi) {
+    for (EntityId e : entities(bi)) {
+      index_blocks_[cursor[e]++] = bi;
+    }
+  }
+}
+
+void FlatBlockStore::Replace(std::vector<uint64_t> offsets,
+                             std::vector<EntityId> entities) {
+  offsets_ = std::move(offsets);
+  entities_ = std::move(entities);
+  index_offsets_.clear();
+  index_blocks_.clear();
+}
+
+CleaningStats AutoPurgeFlat(FlatBlockStore& blocks,
+                            const EntityCollection& collection,
+                            ResolutionMode mode, double smoothing,
+                            ThreadPool* pool) {
+  CleaningStats stats;
+  stats.blocks_before = blocks.num_blocks();
+  stats.comparisons_before = blocks.AggregateComparisons(collection, mode);
+
+  // Size -> (comparisons, assignments) histogram, counted per block chunk
+  // and folded in chunk order — the AutoPurge histogram verbatim.
+  std::vector<std::map<uint64_t, std::pair<uint64_t, uint64_t>>> chunk_sizes(
+      NumChunks(blocks.num_blocks(), kCleaningChunk));
+  RunChunkedTasks(pool, blocks.num_blocks(), kCleaningChunk,
+                  [&](size_t c, size_t begin, size_t end) {
+                    for (size_t bi = begin; bi < end; ++bi) {
+                      auto& [cmp, assign] =
+                          chunk_sizes[c][blocks.block_size(
+                              static_cast<uint32_t>(bi))];
+                      cmp += blocks.NumComparisons(static_cast<uint32_t>(bi),
+                                                   collection, mode);
+                      assign += blocks.block_size(static_cast<uint32_t>(bi));
+                    }
+                  });
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> by_size;
+  for (const auto& local : chunk_sizes) {
+    for (const auto& [size, totals] : local) {
+      auto& [cmp, assign] = by_size[size];
+      cmp += totals.first;
+      assign += totals.second;
+    }
+  }
+  // The AutoPurge threshold scan, verbatim: purge above the last size where
+  // the cumulative comparisons-per-assignment ratio jumps.
+  uint64_t max_keep_size = by_size.empty() ? 0 : by_size.rbegin()->first;
+  uint64_t cum_cmp = 0, cum_assign = 0;
+  double prev_ratio = -1.0;
+  uint64_t prev_size = 0;
+  for (const auto& [size, totals] : by_size) {
+    cum_cmp += totals.first;
+    cum_assign += totals.second;
+    if (cum_assign == 0) continue;
+    const double ratio =
+        static_cast<double>(cum_cmp) / static_cast<double>(cum_assign);
+    if (prev_ratio >= 0.0 && ratio > smoothing * prev_ratio) {
+      max_keep_size = prev_size;  // last jump wins
+    }
+    prev_ratio = ratio;
+    prev_size = size;
+  }
+  if (max_keep_size == 0 && !by_size.empty()) {
+    max_keep_size = by_size.begin()->first;
+  }
+  blocks.FilterInPlace(
+      [&](uint32_t bi) { return blocks.block_size(bi) <= max_keep_size; });
+  stats.blocks_after = blocks.num_blocks();
+  stats.comparisons_after = blocks.AggregateComparisons(collection, mode);
+  return stats;
+}
+
+CleaningStats FilterBlocksFlat(FlatBlockStore& blocks, double ratio,
+                               const EntityCollection& collection,
+                               ResolutionMode mode, ThreadPool* pool) {
+  CleaningStats stats;
+  stats.blocks_before = blocks.num_blocks();
+  stats.comparisons_before = blocks.AggregateComparisons(collection, mode);
+  if (ratio <= 0.0 || ratio > 1.0) ratio = 1.0;
+
+  // entity -> indices of its blocks, ascending (same linear scatter as
+  // FilterBlocks).
+  const uint32_t n = collection.num_entities();
+  std::vector<std::vector<uint32_t>> memberships(n);
+  for (uint32_t bi = 0; bi < blocks.num_blocks(); ++bi) {
+    for (EntityId e : blocks.entities(bi)) {
+      memberships[e].push_back(bi);
+    }
+  }
+  // Per entity (chunked): keep the ceil(ratio · |blocks|) smallest blocks
+  // by (size, index) — FilterBlocks verbatim.
+  std::vector<std::vector<std::pair<uint32_t, EntityId>>> chunk_keeps(
+      NumChunks(n, kCleaningChunk));
+  RunChunkedTasks(pool, n, kCleaningChunk, [&](size_t c, size_t begin,
+                                               size_t end) {
+    for (uint32_t e = static_cast<uint32_t>(begin);
+         e < static_cast<uint32_t>(end); ++e) {
+      auto& mine = memberships[e];
+      if (mine.empty()) continue;
+      std::sort(mine.begin(), mine.end(), [&](uint32_t x, uint32_t y) {
+        const size_t sx = blocks.block_size(x), sy = blocks.block_size(y);
+        return sx != sy ? sx < sy : x < y;
+      });
+      const size_t keep = static_cast<size_t>(
+          std::max(1.0, std::ceil(ratio * static_cast<double>(mine.size()))));
+      for (size_t i = 0; i < std::min(keep, mine.size()); ++i) {
+        chunk_keeps[c].emplace_back(mine[i], e);
+      }
+    }
+  });
+  // Scatter in chunk order: ascending-entity retained lists per block.
+  std::vector<std::vector<EntityId>> retained(blocks.num_blocks());
+  for (auto& chunk : chunk_keeps) {
+    for (const auto& [bi, e] : chunk) retained[bi].push_back(e);
+    chunk.clear();
+    chunk.shrink_to_fit();
+  }
+  // Rebuild surviving blocks in block order into a fresh CSR.
+  std::vector<uint64_t> new_offsets{0};
+  std::vector<EntityId> new_entities;
+  for (uint32_t bi = 0; bi < blocks.num_blocks(); ++bi) {
+    auto& kept = retained[bi];
+    if (kept.size() < 2) continue;
+    std::sort(kept.begin(), kept.end());
+    new_entities.insert(new_entities.end(), kept.begin(), kept.end());
+    new_offsets.push_back(new_entities.size());
+  }
+  blocks.Replace(std::move(new_offsets), std::move(new_entities));
+  stats.blocks_after = blocks.num_blocks();
+  stats.comparisons_after = blocks.AggregateComparisons(collection, mode);
+  return stats;
+}
+
+}  // namespace minoan

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "extmem/postings_stream.h"
 #include "extmem/shuffle.h"
 #include "kb/entity.h"
 #include "obs/metrics.h"
@@ -262,6 +263,64 @@ std::vector<KeyedPosting<Key>> BuildShardedPostings(
   });
 
   return ConcatenatePostingsSortedByKey(shard_out);
+}
+
+/// Fully streaming variant of BuildShardedPostings: instead of returning a
+/// materialized postings vector, the merged postings are delivered one at a
+/// time to `consume(key, entities)` in the exact global key order
+/// BuildShardedPostings sorts into — without ever holding more than one
+/// posting (plus the bounded shard sink buffers) in memory. Emissions
+/// stream through the spill engine's shard sinks; the finished shards are
+/// k-way-merged by key bytes (keys are shard-disjoint, so the cross-shard
+/// merge IS the global key order). `entities` is scratch owned by the loop;
+/// consume may steal or mutate it. Counter semantics (blocking.chunks /
+/// emissions / postings) match the materializing path.
+template <typename Key, typename EmitFn, typename HashFn, typename ConsumeFn>
+void StreamShardedPostings(uint32_t num_entities, ThreadPool* pool,
+                           const EmitFn& emit, const HashFn& hash,
+                           const extmem::MemoryBudgetOptions& memory,
+                           const ConsumeFn& consume) {
+  static obs::Counter& chunks_counter =
+      obs::MetricsRegistry::Default().counter("blocking.chunks");
+  static obs::Counter& emissions_counter =
+      obs::MetricsRegistry::Default().counter("blocking.emissions");
+  static obs::Counter& postings_counter =
+      obs::MetricsRegistry::Default().counter("blocking.postings");
+  chunks_counter.Add(NumChunks(num_entities, kBlockingChunkEntities));
+
+  extmem::MergedShuffle shuffle(memory, kBlockingMergeShards);
+  extmem::ScatterIntoSinks(
+      pool, num_entities, kBlockingChunkEntities, kBlockingMergeShards,
+      [&](size_t /*chunk*/, size_t begin, size_t end, const auto& route) {
+        std::vector<Key> keys;
+        std::string record;
+        uint64_t emitted = 0;
+        for (EntityId e = static_cast<EntityId>(begin);
+             e < static_cast<EntityId>(end); ++e) {
+          keys.clear();
+          emit(e, keys);
+          for (const Key& key : keys) {
+            extmem::EncodeKey(key, record);
+            extmem::AppendU32Le(record, e);
+            route(static_cast<uint32_t>(Mix64(hash(key)) &
+                                        (kBlockingMergeShards - 1)),
+                  record);
+            ++emitted;
+          }
+        }
+        emissions_counter.Add(emitted);
+      },
+      shuffle.sinks());
+
+  extmem::PostingsStream<Key> stream(shuffle.FinishMerged(pool));
+  Key key{};
+  std::vector<EntityId> entities;
+  uint64_t num_postings = 0;
+  while (stream.Next(key, entities)) {
+    consume(key, entities);
+    ++num_postings;
+  }
+  postings_counter.Add(num_postings);
 }
 
 }  // namespace minoan

@@ -23,6 +23,10 @@ std::string_view BlockerChoiceName(BlockerChoice choice) {
       return "attr-cluster";
     case BlockerChoice::kTokenPlusPis:
       return "token+pis";
+    case BlockerChoice::kQGram:
+      return "qgram";
+    case BlockerChoice::kSortedNeighborhood:
+      return "sorted-nbhd";
   }
   return "?";
 }
@@ -122,6 +126,13 @@ std::unique_ptr<BlockingMethod> MakeWorkflowBlocker(
       blocker = std::make_unique<CompositeBlocking>(std::move(methods));
       break;
     }
+    case BlockerChoice::kQGram:
+      blocker = std::make_unique<QGramBlocking>(options.qgram_options);
+      break;
+    case BlockerChoice::kSortedNeighborhood:
+      blocker = std::make_unique<SortedNeighborhoodBlocking>(
+          options.sn_options);
+      break;
   }
   if (blocker == nullptr) {
     blocker = std::make_unique<TokenBlocking>(options.token_options);

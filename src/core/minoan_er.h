@@ -19,6 +19,7 @@
 #include "blocking/block.h"
 #include "blocking/block_cleaning.h"
 #include "blocking/blocking_method.h"
+#include "blocking/char_blocking.h"
 #include "extmem/memory_budget.h"
 #include "kb/collection.h"
 #include "kb/neighbor_graph.h"
@@ -37,6 +38,8 @@ enum class BlockerChoice {
   kPis = 1,
   kAttributeClustering = 2,
   kTokenPlusPis = 3,  ///< MinoanER's Web-of-Data default
+  kQGram = 4,
+  kSortedNeighborhood = 5,
 };
 
 std::string_view BlockerChoiceName(BlockerChoice choice);
@@ -61,6 +64,8 @@ struct WorkflowOptions {
   TokenBlocking::Options token_options;
   PisBlocking::Options pis_options;
   AttributeClusteringBlocking::Options attr_options;
+  QGramBlocking::Options qgram_options;
+  SortedNeighborhoodBlocking::Options sn_options;
 
   /// Block cleaning between blocking and meta-blocking.
   bool auto_purge = true;

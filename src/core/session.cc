@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "blocking/flat_block_store.h"
 #include "extmem/spill_file.h"
 #include "kb/neighbor_graph.h"
 #include "matching/similarity_evaluator.h"
@@ -195,50 +196,112 @@ Result<ResolutionSession> ResolutionSession::Open(
   // unwinding through the caller.
   std::vector<WeightedComparison> candidates;
   try {
-    watch.Restart();
-    BlockCollection raw = [&] {
-      obs::PhaseSpan span(impl->trace.get(), "blocking");
-      return MakeWorkflowBlocker(options)->Build(
-          collection, block_threads > 1 ? impl->pool.get() : nullptr);
-    }();
-    impl->blocks_built = raw.num_blocks();
-    impl->EmitPhase({"blocking", watch.ElapsedMillis(), impl->blocks_built});
-
-    watch.Restart();
-    {
-      obs::PhaseSpan span(impl->trace.get(), "block-cleaning");
-      ThreadPool* cleaning_pool =
-          block_threads > 1 ? impl->pool.get() : nullptr;
-      if (options.auto_purge) {
-        AutoPurge(raw, collection, options.meta.mode, /*smoothing=*/1.025,
-                  cleaning_pool);
+    if (options.memory.enabled()) {
+      // Fully out-of-core static phases: the blocker streams its surviving
+      // blocks from the spilled shuffle straight into a keyless flat store —
+      // the keyed BlockCollection never exists — and cleaning, the graph
+      // view, and pruning all run over the flat CSR. Every stage mirrors the
+      // in-memory algorithms exactly, so the candidate schedule (and with
+      // it every downstream byte) is identical to the unbudgeted run.
+      watch.Restart();
+      FlatBlockStore flat;
+      {
+        obs::PhaseSpan span(impl->trace.get(), "blocking");
+        FlatStoreSink sink(flat);
+        MakeWorkflowBlocker(options)->BuildInto(
+            collection, block_threads > 1 ? impl->pool.get() : nullptr, sink);
       }
-      if (options.filter_ratio > 0.0 && options.filter_ratio < 1.0) {
-        FilterBlocks(raw, options.filter_ratio, collection, options.meta.mode,
-                     cleaning_pool);
-      }
-      impl->blocks_after_cleaning = raw.num_blocks();
-      impl->comparisons_before_meta =
-          raw.AggregateComparisons(collection, options.meta.mode);
-    }
-    impl->EmitPhase({"block-cleaning", watch.ElapsedMillis(),
-                     impl->blocks_after_cleaning});
+      impl->blocks_built = flat.num_blocks();
+      impl->EmitPhase(
+          {"blocking", watch.ElapsedMillis(), impl->blocks_built});
 
-    watch.Restart();
-    {
-      obs::PhaseSpan span(impl->trace.get(), "meta-blocking");
-      if (options.enable_meta_blocking) {
-        MetaBlocking meta(meta_options);
-        candidates =
-            impl->pool && meta_threads > 1
-                ? meta.Prune(raw, collection, *impl->pool, &impl->meta_stats)
-                : meta.Prune(raw, collection, &impl->meta_stats);
-      } else {
-        // Distinct comparisons with CBS weights (no pruning).
-        raw.BuildEntityIndex(collection.num_entities());
-        for (const Comparison& c :
-             raw.DistinctComparisons(collection, options.meta.mode)) {
-          candidates.push_back({c.a, c.b, 1.0});
+      watch.Restart();
+      {
+        obs::PhaseSpan span(impl->trace.get(), "block-cleaning");
+        ThreadPool* cleaning_pool =
+            block_threads > 1 ? impl->pool.get() : nullptr;
+        if (options.auto_purge) {
+          AutoPurgeFlat(flat, collection, options.meta.mode,
+                        /*smoothing=*/1.025, cleaning_pool);
+        }
+        if (options.filter_ratio > 0.0 && options.filter_ratio < 1.0) {
+          FilterBlocksFlat(flat, options.filter_ratio, collection,
+                           options.meta.mode, cleaning_pool);
+        }
+        impl->blocks_after_cleaning = flat.num_blocks();
+        impl->comparisons_before_meta =
+            flat.AggregateComparisons(collection, options.meta.mode);
+      }
+      impl->EmitPhase({"block-cleaning", watch.ElapsedMillis(),
+                       impl->blocks_after_cleaning});
+
+      watch.Restart();
+      {
+        obs::PhaseSpan span(impl->trace.get(), "meta-blocking");
+        if (options.enable_meta_blocking) {
+          MetaBlocking meta(meta_options);
+          candidates =
+              impl->pool && meta_threads > 1
+                  ? meta.Prune(flat, collection, *impl->pool,
+                               &impl->meta_stats)
+                  : meta.Prune(flat, collection, &impl->meta_stats);
+        } else {
+          // Distinct comparisons with CBS weights (no pruning).
+          flat.BuildEntityIndex(collection.num_entities());
+          for (const Comparison& c :
+               flat.DistinctComparisons(collection, options.meta.mode)) {
+            candidates.push_back({c.a, c.b, 1.0});
+          }
+        }
+      }
+    } else {
+      watch.Restart();
+      BlockCollection raw = [&] {
+        obs::PhaseSpan span(impl->trace.get(), "blocking");
+        return MakeWorkflowBlocker(options)->Build(
+            collection, block_threads > 1 ? impl->pool.get() : nullptr);
+      }();
+      impl->blocks_built = raw.num_blocks();
+      impl->EmitPhase(
+          {"blocking", watch.ElapsedMillis(), impl->blocks_built});
+
+      watch.Restart();
+      {
+        obs::PhaseSpan span(impl->trace.get(), "block-cleaning");
+        ThreadPool* cleaning_pool =
+            block_threads > 1 ? impl->pool.get() : nullptr;
+        if (options.auto_purge) {
+          AutoPurge(raw, collection, options.meta.mode, /*smoothing=*/1.025,
+                    cleaning_pool);
+        }
+        if (options.filter_ratio > 0.0 && options.filter_ratio < 1.0) {
+          FilterBlocks(raw, options.filter_ratio, collection,
+                       options.meta.mode, cleaning_pool);
+        }
+        impl->blocks_after_cleaning = raw.num_blocks();
+        impl->comparisons_before_meta =
+            raw.AggregateComparisons(collection, options.meta.mode);
+      }
+      impl->EmitPhase({"block-cleaning", watch.ElapsedMillis(),
+                       impl->blocks_after_cleaning});
+
+      watch.Restart();
+      {
+        obs::PhaseSpan span(impl->trace.get(), "meta-blocking");
+        if (options.enable_meta_blocking) {
+          MetaBlocking meta(meta_options);
+          candidates =
+              impl->pool && meta_threads > 1
+                  ? meta.Prune(raw, collection, *impl->pool,
+                               &impl->meta_stats)
+                  : meta.Prune(raw, collection, &impl->meta_stats);
+        } else {
+          // Distinct comparisons with CBS weights (no pruning).
+          raw.BuildEntityIndex(collection.num_entities());
+          for (const Comparison& c :
+               raw.DistinctComparisons(collection, options.meta.mode)) {
+            candidates.push_back({c.a, c.b, 1.0});
+          }
         }
       }
     }

@@ -29,6 +29,10 @@ inline constexpr uint64_t kMinSpillRunBytes = 256;
 /// spilling stops being the bottleneck anyway).
 inline constexpr uint64_t kMaxSpillRunBytes = 1ull << 30;
 
+/// Default cap on the k-way merge fan-in of one shard sink (see
+/// MemoryBudgetOptions::max_merge_fanin).
+inline constexpr uint32_t kDefaultMergeFanin = 16;
+
 /// External-memory budget for the shuffle phases. Default-constructed =
 /// disabled (pure in-memory, today's fast path, zero overhead).
 struct MemoryBudgetOptions {
@@ -46,6 +50,14 @@ struct MemoryBudgetOptions {
   /// uniquely named subdirectory underneath.
   std::string spill_dir;
 
+  /// Cap on how many run files one shard sink merges at once. When a sink
+  /// has spilled more runs than this, consecutive runs are cascade-merged
+  /// into a next generation of (at most fan-in) larger runs until the final
+  /// merge fits — so no merge ever holds more than fan-in + 1 files open,
+  /// regardless of how tiny the run budget is. 0 = kDefaultMergeFanin; the
+  /// effective minimum is 2.
+  uint32_t max_merge_fanin = 0;
+
   /// True when any budget is set: the shuffles take the spill path.
   bool enabled() const {
     return shuffle_budget_bytes > 0 || spill_run_bytes > 0;
@@ -58,6 +70,12 @@ struct MemoryBudgetOptions {
                              : shuffle_budget_bytes /
                                    std::max<uint32_t>(1, num_shards);
     return std::clamp(raw, kMinSpillRunBytes, kMaxSpillRunBytes);
+  }
+
+  /// Effective cascaded-merge fan-in (>= 2).
+  uint32_t MergeFanin() const {
+    return std::max<uint32_t>(
+        2, max_merge_fanin == 0 ? kDefaultMergeFanin : max_merge_fanin);
   }
 };
 

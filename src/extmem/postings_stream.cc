@@ -1,0 +1,39 @@
+// Copyright 2026 The MinoanER Authors.
+
+#include "extmem/postings_stream.h"
+
+#include "extmem/run_merger.h"
+#include "util/thread_pool.h"
+
+namespace minoan {
+namespace extmem {
+
+MergedShuffle::MergedShuffle(const MemoryBudgetOptions& memory,
+                             uint32_t num_shards)
+    : dir_(memory.spill_dir), sinks_(num_shards) {
+  const uint64_t run_bytes = memory.RunBytesPerShard(num_shards);
+  for (auto& sink : sinks_) {
+    sink =
+        std::make_unique<SpillShuffle>(run_bytes, &dir_, memory.MergeFanin());
+  }
+}
+
+MergedShuffle::~MergedShuffle() {
+  // Release run readers (merger → per-shard sources → file handles) before
+  // dir_'s destructor removes the spill directory.
+  merged_.reset();
+  sinks_.clear();
+}
+
+ShuffleSource& MergedShuffle::FinishMerged(ThreadPool* pool) {
+  std::vector<std::unique_ptr<ShuffleSource>> sources(sinks_.size());
+  RunPoolTasks(pool, sinks_.size(),
+               [&](size_t s) { sources[s] = sinks_[s]->Finish(); });
+  // Keys are shard-disjoint, so merging the per-shard sorted streams by key
+  // bytes yields the global key order; the run-index tie-break never fires.
+  merged_ = std::make_unique<RunMerger>(std::move(sources));
+  return *merged_;
+}
+
+}  // namespace extmem
+}  // namespace minoan

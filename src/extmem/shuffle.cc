@@ -1,8 +1,10 @@
 #include "extmem/shuffle.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <limits>
 
+#include "extmem/run_codec.h"
 #include "extmem/run_merger.h"
 #include "obs/metrics.h"
 
@@ -24,6 +26,8 @@ struct SpillMetrics {
       obs::MetricsRegistry::Default().counter("spill.sinks_spilled");
   obs::Counter& sinks_loaded =
       obs::MetricsRegistry::Default().counter("spill.sinks_loaded");
+  obs::Counter& cascade_merges =
+      obs::MetricsRegistry::Default().counter("spill.cascade_merges");
   // Runs spilled per finished loaded sink; the exact histogram min is the
   // "every shard really spilled k runs" probe of the determinism tests.
   obs::Histogram& runs_per_sink =
@@ -57,7 +61,7 @@ class BufferSource : public ShuffleSource {
   size_t next_ = 0;
 };
 
-/// Source over one spilled run file.
+/// Source over one compressed spilled run file.
 class FileSource : public ShuffleSource {
  public:
   explicit FileSource(const std::string& path) : reader_(path) {}
@@ -66,7 +70,7 @@ class FileSource : public ShuffleSource {
   }
 
  private:
-  SpillFileReader reader_;
+  CompressedRunReader reader_;
 };
 
 }  // namespace
@@ -78,6 +82,7 @@ SpillTelemetry GetSpillTelemetry() {
   t.bytes_spilled = metrics.bytes.Value();
   t.sinks_spilled = metrics.sinks_spilled.Value();
   t.sinks_loaded = metrics.sinks_loaded.Value();
+  t.cascade_merges = metrics.cascade_merges.Value();
   // Histogram min over finished sinks; its empty-state sentinel is the same
   // UINT64_MAX the probe API always used.
   t.min_runs_per_loaded_sink = metrics.runs_per_sink.Snapshot().min;
@@ -90,11 +95,15 @@ void ResetSpillTelemetry() {
   metrics.bytes.Reset();
   metrics.sinks_spilled.Reset();
   metrics.sinks_loaded.Reset();
+  metrics.cascade_merges.Reset();
   metrics.runs_per_sink.Reset();
 }
 
-SpillShuffle::SpillShuffle(uint64_t run_bytes, ScopedSpillDir* dir)
-    : run_bytes_(run_bytes), dir_(dir) {}
+SpillShuffle::SpillShuffle(uint64_t run_bytes, ScopedSpillDir* dir,
+                           uint32_t max_merge_fanin)
+    : run_bytes_(run_bytes),
+      dir_(dir),
+      merge_fanin_(std::max<uint32_t>(2, max_merge_fanin)) {}
 
 SpillShuffle::~SpillShuffle() = default;
 
@@ -134,7 +143,7 @@ void SpillShuffle::SpillRun() {
   if (offsets_.empty()) return;
   SortBuffer();
   std::string path = dir_->NextRunPath();
-  SpillFileWriter writer(path);
+  CompressedRunWriter writer(path);
   const std::string_view buffer = buffer_;
   for (const uint32_t off : order_) {
     const std::string_view framed = buffer.substr(off);
@@ -149,6 +158,57 @@ void SpillShuffle::SpillRun() {
   ++runs_spilled_;
 }
 
+std::string SpillShuffle::MergeRunGroup(size_t begin, size_t end) {
+  std::vector<std::unique_ptr<ShuffleSource>> group;
+  group.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    group.push_back(std::make_unique<FileSource>(run_paths_[i]));
+  }
+  RunMerger merger(std::move(group));
+  std::string out_path = dir_->NextRunPath();
+  try {
+    CompressedRunWriter writer(out_path);
+    std::string_view record;
+    while (merger.Next(record)) writer.Append(record);
+    writer.Close();
+  } catch (...) {
+    // Never leave a partially written merge generation behind: the group's
+    // input runs are still tracked in run_paths_ (and removed with the
+    // dir), this output is not — remove it here so cleanup covers
+    // intermediate generations even when the dir object is long-lived or
+    // the base directory is user-provided.
+    std::error_code ec;
+    std::filesystem::remove(out_path, ec);
+    throw;
+  }
+  Metrics().cascade_merges.Increment();
+  for (size_t i = begin; i < end; ++i) {
+    std::error_code ec;
+    std::filesystem::remove(run_paths_[i], ec);
+  }
+  return out_path;
+}
+
+void SpillShuffle::CascadeMergeRuns() {
+  // Merge CONSECUTIVE runs and splice the output into the group's position:
+  // all records of merged run i arrived before all records of merged run
+  // i+1, so run index keeps meaning arrival order and the final merge's
+  // tie-break is untouched.
+  while (run_paths_.size() > merge_fanin_) {
+    std::vector<std::string> next;
+    next.reserve((run_paths_.size() + merge_fanin_ - 1) / merge_fanin_);
+    for (size_t g = 0; g < run_paths_.size(); g += merge_fanin_) {
+      const size_t end = std::min(run_paths_.size(), g + merge_fanin_);
+      if (end - g == 1) {
+        next.push_back(std::move(run_paths_[g]));
+      } else {
+        next.push_back(MergeRunGroup(g, end));
+      }
+    }
+    run_paths_ = std::move(next);
+  }
+}
+
 std::unique_ptr<ShuffleSource> SpillShuffle::Finish() {
   if (records_ > 0) {
     Metrics().sinks_loaded.Increment();
@@ -157,6 +217,7 @@ std::unique_ptr<ShuffleSource> SpillShuffle::Finish() {
       Metrics().sinks_spilled.Increment();
     }
   }
+  CascadeMergeRuns();
   SortBuffer();
   auto tail = std::make_unique<BufferSource>(std::move(buffer_),
                                              std::move(order_));

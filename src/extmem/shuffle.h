@@ -184,9 +184,19 @@ class ShuffleSink {
 /// stable sort); with a budget it spills a sorted run whenever the buffer
 /// exceeds `run_bytes`. `dir` must outlive the source returned by Finish
 /// (run files are read lazily); it may be null only when run_bytes == 0.
+///
+/// Runs are written compressed (extmem/run_codec.h: varint frames,
+/// front-coded keys). When more than `max_merge_fanin` runs accumulate,
+/// Finish cascade-merges consecutive runs into a next generation of larger
+/// runs until the final merge fits the fan-in — bounding open files at
+/// fan-in + 1 per sink. Merging consecutive runs in place preserves the
+/// run-index tie-break (every record of generation-merge i arrived before
+/// every record of merge i+1), so the merged stream stays byte-identical to
+/// the in-memory stable sort at any fan-in.
 class SpillShuffle : public ShuffleSink {
  public:
-  SpillShuffle(uint64_t run_bytes, ScopedSpillDir* dir);
+  SpillShuffle(uint64_t run_bytes, ScopedSpillDir* dir,
+               uint32_t max_merge_fanin = kDefaultMergeFanin);
   ~SpillShuffle() override;
 
   void Add(std::string_view record) override;
@@ -200,9 +210,15 @@ class SpillShuffle : public ShuffleSink {
   /// start offsets in sorted order.
   void SortBuffer();
   void SpillRun();
+  /// Repeatedly merges consecutive groups of `merge_fanin_` runs until at
+  /// most `merge_fanin_` remain. Input runs of a finished merge are deleted;
+  /// a partially written output is deleted before an error propagates.
+  void CascadeMergeRuns();
+  std::string MergeRunGroup(size_t begin, size_t end);
 
   uint64_t run_bytes_;
   ScopedSpillDir* dir_;
+  uint32_t merge_fanin_;
   std::string buffer_;               // framed records, arrival order
   std::vector<uint32_t> offsets_;    // record frame start offsets
   std::vector<uint32_t> order_;      // offsets_ permuted into sorted order
@@ -225,6 +241,7 @@ struct SpillTelemetry {
   uint64_t bytes_spilled = 0;  ///< total bytes written to run files
   uint64_t sinks_spilled = 0;  ///< finished sinks that spilled >= 1 run
   uint64_t sinks_loaded = 0;   ///< finished sinks that received >= 1 record
+  uint64_t cascade_merges = 0;  ///< intermediate cascaded run merges
   /// Minimum runs_spilled over finished sinks that received >= 1 record
   /// (UINT64_MAX when none finished yet) — the "every shard really spilled
   /// k runs" probe of the determinism tests.
@@ -261,34 +278,21 @@ void ForEachFramed(std::string_view framed, const Fn& fn) {
   }
 }
 
-/// Drives one deterministic bounded-memory shuffle over [0, total) dealt in
-/// fixed-size chunks:
-///
-///   1. chunks are scanned in waves of kSpillWaveChunks (parallel within a
-///      wave); `scan(chunk, begin, end, route)` serializes each record and
-///      calls `route(shard, record)`;
-///   2. each shard sink receives its records in (chunk, within-chunk scan)
-///      order — the sequential arrival order — spilling sorted runs when
-///      over budget (parallel across shards);
-///   3. `consume(shard, source)` streams each shard's merged, key-sorted
-///      records (parallel across shards).
+/// The scatter half of a deterministic bounded-memory shuffle: scans
+/// [0, total) in fixed-size chunks, dealt in waves of kSpillWaveChunks
+/// (parallel within a wave); `scan(chunk, begin, end, route)` serializes
+/// each record and calls `route(shard, record)`. Each shard sink receives
+/// its records in (chunk, within-chunk scan) order — the sequential arrival
+/// order — spilling sorted runs when over budget (parallel across shards;
+/// a shard is owned by exactly one task).
 ///
 /// Chunk and shard task boundaries are fixed (never derived from the worker
-/// count), so the consumed streams are byte-identical at every thread count
-/// and for every budget. Temp files are removed before returning, and by
-/// ScopedSpillDir's destructor when an exception unwinds.
-template <typename ScanFn, typename ConsumeFn>
-void RunSpilledShuffle(ThreadPool* pool, size_t total, size_t chunk_size,
-                       uint32_t num_shards,
-                       const MemoryBudgetOptions& memory, const ScanFn& scan,
-                       const ConsumeFn& consume) {
-  ScopedSpillDir dir(memory.spill_dir);
-  const uint64_t run_bytes = memory.RunBytesPerShard(num_shards);
-  std::vector<std::unique_ptr<SpillShuffle>> sinks(num_shards);
-  for (auto& sink : sinks) {
-    sink = std::make_unique<SpillShuffle>(run_bytes, &dir);
-  }
-
+/// count), so each sink's arrival order — and therefore its merged output —
+/// is byte-identical at every thread count and for every budget.
+template <typename ScanFn>
+void ScatterIntoSinks(ThreadPool* pool, size_t total, size_t chunk_size,
+                      uint32_t num_shards, const ScanFn& scan,
+                      std::vector<std::unique_ptr<SpillShuffle>>& sinks) {
   const size_t num_chunks = NumChunks(total, chunk_size);
   for (size_t wave_begin = 0; wave_begin < num_chunks;
        wave_begin += kSpillWaveChunks) {
@@ -305,8 +309,7 @@ void RunSpilledShuffle(ThreadPool* pool, size_t total, size_t chunk_size,
         AppendFramed(slices[i][shard], record);
       });
     });
-    // Feed the wave into the sinks in chunk order (parallel across shards:
-    // a shard is owned by exactly one task).
+    // Feed the wave into the sinks in chunk order.
     RunPoolTasks(pool, num_shards, [&](size_t s) {
       for (auto& chunk_slices : slices) {
         ForEachFramed(chunk_slices[s], [&](std::string_view record) {
@@ -317,6 +320,27 @@ void RunSpilledShuffle(ThreadPool* pool, size_t total, size_t chunk_size,
       }
     });
   }
+}
+
+/// Drives one deterministic bounded-memory shuffle over [0, total) dealt in
+/// fixed-size chunks: ScatterIntoSinks, then `consume(shard, source)`
+/// streams each shard's merged, key-sorted records (parallel across
+/// shards). The consumed streams are byte-identical at every thread count
+/// and for every budget. Temp files are removed before returning, and by
+/// ScopedSpillDir's destructor when an exception unwinds.
+template <typename ScanFn, typename ConsumeFn>
+void RunSpilledShuffle(ThreadPool* pool, size_t total, size_t chunk_size,
+                       uint32_t num_shards,
+                       const MemoryBudgetOptions& memory, const ScanFn& scan,
+                       const ConsumeFn& consume) {
+  ScopedSpillDir dir(memory.spill_dir);
+  const uint64_t run_bytes = memory.RunBytesPerShard(num_shards);
+  std::vector<std::unique_ptr<SpillShuffle>> sinks(num_shards);
+  for (auto& sink : sinks) {
+    sink = std::make_unique<SpillShuffle>(run_bytes, &dir, memory.MergeFanin());
+  }
+
+  ScatterIntoSinks(pool, total, chunk_size, num_shards, scan, sinks);
 
   RunPoolTasks(pool, num_shards, [&](size_t s) {
     std::unique_ptr<ShuffleSource> source = sinks[s]->Finish();

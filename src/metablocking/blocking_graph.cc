@@ -35,6 +35,24 @@ BlockingGraphView::BlockingGraphView(BlockCollection& blocks,
       collection_(&collection),
       weighting_(weighting),
       mode_(mode) {
+  Init(blocks, pool);
+}
+
+BlockingGraphView::BlockingGraphView(FlatBlockStore& blocks,
+                                     const EntityCollection& collection,
+                                     WeightingScheme weighting,
+                                     ResolutionMode mode, ThreadPool* pool)
+    : flat_(&blocks),
+      collection_(&collection),
+      weighting_(weighting),
+      mode_(mode) {
+  Init(blocks, pool);
+}
+
+template <typename Store>
+void BlockingGraphView::Init(Store& blocks, ThreadPool* pool) {
+  const EntityCollection& collection = *collection_;
+  const ResolutionMode mode = mode_;
   if (!blocks.has_entity_index()) {
     blocks.BuildEntityIndex(collection.num_entities());
   }
@@ -51,11 +69,13 @@ BlockingGraphView::BlockingGraphView(BlockCollection& blocks,
                   [&](size_t c, size_t begin, size_t end) {
                     uint64_t assignments = 0;
                     for (size_t bi = begin; bi < end; ++bi) {
-                      const uint64_t card =
-                          blocks.block(bi).NumComparisons(collection, mode);
+                      const uint64_t card = GraphBlockComparisons(
+                          blocks, static_cast<uint32_t>(bi), collection, mode);
                       arcs_term_[bi] =
                           card > 0 ? 1.0 / static_cast<double>(card) : 0.0;
-                      assignments += blocks.block(bi).size();
+                      assignments +=
+                          GraphBlockEntities(blocks, static_cast<uint32_t>(bi))
+                              .size();
                     }
                     chunk_assignments[c] = assignments;
                   });
@@ -81,7 +101,7 @@ BlockingGraphView::BlockingGraphView(BlockCollection& blocks,
   uint64_t placed_nodes = 0;
   for (const uint64_t p : chunk_placed) placed_nodes += p;
   num_nodes_ = static_cast<double>(placed_nodes);
-  if (weighting == WeightingScheme::kEjs) {
+  if (weighting_ == WeightingScheme::kEjs) {
     const uint32_t n = collection.num_entities();
     degree_.assign(n, 0);
     const auto degree_of = [this, n](EntityId e) {
@@ -102,16 +122,18 @@ BlockingGraphView::BlockingGraphView(BlockCollection& blocks,
   }
 }
 
-double BlockingGraphView::PairWeight(EntityId a, EntityId b) const {
-  if (a == b) return 0.0;
-  if (mode_ == ResolutionMode::kCleanClean && !collection_->CrossKb(a, b)) {
-    return 0.0;
-  }
+template void BlockingGraphView::Init<BlockCollection>(BlockCollection&,
+                                                       ThreadPool*);
+template void BlockingGraphView::Init<FlatBlockStore>(FlatBlockStore&,
+                                                      ThreadPool*);
+
+template <typename Store>
+double BlockingGraphView::PairWeightOver(const Store& store, EntityId a,
+                                         EntityId b) const {
   uint32_t common = 0;
   double arcs = 0.0;
-  for (uint32_t bi : blocks_->BlocksOf(a)) {
-    const Block& block = blocks_->block(bi);
-    for (EntityId n : block.entities) {
+  for (uint32_t bi : store.BlocksOf(a)) {
+    for (EntityId n : GraphBlockEntities(store, bi)) {
       if (n == b) {
         ++common;
         arcs += arcs_term_[bi];
@@ -122,10 +144,19 @@ double BlockingGraphView::PairWeight(EntityId a, EntityId b) const {
   return common == 0 ? 0.0 : EdgeWeight(a, b, common, arcs);
 }
 
+double BlockingGraphView::PairWeight(EntityId a, EntityId b) const {
+  if (a == b) return 0.0;
+  if (mode_ == ResolutionMode::kCleanClean && !collection_->CrossKb(a, b)) {
+    return 0.0;
+  }
+  return flat_ != nullptr ? PairWeightOver(*flat_, a, b)
+                          : PairWeightOver(*blocks_, a, b);
+}
+
 double BlockingGraphView::EdgeWeight(EntityId a, EntityId b, uint32_t common,
                                      double arcs_sum) const {
-  const double ba = static_cast<double>(blocks_->BlocksOf(a).size());
-  const double bb = static_cast<double>(blocks_->BlocksOf(b).size());
+  const double ba = static_cast<double>(NumBlocksOf(a));
+  const double bb = static_cast<double>(NumBlocksOf(b));
   switch (weighting_) {
     case WeightingScheme::kCbs:
       return static_cast<double>(common);

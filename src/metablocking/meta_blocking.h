@@ -26,6 +26,7 @@
 
 namespace minoan {
 
+class FlatBlockStore;
 class ThreadPool;
 
 /// Executes weighting + pruning over a block collection. Runs on the
@@ -51,6 +52,20 @@ class MetaBlocking {
   /// pointer, so `Prune(b, c, nullptr)` stays an unambiguous spelling of
   /// the stats-only overload.)
   std::vector<WeightedComparison> Prune(BlockCollection& blocks,
+                                        const EntityCollection& collection,
+                                        ThreadPool& pool,
+                                        MetaBlockingStats* stats = nullptr)
+      const;
+
+  /// Same pruning over the out-of-core FlatBlockStore (the budgeted
+  /// pipeline). The flat store holds the same blocks in the same order as
+  /// the collection the unbudgeted run materializes, so the retained edges
+  /// come out bit-identical.
+  std::vector<WeightedComparison> Prune(FlatBlockStore& blocks,
+                                        const EntityCollection& collection,
+                                        MetaBlockingStats* stats = nullptr)
+      const;
+  std::vector<WeightedComparison> Prune(FlatBlockStore& blocks,
                                         const EntityCollection& collection,
                                         ThreadPool& pool,
                                         MetaBlockingStats* stats = nullptr)

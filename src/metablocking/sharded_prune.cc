@@ -94,6 +94,49 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
       const double mean = graph_edges > 0
                               ? weight_sum / static_cast<double>(graph_edges)
                               : 0.0;
+      if (options.memory.enabled()) {
+        // Pass 2, external: surviving edges stream through ONE spilling sink
+        // keyed [~weight BE][pair BE]. Every scheme's weight is finite and
+        // >= 0 (never -0.0), so the complemented bit pattern orders bytes by
+        // weight descending, pair ascending — the SortByWeightDescending
+        // order — and the edge list never sits in memory whole. Keys are
+        // unique per edge (only_greater emits each pair once), so merge
+        // tie-breaks never fire.
+        extmem::RunSpilledShuffle(
+            pool, n, kPruneChunkEntities, /*num_shards=*/1, options.memory,
+            [&](size_t /*c*/, size_t begin, size_t end, const auto& route) {
+              NeighborScratch& scratch = TlsNeighborScratch(n);
+              std::string record;
+              for (EntityId e = static_cast<EntityId>(begin);
+                   e < static_cast<EntityId>(end); ++e) {
+                view.ForNeighbors(
+                    scratch, e, true,
+                    [&](EntityId nb, uint32_t common, double arcs) {
+                      const double w = view.EdgeWeight(e, nb, common, arcs);
+                      if (w < mean) return;
+                      record.clear();
+                      extmem::AppendU32Le(record, 16);
+                      extmem::AppendU64Be(record,
+                                          ~std::bit_cast<uint64_t>(w));
+                      extmem::AppendU64Be(record, PairKey(e, nb));
+                      extmem::AppendU64Le(record, std::bit_cast<uint64_t>(w));
+                      route(0, record);
+                    });
+              }
+            },
+            [&](uint32_t /*s*/, extmem::ShuffleSource& source) {
+              std::string_view record;
+              while (source.Next(record)) {
+                const uint64_t key = extmem::ReadU64Be(
+                    extmem::RecordKey(record).substr(8, 8));
+                const double w = std::bit_cast<double>(
+                    extmem::ReadU64Le(extmem::RecordPayload(record)));
+                retained.push_back(
+                    {PairKeyFirst(key), PairKeySecond(key), w});
+              }
+            });
+        break;
+      }
       // Pass 2: retain edges at or above the mean, chunk-local then merged.
       std::vector<std::vector<WeightedComparison>> kept(num_chunks);
       RunPoolTasks(pool, num_chunks, [&](size_t c) {
@@ -117,8 +160,58 @@ std::vector<WeightedComparison> ShardedPrune(const BlockingGraphView& view,
       // total order makes the selected set insertion-order independent.
       const uint64_t k =
           std::max<uint64_t>(1, view.total_block_assignments() / 2);
-      std::vector<TopK<EdgeRank>> tops(num_chunks, TopK<EdgeRank>(k));
       std::vector<ChunkPartial> partials(num_chunks);
+      if (options.memory.enabled()) {
+        // External top-K: ALL edges stream through one spilling sink keyed
+        // [~weight BE][pair BE] (weight descending, pair ascending — see the
+        // WEP case for the encoding argument); the first K records of the
+        // merged stream are exactly the set the in-memory per-chunk heaps
+        // select, because both selections use the same (weight, pair) total
+        // order. Peak memory is the spill budget + K retained edges, not
+        // the full edge list.
+        extmem::RunSpilledShuffle(
+            pool, n, kPruneChunkEntities, /*num_shards=*/1, options.memory,
+            [&](size_t c, size_t begin, size_t end, const auto& route) {
+              NeighborScratch& scratch = TlsNeighborScratch(n);
+              ChunkPartial partial;
+              std::string record;
+              for (EntityId e = static_cast<EntityId>(begin);
+                   e < static_cast<EntityId>(end); ++e) {
+                view.ForNeighbors(
+                    scratch, e, true,
+                    [&](EntityId nb, uint32_t common, double arcs) {
+                      const double w = view.EdgeWeight(e, nb, common, arcs);
+                      partial.weight_sum += w;
+                      ++partial.edges;
+                      record.clear();
+                      extmem::AppendU32Le(record, 16);
+                      extmem::AppendU64Be(record,
+                                          ~std::bit_cast<uint64_t>(w));
+                      extmem::AppendU64Be(record, PairKey(e, nb));
+                      extmem::AppendU64Le(record, std::bit_cast<uint64_t>(w));
+                      route(0, record);
+                    });
+              }
+              partials[c] = partial;
+            },
+            [&](uint32_t /*s*/, extmem::ShuffleSource& source) {
+              std::string_view record;
+              while (retained.size() < k && source.Next(record)) {
+                const uint64_t key = extmem::ReadU64Be(
+                    extmem::RecordKey(record).substr(8, 8));
+                const double w = std::bit_cast<double>(
+                    extmem::ReadU64Le(extmem::RecordPayload(record)));
+                retained.push_back(
+                    {PairKeyFirst(key), PairKeySecond(key), w});
+              }
+            });
+        for (const ChunkPartial& p : partials) {
+          weight_sum += p.weight_sum;
+          graph_edges += p.edges;
+        }
+        break;
+      }
+      std::vector<TopK<EdgeRank>> tops(num_chunks, TopK<EdgeRank>(k));
       RunPoolTasks(pool, num_chunks, [&](size_t c) {
         NeighborScratch& scratch = TlsNeighborScratch(n);
         ChunkPartial partial;

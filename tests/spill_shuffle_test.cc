@@ -323,8 +323,13 @@ TEST_F(SpillParityTest, VoteShardPruningIsByteIdenticalUnderSpilling) {
   BlockCollection blocks = TokenBlocking().Build(*collection_);
   blocks.BuildEntityIndex(collection_->num_entities());
   for (const PruningScheme pruning :
-       {PruningScheme::kWnp, PruningScheme::kCnp}) {
+       {PruningScheme::kWnp, PruningScheme::kCnp, PruningScheme::kWep,
+        PruningScheme::kCep}) {
     for (const bool reciprocal : {false, true}) {
+      if (reciprocal && (pruning == PruningScheme::kWep ||
+                         pruning == PruningScheme::kCep)) {
+        continue;  // reciprocity is a node-centric notion
+      }
       MetaBlockingOptions opts;
       opts.weighting = WeightingScheme::kEcbs;
       opts.pruning = pruning;

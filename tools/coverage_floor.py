@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Advisory line-coverage floor over an lcov tracefile.
+
+Reads a .info tracefile (lcov --capture output), computes line coverage
+for every file under --path (repo-relative match, default src/extmem/),
+prints a per-file table, and compares the aggregate against --floor.
+
+The floor is ADVISORY by default: a shortfall prints a `::warning::`
+workflow annotation (visible on the GitHub Actions run summary) and exits
+0, so refactors never get blocked on a coverage number — but the drop is
+never silent. Pass --strict to turn the shortfall into exit 1.
+
+Usage (the CI coverage job):
+
+  lcov --capture --directory build-cov --output-file coverage.info
+  tools/coverage_floor.py --tracefile coverage.info \
+      --path src/extmem/ --floor 80
+"""
+
+import argparse
+import os
+import sys
+from collections import defaultdict
+
+
+def parse_tracefile(path):
+    """Returns {source_file: (lines_hit, lines_found)} from an lcov .info
+    file. Only DA: records matter for line coverage; duplicate records for
+    one (file, line) are merged by summing hit counts, mirroring lcov."""
+    per_file = defaultdict(dict)  # file -> {line: hits}
+    current = None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for raw in fh:
+                line = raw.strip()
+                if line.startswith("SF:"):
+                    current = line[3:]
+                elif line.startswith("DA:") and current is not None:
+                    fields = line[3:].split(",")
+                    if len(fields) < 2:
+                        continue
+                    try:
+                        lineno, hits = int(fields[0]), int(fields[1])
+                    except ValueError:
+                        continue
+                    lines = per_file[current]
+                    lines[lineno] = lines.get(lineno, 0) + hits
+                elif line == "end_of_record":
+                    current = None
+    except OSError as err:
+        sys.exit(f"coverage_floor: cannot read {path}: {err}")
+    return {
+        f: (sum(1 for h in lines.values() if h > 0), len(lines))
+        for f, lines in per_file.items()
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tracefile", required=True,
+                        help="lcov .info tracefile (lcov --capture output)")
+    parser.add_argument("--path", default="src/extmem/",
+                        help="repo-relative path prefix to measure "
+                        "(default src/extmem/)")
+    parser.add_argument("--floor", type=float, default=80.0,
+                        help="minimum aggregate line coverage in percent "
+                        "(default 80)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on a shortfall instead of warning")
+    args = parser.parse_args()
+
+    coverage = parse_tracefile(args.tracefile)
+    needle = args.path.rstrip("/") + "/"
+    matched = {
+        f: hit_found
+        for f, hit_found in sorted(coverage.items())
+        if needle in f.replace("\\", "/")
+    }
+    if not matched:
+        sys.exit(
+            f"coverage_floor: no files under {args.path!r} in "
+            f"{args.tracefile} — wrong --path, or the tests never ran?"
+        )
+
+    total_hit = total_found = 0
+    width = max(len(os.path.relpath(f)) for f in matched)
+    for source, (hit, found) in matched.items():
+        total_hit += hit
+        total_found += found
+        pct = 100.0 * hit / found if found else 100.0
+        print(f"  {os.path.relpath(source):<{width}}  "
+              f"{hit:>5}/{found:<5}  {pct:6.1f}%")
+    aggregate = 100.0 * total_hit / total_found if total_found else 100.0
+    print(f"coverage_floor: {args.path} aggregate {aggregate:.1f}% "
+          f"({total_hit}/{total_found} lines), floor {args.floor:.1f}%")
+
+    if aggregate + 1e-9 < args.floor:
+        message = (
+            f"line coverage of {args.path} is {aggregate:.1f}%, below the "
+            f"{args.floor:.1f}% floor"
+        )
+        if os.environ.get("GITHUB_ACTIONS") == "true":
+            print(f"::warning title=coverage floor::{message}")
+        print(f"coverage_floor: {'FAIL' if args.strict else 'WARNING'}: "
+              f"{message}", file=sys.stderr)
+        return 1 if args.strict else 0
+    print("coverage_floor: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,7 @@
 //
 //   minoan resolve DIR [--threshold F] [--budget N] [--benefit NAME]
 //                  [--seeds] [--threads N] [--pin-threads]
-//                  [--filter-ratio F] [--out FILE]
+//                  [--blocker NAME] [--filter-ratio F] [--out FILE]
 //                  [--step-budget N] [--stream]
 //                  [--memory-budget BYTES] [--spill-dir DIR]
 //                  [--metrics-out FILE] [--trace-out FILE]
@@ -113,7 +113,8 @@ const std::initializer_list<std::string_view> kResolveFlags = {
     "threshold",     "budget",      "benefit",     "seeds",
     "threads",       "pin-threads", "filter-ratio", "out",
     "step-budget",   "stream",      "memory-budget", "spill-dir",
-    "metrics-out",   "trace-out",   "progress-every", "state"};
+    "metrics-out",   "trace-out",   "progress-every", "state",
+    "blocker"};
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -244,6 +245,29 @@ Result<WorkflowOptions> ParseWorkflowOptions(const std::string& verb,
   options.use_same_as_seeds = flags.Has("seeds");
   options.filter_ratio =
       flags.GetDouble("filter-ratio", options.filter_ratio);
+  // --blocker NAME: which blocking method starts the workflow. Every choice
+  // runs under --memory-budget with byte-identical output to its in-memory
+  // run (the character-level methods included).
+  const std::string blocker = flags.Get("blocker", "token+pis");
+  if (blocker == "token") {
+    options.blocker = BlockerChoice::kToken;
+  } else if (blocker == "pis") {
+    options.blocker = BlockerChoice::kPis;
+  } else if (blocker == "attr-cluster") {
+    options.blocker = BlockerChoice::kAttributeClustering;
+  } else if (blocker == "token+pis") {
+    options.blocker = BlockerChoice::kTokenPlusPis;
+  } else if (blocker == "qgram") {
+    options.blocker = BlockerChoice::kQGram;
+  } else if (blocker == "sorted-nbhd") {
+    options.blocker = BlockerChoice::kSortedNeighborhood;
+  } else {
+    return Status::InvalidArgument(
+        verb +
+        ": --blocker must be one of token|pis|attr-cluster|token+pis|"
+        "qgram|sorted-nbhd, got \"" +
+        blocker + "\"");
+  }
   // --memory-budget N[k|m|g]: cap on the in-RAM shuffle state (blocking
   // postings + vote shards); overflow spills sorted runs under --spill-dir.
   // Deterministic: the resolution result is byte-identical either way.
@@ -842,6 +866,7 @@ void Usage() {
                "quantity|attr|coverage|relationship --seeds --threads N "
                "--pin-threads --filter-ratio F --step-budget N --stream "
                "--out FILE "
+               "--blocker token|pis|attr-cluster|token+pis|qgram|sorted-nbhd "
                "--memory-budget N[k|m|g] --spill-dir DIR "
                "--metrics-out FILE --trace-out FILE --progress-every N]\n"
                "  session checkpoint|resume DIR --state FILE "

@@ -217,9 +217,13 @@ def main():
     parser.add_argument("--server", action="store_true",
                         help="validate a `minoan serve --metrics-out` file "
                              "(server.* counters; no trace/phase checks)")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="validate the stats file alone (runs that "
+                             "did not pass --trace-out, e.g. the "
+                             "out-of-core stress job)")
     args = parser.parse_args()
-    if not args.server and not args.trace:
-        parser.error("--trace is required unless --server")
+    if not args.server and not args.trace and not args.no_trace:
+        parser.error("--trace is required unless --server or --no-trace")
 
     problems = []
     stats = load(args.metrics, problems)
