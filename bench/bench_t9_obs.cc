@@ -4,10 +4,16 @@
 // promises:
 //
 //   1. Micro: ns/op for Counter::Add and Histogram::Record, registry
-//      enabled vs disabled, from a tight single-thread loop.
+//      enabled vs disabled, from a tight single-thread loop — plus the
+//      dual-write ScopedCounter (per-tenant attribution), which must cost
+//      one extra relaxed add over the plain counter.
 //   2. Macro: the full static pipeline (blocking → cleaning → meta-blocking
 //      → graph/evaluator) plus the progressive resolution, single-thread,
 //      metrics enabled vs disabled. Target: < 3% wall-time overhead.
+//   3. Served macro: one tenant stepping a batch session to completion
+//      through the resolution service, full observability plane (per-tenant
+//      scoping + rolling exporter + request tracing + event log) on vs off.
+//      Same < 3% target.
 //
 // Wall time on a shared CI box is jittery, so the macro comparison records
 // the median of five runs and the JSON entries are advisory (trend-tracked
@@ -26,6 +32,8 @@
 #include "bench_common.h"
 #include "core/session.h"
 #include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
@@ -63,21 +71,33 @@ int main(int argc, char** argv) {
   obs::Histogram& histogram = registry.histogram("bench.t9.histogram");
   constexpr uint64_t kMicroIters = 20'000'000;
 
+  obs::ScopedRegistry scope(&registry, "bench-tenant");
+  obs::ScopedCounter scoped = scope.scoped_counter("bench.t9.counter");
+
   registry.set_enabled(true);
   const double counter_on =
       NanosPerOp(kMicroIters, [&](uint64_t i) { counter.Add(i & 7); });
+  const double scoped_on =
+      NanosPerOp(kMicroIters, [&](uint64_t i) { scoped.Add(i & 7); });
   const double histogram_on = NanosPerOp(
       kMicroIters / 4, [&](uint64_t i) { histogram.Record(i & 1023); });
   registry.set_enabled(false);
   const double counter_off =
       NanosPerOp(kMicroIters, [&](uint64_t i) { counter.Add(i & 7); });
+  const double scoped_off =
+      NanosPerOp(kMicroIters, [&](uint64_t i) { scoped.Add(i & 7); });
   const double histogram_off = NanosPerOp(
       kMicroIters / 4, [&](uint64_t i) { histogram.Record(i & 1023); });
+  registry.set_enabled(true);
   counter.Reset();
   histogram.Reset();
 
   Table micro({"primitive", "enabled_ns", "disabled_ns"});
   micro.AddRow().Cell("counter.Add").Cell(counter_on, 2).Cell(counter_off, 2);
+  micro.AddRow()
+      .Cell("scoped_counter.Add")
+      .Cell(scoped_on, 2)
+      .Cell(scoped_off, 2);
   micro.AddRow()
       .Cell("histogram.Record")
       .Cell(histogram_on, 2)
@@ -122,6 +142,65 @@ int main(int argc, char** argv) {
   std::printf("\nregistry overhead: %+.2f%% (target < 3%%) %s\n", overhead_pct,
               overhead_pct < 3.0 ? "OK" : "** OVER TARGET **");
 
+  // --- served macro: full observability plane on vs off -------------------
+  const std::string source = "synthetic:97:" +
+                             std::to_string(200 * scale) + ":3:1";
+  auto run_served = [&](bool observed) {
+    registry.set_enabled(observed);
+    const std::string state_dir =
+        std::string("/tmp/minoan-bench-t9-serve-") +
+        (observed ? "observed" : "plain");
+    std::array<double, 5> wall{};
+    for (double& ms : wall) {
+      server::ServerOptions options;
+      options.state_dir = state_dir;
+      if (observed) {
+        options.stats_path = state_dir + "/stats.json";
+        options.stats_every_seconds = 0.05;
+        options.enable_trace = true;
+        options.event_log_path = state_dir + "/events.jsonl";
+        options.slow_request_millis = 0.001;  // log every request
+      }
+      auto server = server::Server::Start(options);
+      if (!server.ok()) {
+        std::fprintf(stderr, "FAIL: serve: %s\n",
+                     server.status().ToString().c_str());
+        std::exit(1);
+      }
+      auto client = server::Client::Connect("127.0.0.1", (*server)->port());
+      auto session = (*client)->CreateSession(
+          "bench", server::SessionKind::kBatch, source, 0.3);
+      if (!session.ok()) {
+        std::fprintf(stderr, "FAIL: create: %s\n",
+                     session.status().ToString().c_str());
+        std::exit(1);
+      }
+      Stopwatch watch;
+      auto step = (*client)->Step(*session, 0);
+      ms = watch.ElapsedMillis();
+      if (!step.ok() || !step->finished) {
+        std::fprintf(stderr, "FAIL: step did not finish\n");
+        std::exit(1);
+      }
+      (*server)->Shutdown();
+    }
+    return MedianOfFive(wall);
+  };
+
+  const double served_off = run_served(false);
+  const double served_on = run_served(true);
+  registry.set_enabled(true);
+
+  const double served_overhead_pct =
+      served_off > 0.0 ? 100.0 * (served_on - served_off) / served_off : 0.0;
+  Table served({"served", "median_ms"});
+  served.AddRow().Cell("plane-off").Cell(served_off, 2);
+  served.AddRow().Cell("plane-on").Cell(served_on, 2);
+  served.Print(std::cout);
+  std::printf("\nserved plane overhead: %+.2f%% (target < 3%%) %s\n",
+              served_overhead_pct,
+              served_overhead_pct < 3.0 ? "OK" : "** OVER TARGET **");
+
   std::string json = "{\n";
   json += "  \"bench\": \"t9_obs\",\n";
   json += "  \"scale\": " + std::to_string(scale) + ",\n";
@@ -143,10 +222,33 @@ int main(int argc, char** argv) {
                 pipeline_off);
   json += entry;
   std::snprintf(entry, sizeof(entry),
+                "    {\"phase\": \"scoped_counter_add\", \"mode\": "
+                "\"enabled\", \"threads\": 1, \"ms\": %.4f, "
+                "\"advisory\": true},\n",
+                scoped_on);
+  json += entry;
+  std::snprintf(entry, sizeof(entry),
+                "    {\"phase\": \"scoped_counter_add\", \"mode\": "
+                "\"disabled\", \"threads\": 1, \"ms\": %.4f, "
+                "\"advisory\": true},\n",
+                scoped_off);
+  json += entry;
+  std::snprintf(entry, sizeof(entry),
                 "    {\"phase\": \"pipeline\", \"mode\": \"metrics-on\", "
                 "\"threads\": 1, \"ms\": %.2f, \"advisory\": true, "
-                "\"overhead_pct\": %.2f}\n",
+                "\"overhead_pct\": %.2f},\n",
                 pipeline_on, overhead_pct);
+  json += entry;
+  std::snprintf(entry, sizeof(entry),
+                "    {\"phase\": \"served\", \"mode\": \"plane-off\", "
+                "\"threads\": 1, \"ms\": %.2f, \"advisory\": true},\n",
+                served_off);
+  json += entry;
+  std::snprintf(entry, sizeof(entry),
+                "    {\"phase\": \"served\", \"mode\": \"plane-on\", "
+                "\"threads\": 1, \"ms\": %.2f, \"advisory\": true, "
+                "\"overhead_pct\": %.2f}\n",
+                served_on, served_overhead_pct);
   json += entry;
   json += "  ]\n}\n";
 

@@ -1,0 +1,97 @@
+// Copyright 2026 The MinoanER Authors.
+
+#include "obs/event_log.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace minoan {
+namespace obs {
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "info";
+}
+
+EventLog::EventLog(Options options)
+    : options_{std::max<size_t>(1, options.max_events), options.min_severity},
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void EventLog::Log(Severity severity, std::string kind,
+                   std::vector<std::pair<std::string, std::string>> text,
+                   std::vector<std::pair<std::string, uint64_t>> values) {
+  Event event;
+  event.ts_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  event.severity = severity;
+  event.kind = std::move(kind);
+  event.text = std::move(text);
+  event.values = std::move(values);
+  Append(std::move(event));
+}
+
+void EventLog::Append(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (event.severity < options_.min_severity) {
+    ++filtered_;
+    return;
+  }
+  if (events_.size() >= options_.max_events) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Event>(events_.begin(), events_.end());
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t EventLog::filtered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filtered_;
+}
+
+void EventLog::WriteJsonl(std::ostream& out) const {
+  for (const Event& event : snapshot()) {
+    out << "{\"ts_us\":" << event.ts_us << ",\"severity\":\""
+        << SeverityName(event.severity) << "\",\"kind\":";
+    WriteJsonString(out, event.kind);
+    for (const auto& [name, value] : event.text) {
+      out << ',';
+      WriteJsonString(out, name);
+      out << ':';
+      WriteJsonString(out, value);
+    }
+    for (const auto& [name, value] : event.values) {
+      out << ',';
+      WriteJsonString(out, name);
+      out << ':' << value;
+    }
+    out << "}\n";
+  }
+}
+
+}  // namespace obs
+}  // namespace minoan

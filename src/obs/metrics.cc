@@ -3,6 +3,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace minoan {
@@ -65,6 +66,41 @@ void Histogram::Reset() {
       bucket.store(0, std::memory_order_relaxed);
     }
   }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The q-quantile is the rank-th smallest sample (nearest-rank, 1-based).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t below = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (below + in_bucket < rank) {
+      below += in_bucket;
+      continue;
+    }
+    // Bucket i holds the rank-th sample. Bucket 0 is the exact value 0;
+    // bucket i >= 1 spans [2^(i-1), 2^i): interpolate by rank position,
+    // then clamp into the exact [min, max] envelope — that makes single
+    // samples and all-equal histograms exact, and keeps the tail bucket
+    // (which absorbs overflow) from overshooting max.
+    double value = 0.0;
+    if (i > 0) {
+      const double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(i));
+      const double frac = static_cast<double>(rank - below) /
+                          static_cast<double>(in_bucket);
+      value = lo + frac * (hi - lo);
+    }
+    value = std::min(value, static_cast<double>(max));
+    value = std::max(value, static_cast<double>(min));
+    return value;
+  }
+  // Buckets inconsistent with count (hand-built snapshot): best effort.
+  return static_cast<double>(max);
 }
 
 uint64_t StatsSnapshot::CounterValue(std::string_view name) const {
@@ -145,6 +181,73 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+ScopedRegistry::ScopedRegistry(MetricsRegistry* parent, std::string label)
+    : parent_(parent), label_(std::move(label)) {}
+
+Counter& ScopedRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    // Local metrics borrow the parent's master switch: disabling the
+    // registry silences scoped shadows too.
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(parent_->enabled_flag()))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& ScopedRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(parent_->enabled_flag()))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& ScopedRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(parent_->enabled_flag()))
+             .first;
+  }
+  return *it->second;
+}
+
+ScopedCounter ScopedRegistry::scoped_counter(std::string_view name) {
+  return ScopedCounter(&parent_->counter(name), &counter(name));
+}
+
+ScopedHistogram ScopedRegistry::scoped_histogram(std::string_view name) {
+  return ScopedHistogram(&parent_->histogram(name), &histogram(name));
+}
+
+StatsSnapshot ScopedRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;
 }
 
 void WriteJsonString(std::ostream& out, std::string_view s) {

@@ -133,6 +133,13 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Quantile estimate (q in [0,1]) from the log2 buckets: linear
+  /// interpolation by rank inside the owning bucket, clamped to the exact
+  /// [min, max] envelope. 0 when empty; exact for single samples and for
+  /// histograms whose samples all share one value; otherwise within one
+  /// bucket width of the true order statistic. Monotone in q.
+  double Quantile(double q) const;
 };
 
 /// Distribution of a non-negative integer signal (shard sizes, queue waits,
@@ -220,10 +227,89 @@ class MetricsRegistry {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// The master-switch flag itself, for metrics that live outside this
+  /// registry but must obey its on/off state (ScopedRegistry shadows).
+  const std::atomic<bool>* enabled_flag() const { return &enabled_; }
+
  private:
   mutable std::mutex mu_;
   std::atomic<bool> enabled_{true};
   // std::map: deterministic name order for snapshots, stable addresses.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Dual-write counter handle: one Add lands in the process-wide metric and
+/// in a label-scoped shadow, so per-tenant attribution costs exactly one
+/// extra relaxed add per update — never per element (instrumentation sites
+/// batch, e.g. one Add per installment). Copyable; both targets outlive the
+/// handle (registry metrics are never destroyed before their registry).
+class ScopedCounter {
+ public:
+  ScopedCounter() = default;
+  ScopedCounter(Counter* process, Counter* scoped)
+      : process_(process), scoped_(scoped) {}
+
+  void Add(uint64_t delta) {
+    if (process_ != nullptr) process_->Add(delta);
+    if (scoped_ != nullptr) scoped_->Add(delta);
+  }
+  void Increment() { Add(1); }
+
+ private:
+  Counter* process_ = nullptr;
+  Counter* scoped_ = nullptr;
+};
+
+/// Histogram flavour of ScopedCounter: Record lands in both distributions.
+class ScopedHistogram {
+ public:
+  ScopedHistogram() = default;
+  ScopedHistogram(Histogram* process, Histogram* scoped)
+      : process_(process), scoped_(scoped) {}
+
+  void Record(uint64_t value) {
+    if (process_ != nullptr) process_->Record(value);
+    if (scoped_ != nullptr) scoped_->Record(value);
+  }
+
+ private:
+  Histogram* process_ = nullptr;
+  Histogram* scoped_ = nullptr;
+};
+
+/// A labelled view over a parent registry (one per tenant in the server).
+/// Metrics created here are local to the label but share the parent's
+/// master enable switch, so the out-of-band contract (rule 1 above) holds
+/// for scoped and process metrics as one unit. scoped_counter()/
+/// scoped_histogram() return dual-write handles pairing the parent's metric
+/// of the same name with the local shadow — the mechanism behind "tenant
+/// sums equal process totals".
+class ScopedRegistry {
+ public:
+  ScopedRegistry(MetricsRegistry* parent, std::string label);
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+  const std::string& label() const { return label_; }
+
+  /// Label-local metric, created on first use; stable reference.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Dual-write handles: parent metric `name` + the local shadow `name`.
+  ScopedCounter scoped_counter(std::string_view name);
+  ScopedHistogram scoped_histogram(std::string_view name);
+
+  /// Merged snapshot of the label-local metrics only, name-sorted.
+  StatsSnapshot Snapshot() const;
+
+ private:
+  MetricsRegistry* parent_;
+  std::string label_;
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -96,7 +96,33 @@ void WriteStatsJson(std::ostream& out, const StatsReport& report) {
     }
     out << ",\"mean\":";
     WriteDoubleJson(out, histogram.Mean());
+    out << ",\"p50\":";
+    WriteDoubleJson(out, histogram.Quantile(0.50));
+    out << ",\"p95\":";
+    WriteDoubleJson(out, histogram.Quantile(0.95));
+    out << ",\"p99\":";
+    WriteDoubleJson(out, histogram.Quantile(0.99));
     out << '}';
+  }
+  out << '}';
+
+  out << ",\"tenants\":{";
+  for (size_t i = 0; i < report.tenants.size(); ++i) {
+    const TenantBreakdown& tenant = report.tenants[i];
+    if (i != 0) out << ',';
+    WriteJsonString(out, tenant.tenant);
+    out << ":{\"sessions\":" << tenant.sessions
+        << ",\"requests\":" << tenant.requests
+        << ",\"comparisons\":" << tenant.comparisons
+        << ",\"matches\":" << tenant.matches
+        << ",\"spill_bytes\":" << tenant.spill_bytes
+        << ",\"request_micros\":{\"p50\":";
+    WriteDoubleJson(out, tenant.p50_request_micros);
+    out << ",\"p95\":";
+    WriteDoubleJson(out, tenant.p95_request_micros);
+    out << ",\"p99\":";
+    WriteDoubleJson(out, tenant.p99_request_micros);
+    out << "}}";
   }
   out << '}';
 

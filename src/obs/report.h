@@ -28,12 +28,30 @@ struct PhaseTiming {
   uint64_t cardinality = 0;
 };
 
+/// Per-tenant slice of a served run: where the budget went, attributed by
+/// the server's ScopedRegistry shadows. Counter fields sum to (at most)
+/// the matching process totals; latency quantiles come from the tenant's
+/// own request_micros histogram.
+struct TenantBreakdown {
+  std::string tenant;
+  uint64_t sessions = 0;  ///< Sessions this tenant created.
+  uint64_t requests = 0;  ///< Requests dispatched for this tenant.
+  uint64_t comparisons = 0;
+  uint64_t matches = 0;
+  uint64_t spill_bytes = 0;
+  double p50_request_micros = 0;
+  double p95_request_micros = 0;
+  double p99_request_micros = 0;
+};
+
 /// Everything one run observed, ready for export.
 struct StatsReport {
   StatsSnapshot metrics;
   std::vector<PhaseTiming> phases;
   std::vector<ProgressSample> progress;
   ThreadPoolStats pool;
+  /// Tenant-name-sorted; empty for non-served runs.
+  std::vector<TenantBreakdown> tenants;
   uint64_t peak_rss_bytes = 0;
 };
 
@@ -43,8 +61,9 @@ uint64_t PeakRssBytes();
 
 /// Flat JSON: {"schema":"minoan-stats-v1","phases":[...],"progress":[...],
 /// "pool":{...},"counters":{...},"gauges":{...},"histograms":{...},
-/// "peak_rss_bytes":N}. Progress samples carry the derived
-/// new-matches-per-1k-comparisons slope.
+/// "tenants":{...},"peak_rss_bytes":N}. Progress samples carry the derived
+/// new-matches-per-1k-comparisons slope; every histogram carries p50/p95/
+/// p99 estimated from its log2 buckets (HistogramSnapshot::Quantile).
 void WriteStatsJson(std::ostream& out, const StatsReport& report);
 
 }  // namespace obs

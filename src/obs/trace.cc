@@ -24,12 +24,30 @@ uint64_t TraceRecorder::NowMicros() const {
 
 void TraceRecorder::Append(TraceEvent event) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ > 0 && events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  return std::vector<TraceEvent>(events_.begin(), events_.end());
+}
+
+void TraceRecorder::set_capacity(size_t max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = max_events;
+  while (capacity_ > 0 && events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 void TraceRecorder::WriteChromeTrace(std::ostream& out) const {

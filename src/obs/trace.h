@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -55,6 +56,13 @@ class TraceRecorder {
   void Append(TraceEvent event);
   std::vector<TraceEvent> snapshot() const;
 
+  /// Bounds the recorder to the most recent `max_events` spans (0 =
+  /// unbounded, the default for one-shot pipeline runs). A long-lived
+  /// server sets this so per-request tracing cannot grow without limit;
+  /// the oldest events drop and dropped() says how many.
+  void set_capacity(size_t max_events);
+  uint64_t dropped() const;
+
   /// Chrome-trace JSON: {"traceEvents":[{"ph":"X",...}],...}. Complete
   /// events carry duration, thread id, and counter deltas in "args".
   void WriteChromeTrace(std::ostream& out) const;
@@ -62,7 +70,9 @@ class TraceRecorder {
  private:
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  size_t capacity_ = 0;
+  uint64_t dropped_ = 0;
+  std::deque<TraceEvent> events_;
 };
 
 /// RAII span. Construction snapshots time (and registry counters when the

@@ -249,6 +249,92 @@ Result<StatsReply> Client::Stats() {
   return out;
 }
 
+Result<StatsFullReply> Client::StatsFull() {
+  std::ostringstream body;
+  serde::WriteU8(body, kStatsBodyV2);
+  MINOAN_ASSIGN_OR_RETURN(std::string reply,
+                          Call(MessageId::kStats, body.str()));
+  std::istringstream in(reply);
+  StatsFullReply out;
+  uint8_t version = 0;
+  if (!serde::ReadU8(in, version)) {
+    return Status::ParseError("truncated StatsFull reply");
+  }
+  if (version != kStatsBodyV2) {
+    return Status::ParseError("unexpected stats body version " +
+                              std::to_string(version));
+  }
+  if (!serde::ReadU64(in, out.live_sessions) ||
+      !serde::ReadU64(in, out.total_sessions)) {
+    return Status::ParseError("truncated StatsFull reply");
+  }
+  uint32_t count = 0;
+  if (!serde::ReadU32(in, count)) {
+    return Status::ParseError("truncated StatsFull counters");
+  }
+  out.counters.reserve(serde::ClampedReserve(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    if (!serde::ReadString(in, name, 1 << 10) || !serde::ReadU64(in, value)) {
+      return Status::ParseError("truncated StatsFull counters");
+    }
+    out.counters.emplace_back(std::move(name), value);
+  }
+  if (!serde::ReadU32(in, count)) {
+    return Status::ParseError("truncated StatsFull gauges");
+  }
+  out.gauges.reserve(serde::ClampedReserve(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    if (!serde::ReadString(in, name, 1 << 10) || !serde::ReadU64(in, value)) {
+      return Status::ParseError("truncated StatsFull gauges");
+    }
+    out.gauges.emplace_back(std::move(name), static_cast<int64_t>(value));
+  }
+  if (!serde::ReadU32(in, count)) {
+    return Status::ParseError("truncated StatsFull histograms");
+  }
+  out.histograms.reserve(serde::ClampedReserve(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    HistogramStats h;
+    if (!serde::ReadString(in, name, 1 << 10) || !serde::ReadU64(in, h.count) ||
+        !serde::ReadU64(in, h.sum) || !serde::ReadU64(in, h.min) ||
+        !serde::ReadU64(in, h.max) || !serde::ReadDouble(in, h.p50) ||
+        !serde::ReadDouble(in, h.p95) || !serde::ReadDouble(in, h.p99)) {
+      return Status::ParseError("truncated StatsFull histograms");
+    }
+    out.histograms.emplace_back(std::move(name), h);
+  }
+  if (!serde::ReadU32(in, count)) {
+    return Status::ParseError("truncated StatsFull tenants");
+  }
+  out.tenants.reserve(serde::ClampedReserve(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    TenantStatsEntry t;
+    if (!serde::ReadString(in, t.tenant, 1 << 10) ||
+        !serde::ReadU64(in, t.sessions) || !serde::ReadU64(in, t.requests) ||
+        !serde::ReadU64(in, t.comparisons) || !serde::ReadU64(in, t.matches) ||
+        !serde::ReadU64(in, t.spill_bytes) ||
+        !serde::ReadDouble(in, t.p50_request_micros) ||
+        !serde::ReadDouble(in, t.p95_request_micros) ||
+        !serde::ReadDouble(in, t.p99_request_micros)) {
+      return Status::ParseError("truncated StatsFull tenants");
+    }
+    out.tenants.push_back(std::move(t));
+  }
+  return out;
+}
+
+uint64_t StatsFullReply::CounterValue(std::string_view name) const {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
 Status Client::Ping() { return Call(MessageId::kPing, {}).status(); }
 
 }  // namespace server

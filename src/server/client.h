@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "matching/matcher.h"
@@ -40,6 +41,44 @@ struct StepReply {
 struct StatsReply {
   uint64_t live_sessions = 0;
   uint64_t total_sessions = 0;
+};
+
+/// One histogram summary of the full (v2) stats body.
+struct HistogramStats {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// One tenant's slice of the full stats body.
+struct TenantStatsEntry {
+  std::string tenant;
+  uint64_t sessions = 0;
+  uint64_t requests = 0;
+  uint64_t comparisons = 0;
+  uint64_t matches = 0;
+  uint64_t spill_bytes = 0;
+  double p50_request_micros = 0;
+  double p95_request_micros = 0;
+  double p99_request_micros = 0;
+};
+
+/// Reply of StatsFull: the whole metrics-registry snapshot plus the
+/// per-tenant breakdown (kStats v2 body, protocol.h).
+struct StatsFullReply {
+  uint64_t live_sessions = 0;
+  uint64_t total_sessions = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+  std::vector<TenantStatsEntry> tenants;
+
+  /// Counter value by name; 0 when absent.
+  uint64_t CounterValue(std::string_view name) const;
 };
 
 class Client {
@@ -88,6 +127,9 @@ class Client {
   Result<std::string> Links(uint64_t session);
 
   Result<StatsReply> Stats();
+  /// The v2 full stats body (registry snapshot + per-tenant breakdown).
+  /// Requires a server that speaks the v2 body; Stats() works everywhere.
+  Result<StatsFullReply> StatsFull();
   Status Ping();
 
  private:

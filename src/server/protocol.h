@@ -58,13 +58,32 @@
 //       so far — byte-identical to the file `minoan resolve` writes for
 //       the same corpus, options, and spent budget.
 //   kStats          (empty) -> u64 live sessions, u64 total sessions
-//       Lifecycle counters (created/evicted/restored/closed) are exported
-//       through the metrics registry (`serve --metrics-out`), not here.
+//       The legacy v1 body, still served byte-identically to old clients.
+//   kStats          u8 kStatsBodyV2
+//                   -> u8 kStatsBodyV2, u64 live sessions,
+//                      u64 total sessions,
+//                      u32 nc, nc x {str name, u64 value},
+//                      u32 ng, ng x {str name, u64 value
+//                                    (int64 two's complement)},
+//                      u32 nh, nh x {str name, u64 count, u64 sum,
+//                                    u64 min, u64 max,
+//                                    f64 p50, f64 p95, f64 p99},
+//                      u32 nt, nt x {str tenant, u64 sessions,
+//                                    u64 requests, u64 comparisons,
+//                                    u64 matches, u64 spill_bytes,
+//                                    f64 p50/p95/p99 request micros}
+//       The v2 full body: the whole metrics-registry snapshot (counters,
+//       gauges, histogram summaries with log2-bucket quantiles) plus the
+//       per-tenant breakdown the server attributes via scoped registries.
+//       Tenant counter sums never exceed the matching process totals.
 //   kPing           (empty) -> (empty)
 //
 // Compatibility: adding a message id is backward compatible; changing a
 // body layout requires bumping kProtocolVersion (the server rejects
-// versions it does not speak with kFailedPrecondition).
+// versions it does not speak with kFailedPrecondition). Growing a request
+// body with a leading discriminator is also backward compatible when the
+// old body was empty: a v1 client sends zero bytes for kStats and gets the
+// two-u64 reply; a client that writes kStatsBodyV2 gets the full body.
 
 #ifndef MINOAN_SERVER_PROTOCOL_H_
 #define MINOAN_SERVER_PROTOCOL_H_
@@ -93,6 +112,10 @@ enum class MessageId : uint16_t {
   kStats = 10,
   kPing = 11,
 };
+
+/// Leading request-body byte selecting the full kStats reply. An empty
+/// request body selects the legacy two-u64 reply (see the layout above).
+inline constexpr uint8_t kStatsBodyV2 = 2;
 
 /// Session kind carried by kCreateSession.
 enum class SessionKind : uint8_t {

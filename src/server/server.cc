@@ -10,6 +10,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "matching/matcher.h"
@@ -78,9 +81,9 @@ obs::Histogram& RequestMicros() {
   return h;
 }
 
-obs::Counter& ComparisonsCounter() {
+obs::Counter& SpillBytesCounter() {
   static obs::Counter& c =
-      obs::MetricsRegistry::Default().counter("server.comparisons");
+      obs::MetricsRegistry::Default().counter("spill.bytes");
   return c;
 }
 
@@ -90,7 +93,109 @@ std::string Truncated(const char* what) {
                                       " request body"));
 }
 
+/// Short request-kind name for span labels and event fields.
+const char* MessageKindName(MessageId id) {
+  switch (id) {
+    case MessageId::kCreateSession:
+      return "create";
+    case MessageId::kStep:
+      return "step";
+    case MessageId::kMatches:
+      return "matches";
+    case MessageId::kCheckpoint:
+      return "checkpoint";
+    case MessageId::kClose:
+      return "close";
+    case MessageId::kIngest:
+      return "ingest";
+    case MessageId::kResolveBudget:
+      return "resolve";
+    case MessageId::kQuery:
+      return "query";
+    case MessageId::kLinks:
+      return "links";
+    case MessageId::kStats:
+      return "stats";
+    case MessageId::kPing:
+      return "ping";
+  }
+  return "other";
+}
+
+/// Every session-addressed request body starts with the u64 session id;
+/// peek it (little-endian, same as serde) so the span carries the tag even
+/// though the handler has not parsed the body yet. 0 when not applicable.
+uint64_t PeekSessionId(MessageId id, const std::string& body) {
+  switch (id) {
+    case MessageId::kStep:
+    case MessageId::kResolveBudget:
+    case MessageId::kMatches:
+    case MessageId::kCheckpoint:
+    case MessageId::kClose:
+    case MessageId::kIngest:
+    case MessageId::kQuery:
+    case MessageId::kLinks:
+      break;
+    default:
+      return 0;
+  }
+  if (body.size() < sizeof(uint64_t)) return 0;
+  uint64_t session = 0;
+  std::memcpy(&session, body.data(), sizeof(session));
+  return session;
+}
+
+/// Full-file replace via a sibling temp file + rename, so a concurrent
+/// reader sees either the previous snapshot or the new one — never a torn
+/// mix (rename within one directory is atomic on POSIX).
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
+    out << contents;
+    out.flush();
+    if (!out) return Status::IoError("short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+/// One tenant's metric bundle. The dual-write handles mirror the process
+/// server.comparisons / server.matches counters into the tenant's scoped
+/// shadow (one extra relaxed add per installment, never per element); the
+/// plain members are local-only because their process-wide counterparts are
+/// incremented elsewhere (SessionManager, Dispatch) and a dual write would
+/// double-count.
+struct Server::TenantStats {
+  explicit TenantStats(std::string label)
+      : scoped(&obs::MetricsRegistry::Default(), std::move(label)),
+        sessions(scoped.counter("server.sessions.created")),
+        requests(scoped.counter("server.requests")),
+        spill_bytes(scoped.counter("server.spill_bytes")),
+        comparisons_local(scoped.counter("server.comparisons")),
+        matches_local(scoped.counter("server.matches")),
+        request_micros(scoped.histogram("server.request_micros")),
+        comparisons(scoped.scoped_counter("server.comparisons")),
+        matches(scoped.scoped_counter("server.matches")) {}
+
+  obs::ScopedRegistry scoped;
+  obs::Counter& sessions;
+  obs::Counter& requests;
+  obs::Counter& spill_bytes;
+  obs::Counter& comparisons_local;
+  obs::Counter& matches_local;
+  obs::Histogram& request_micros;
+  obs::ScopedCounter comparisons;
+  obs::ScopedCounter matches;
+};
 
 Server::Server(ServerOptions options)
     : options_(options),
@@ -98,7 +203,15 @@ Server::Server(ServerOptions options)
                                         options.max_sessions,
                                         options.evict_after_seconds}),
       fair_share_(ResolveThreadCount(options.num_threads)),
-      pool_(ResolveThreadCount(options.num_threads)) {}
+      pool_(ResolveThreadCount(options.num_threads)),
+      events_(obs::EventLog::Options{options.max_events,
+                                     obs::Severity::kInfo}) {
+  if (options_.enable_trace || !options_.trace_path.empty()) {
+    trace_ = std::make_unique<obs::TraceRecorder>();
+    trace_->set_capacity(options_.max_trace_events);
+  }
+  sessions_.set_event_log(&events_);
+}
 
 Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
   std::unique_ptr<Server> server(new Server(options));
@@ -147,6 +260,11 @@ Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
     server->sweeper_thread_ =
         std::thread([s = server.get()] { s->SweeperLoop(); });
   }
+  if (options.stats_every_seconds > 0 &&
+      (!options.stats_path.empty() || !options.event_log_path.empty())) {
+    server->exporter_thread_ =
+        std::thread([s = server.get()] { s->ExporterLoop(); });
+  }
   return server;
 }
 
@@ -173,6 +291,7 @@ void Server::Shutdown() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (sweeper_thread_.joinable()) sweeper_thread_.join();
+  if (exporter_thread_.joinable()) exporter_thread_.join();
   std::vector<std::thread> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -184,6 +303,14 @@ void Server::Shutdown() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  // Final installment of the rolling exports, now that every handler has
+  // drained; losing a telemetry write must not fail shutdown.
+  (void)ExportSnapshots();
+  if (!options_.trace_path.empty() && trace_ != nullptr) {
+    std::ostringstream json;
+    trace_->WriteChromeTrace(json);
+    (void)WriteFileAtomic(options_.trace_path, json.str());
   }
   std::lock_guard<std::mutex> lock(conn_mu_);
   shut_down_ = true;
@@ -222,6 +349,20 @@ void Server::SweeperLoop() {
   }
 }
 
+void Server::ExporterLoop() {
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    shutdown_cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.stats_every_seconds),
+        [this] { return stopping_.load(std::memory_order_relaxed); });
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    lock.unlock();
+    // Rolling installment; shutdown writes the authoritative final one.
+    (void)ExportSnapshots();
+    lock.lock();
+  }
+}
+
 void Server::HandleConnection(int fd) {
   while (!stopping_.load(std::memory_order_relaxed)) {
     Frame frame;
@@ -253,59 +394,100 @@ std::string Server::Dispatch(const Frame& frame) {
   const auto start = std::chrono::steady_clock::now();
   const auto id = static_cast<MessageId>(frame.id);
   RequestCounter(id).Increment();
+  RequestContext ctx;
+  ctx.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  ctx.session_id = PeekSessionId(id, frame.body);
   std::istringstream body(frame.body);
   std::string response;
-  switch (id) {
-    case MessageId::kCreateSession:
-      response = HandleCreateSession(body);
-      break;
-    case MessageId::kStep:
-      response = HandleStep(body, /*online=*/false);
-      break;
-    case MessageId::kResolveBudget:
-      response = HandleStep(body, /*online=*/true);
-      break;
-    case MessageId::kMatches:
-      response = HandleMatches(body);
-      break;
-    case MessageId::kCheckpoint:
-      response = HandleCheckpoint(body);
-      break;
-    case MessageId::kClose:
-      response = HandleClose(body);
-      break;
-    case MessageId::kIngest:
-      response = HandleIngest(body);
-      break;
-    case MessageId::kQuery:
-      response = HandleQuery(body);
-      break;
-    case MessageId::kLinks:
-      response = HandleLinks(body);
-      break;
-    case MessageId::kStats:
-      response = HandleStats();
-      break;
-    case MessageId::kPing: {
-      std::ostringstream out;
-      WriteStatusPrefix(out, Status::Ok());
-      response = out.str();
-      break;
+  {
+    // The whole handler runs under one span tagged with the request id and
+    // (when the body addresses one) the session id, so a trace shows each
+    // request's wall time and the counters it advanced.
+    std::optional<obs::PhaseSpan> span;
+    if (trace_ != nullptr) {
+      std::string name = MessageKindName(id);
+      name += " rid=" + std::to_string(ctx.request_id);
+      if (ctx.session_id != 0) {
+        name += " sid=" + std::to_string(ctx.session_id);
+      }
+      span.emplace(trace_.get(), std::move(name));
     }
-    default:
-      response = ErrorBody(Status::Unimplemented(
-          "unknown message id " + std::to_string(frame.id)));
+    switch (id) {
+      case MessageId::kCreateSession:
+        response = HandleCreateSession(body, ctx);
+        break;
+      case MessageId::kStep:
+        response = HandleStep(body, /*online=*/false, ctx);
+        break;
+      case MessageId::kResolveBudget:
+        response = HandleStep(body, /*online=*/true, ctx);
+        break;
+      case MessageId::kMatches:
+        response = HandleMatches(body, ctx);
+        break;
+      case MessageId::kCheckpoint:
+        response = HandleCheckpoint(body, ctx);
+        break;
+      case MessageId::kClose:
+        response = HandleClose(body, ctx);
+        break;
+      case MessageId::kIngest:
+        response = HandleIngest(body, ctx);
+        break;
+      case MessageId::kQuery:
+        response = HandleQuery(body, ctx);
+        break;
+      case MessageId::kLinks:
+        response = HandleLinks(body, ctx);
+        break;
+      case MessageId::kStats:
+        response = HandleStats(body);
+        break;
+      case MessageId::kPing: {
+        std::ostringstream out;
+        WriteStatusPrefix(out, Status::Ok());
+        response = out.str();
+        break;
+      }
+      default:
+        response = ErrorBody(Status::Unimplemented(
+            "unknown message id " + std::to_string(frame.id)));
+    }
   }
-  RequestMicros().Record(static_cast<uint64_t>(
+  const uint64_t micros = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
-          .count()));
+          .count());
+  RequestMicros().Record(micros);
+  if (!ctx.tenant.empty()) {
+    TenantStats& tenant = TenantFor(ctx.tenant);
+    tenant.requests.Increment();
+    tenant.request_micros.Record(micros);
+  }
+  if (options_.slow_request_millis > 0 &&
+      static_cast<double>(micros) > options_.slow_request_millis * 1000.0) {
+    events_.Log(obs::Severity::kWarn, "slow_request",
+                {{"request", MessageKindName(id)}, {"tenant", ctx.tenant}},
+                {{"request_id", ctx.request_id},
+                 {"session", ctx.session_id},
+                 {"micros", micros}});
+  }
   return response;
+}
+
+Server::TenantStats& Server::TenantFor(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(tenant, std::make_unique<TenantStats>(tenant)).first;
+  }
+  return *it->second;
 }
 
 void Server::RunInstallment(const std::string& tenant,
                             const std::function<uint64_t()>& fn) {
   fair_share_.Acquire(tenant);
+  const uint64_t spill_before = SpillBytesCounter().Value();
   uint64_t cost = 0;
   std::mutex mu;
   std::condition_variable cv;
@@ -323,10 +505,20 @@ void Server::RunInstallment(const std::string& tenant,
   // Flat requests charge at least 1 so vtime advances and FIFO cannot
   // regress into starvation.
   fair_share_.Release(tenant, std::max<uint64_t>(1, cost));
-  ComparisonsCounter().Add(cost);
+  TenantStats& stats = TenantFor(tenant);
+  // The dual write lands in the process server.comparisons counter AND the
+  // tenant shadow, so the per-tenant sum reconciles exactly.
+  stats.comparisons.Add(cost);
+  // Spill attribution is delta-sampled around the installment: exact when
+  // one installment runs at a time, an upper bound under overlap.
+  const uint64_t spill_after = SpillBytesCounter().Value();
+  if (spill_after > spill_before) {
+    stats.spill_bytes.Add(spill_after - spill_before);
+  }
 }
 
-std::string Server::HandleCreateSession(std::istream& body) {
+std::string Server::HandleCreateSession(std::istream& body,
+                                        RequestContext& ctx) {
   SessionSpec spec;
   uint8_t kind = 0;
   uint8_t seeds = 0;
@@ -355,6 +547,7 @@ std::string Server::HandleCreateSession(std::istream& body) {
   spec.kind = static_cast<SessionKind>(kind);
   spec.use_same_as_seeds = seeds != 0;
   spec.num_threads = threads;
+  ctx.tenant = spec.tenant;
 
   uint64_t id = 0;
   Status status = Status::Ok();
@@ -370,18 +563,24 @@ std::string Server::HandleCreateSession(std::istream& body) {
     return 1;
   });
   if (!status.ok()) return ErrorBody(status);
+  ctx.session_id = id;
+  // Local-only shadow: SessionManager already counted the process-wide
+  // server.sessions.created.
+  TenantFor(spec.tenant).sessions.Increment();
   std::ostringstream out;
   WriteStatusPrefix(out, Status::Ok());
   serde::WriteU64(out, id);
   return out.str();
 }
 
-std::string Server::HandleStep(std::istream& body, bool online) {
+std::string Server::HandleStep(std::istream& body, bool online,
+                               RequestContext& ctx) {
   uint64_t session = 0;
   uint64_t budget = 0;
   if (!serde::ReadU64(body, session) || !serde::ReadU64(body, budget)) {
     return Truncated(online ? "ResolveBudget" : "Step");
   }
+  ctx.session_id = session;
   auto lease = sessions_.Acquire(session);
   if (!lease.ok()) return ErrorBody(lease.status());
   if (online != (lease->online() != nullptr)) {
@@ -390,6 +589,7 @@ std::string Server::HandleStep(std::istream& body, bool online) {
                : "Step requires a batch session"));
   }
   const std::string tenant = lease->spec().tenant;
+  ctx.tenant = tenant;
 
   // The budget is spent in fair-share installments: each slice is admitted
   // separately, so another tenant's work interleaves between slices. The
@@ -425,6 +625,9 @@ std::string Server::HandleStep(std::istream& body, bool online) {
     // A slice that spent nothing and did not finish cannot make progress.
     if (step.comparisons == 0) break;
   }
+  // Matches mirror comparisons: dual-written to the process server.matches
+  // counter and the tenant shadow at the same site.
+  if (call_matches > 0) TenantFor(tenant).matches.Add(call_matches);
 
   std::ostringstream out;
   WriteStatusPrefix(out, Status::Ok());
@@ -442,14 +645,16 @@ std::string Server::HandleStep(std::istream& body, bool online) {
   return out.str();
 }
 
-std::string Server::HandleMatches(std::istream& body) {
+std::string Server::HandleMatches(std::istream& body, RequestContext& ctx) {
   uint64_t session = 0;
   uint64_t since = 0;
   if (!serde::ReadU64(body, session) || !serde::ReadU64(body, since)) {
     return Truncated("Matches");
   }
+  ctx.session_id = session;
   auto lease = sessions_.Acquire(session);
   if (!lease.ok()) return ErrorBody(lease.status());
+  ctx.tenant = lease->spec().tenant;
   const std::vector<MatchEvent>& matches =
       lease->online() != nullptr
           ? lease->online()->run().matches
@@ -467,9 +672,10 @@ std::string Server::HandleMatches(std::istream& body) {
   return out.str();
 }
 
-std::string Server::HandleCheckpoint(std::istream& body) {
+std::string Server::HandleCheckpoint(std::istream& body, RequestContext& ctx) {
   uint64_t session = 0;
   if (!serde::ReadU64(body, session)) return Truncated("Checkpoint");
+  ctx.session_id = session;
   auto bytes = sessions_.Checkpoint(session);
   if (!bytes.ok()) return ErrorBody(bytes.status());
   std::ostringstream out;
@@ -478,16 +684,17 @@ std::string Server::HandleCheckpoint(std::istream& body) {
   return out.str();
 }
 
-std::string Server::HandleClose(std::istream& body) {
+std::string Server::HandleClose(std::istream& body, RequestContext& ctx) {
   uint64_t session = 0;
   if (!serde::ReadU64(body, session)) return Truncated("Close");
+  ctx.session_id = session;
   if (Status st = sessions_.Close(session); !st.ok()) return ErrorBody(st);
   std::ostringstream out;
   WriteStatusPrefix(out, Status::Ok());
   return out.str();
 }
 
-std::string Server::HandleIngest(std::istream& body) {
+std::string Server::HandleIngest(std::istream& body, RequestContext& ctx) {
   uint64_t session = 0;
   std::string kb_name;
   std::string document;
@@ -496,8 +703,10 @@ std::string Server::HandleIngest(std::istream& body) {
       !serde::ReadString(body, document, kMaxFrameBytes)) {
     return Truncated("Ingest");
   }
+  ctx.session_id = session;
   auto lease = sessions_.Acquire(session);
   if (!lease.ok()) return ErrorBody(lease.status());
+  ctx.tenant = lease->spec().tenant;
   if (lease->online() == nullptr) {
     return ErrorBody(
         Status::FailedPrecondition("Ingest requires an online session"));
@@ -531,7 +740,7 @@ std::string Server::HandleIngest(std::istream& body) {
   return out.str();
 }
 
-std::string Server::HandleQuery(std::istream& body) {
+std::string Server::HandleQuery(std::istream& body, RequestContext& ctx) {
   uint64_t session = 0;
   uint32_t entity = 0;
   uint32_t k = 0;
@@ -539,8 +748,10 @@ std::string Server::HandleQuery(std::istream& body) {
       !serde::ReadU32(body, k)) {
     return Truncated("Query");
   }
+  ctx.session_id = session;
   auto lease = sessions_.Acquire(session);
   if (!lease.ok()) return ErrorBody(lease.status());
+  ctx.tenant = lease->spec().tenant;
   if (lease->online() == nullptr) {
     return ErrorBody(
         Status::FailedPrecondition("Query requires an online session"));
@@ -563,11 +774,13 @@ std::string Server::HandleQuery(std::istream& body) {
   return out.str();
 }
 
-std::string Server::HandleLinks(std::istream& body) {
+std::string Server::HandleLinks(std::istream& body, RequestContext& ctx) {
   uint64_t session = 0;
   if (!serde::ReadU64(body, session)) return Truncated("Links");
+  ctx.session_id = session;
   auto lease = sessions_.Acquire(session);
   if (!lease.ok()) return ErrorBody(lease.status());
+  ctx.tenant = lease->spec().tenant;
   const EntityCollection& collection = lease->collection();
   const std::vector<MatchEvent>& matches =
       lease->online() != nullptr
@@ -589,12 +802,105 @@ std::string Server::HandleLinks(std::istream& body) {
   return out.str();
 }
 
-std::string Server::HandleStats() {
+std::string Server::HandleStats(std::istream& body) {
+  uint8_t version = 0;
+  const bool full = serde::ReadU8(body, version);
+  if (full && version != kStatsBodyV2) {
+    return ErrorBody(Status::InvalidArgument("unsupported stats body version " +
+                                             std::to_string(version)));
+  }
   std::ostringstream out;
   WriteStatusPrefix(out, Status::Ok());
+  if (!full) {
+    // Legacy v1 request (empty body): the original two-u64 reply, byte for
+    // byte — old clients parse exactly this and nothing more.
+    serde::WriteU64(out, sessions_.live_sessions());
+    serde::WriteU64(out, sessions_.num_sessions());
+    return out.str();
+  }
+  serde::WriteU8(out, kStatsBodyV2);
   serde::WriteU64(out, sessions_.live_sessions());
   serde::WriteU64(out, sessions_.num_sessions());
+  const obs::StatsSnapshot snap = obs::MetricsRegistry::Default().Snapshot();
+  serde::WriteU32(out, static_cast<uint32_t>(snap.counters.size()));
+  for (const auto& [name, value] : snap.counters) {
+    serde::WriteString(out, name);
+    serde::WriteU64(out, value);
+  }
+  serde::WriteU32(out, static_cast<uint32_t>(snap.gauges.size()));
+  for (const auto& [name, value] : snap.gauges) {
+    serde::WriteString(out, name);
+    serde::WriteU64(out, static_cast<uint64_t>(value));
+  }
+  serde::WriteU32(out, static_cast<uint32_t>(snap.histograms.size()));
+  for (const auto& [name, histogram] : snap.histograms) {
+    serde::WriteString(out, name);
+    serde::WriteU64(out, histogram.count);
+    serde::WriteU64(out, histogram.sum);
+    serde::WriteU64(out, histogram.count > 0 ? histogram.min : 0);
+    serde::WriteU64(out, histogram.max);
+    serde::WriteDouble(out, histogram.Quantile(0.50));
+    serde::WriteDouble(out, histogram.Quantile(0.95));
+    serde::WriteDouble(out, histogram.Quantile(0.99));
+  }
+  const std::vector<obs::TenantBreakdown> tenants = TenantBreakdowns();
+  serde::WriteU32(out, static_cast<uint32_t>(tenants.size()));
+  for (const obs::TenantBreakdown& tenant : tenants) {
+    serde::WriteString(out, tenant.tenant);
+    serde::WriteU64(out, tenant.sessions);
+    serde::WriteU64(out, tenant.requests);
+    serde::WriteU64(out, tenant.comparisons);
+    serde::WriteU64(out, tenant.matches);
+    serde::WriteU64(out, tenant.spill_bytes);
+    serde::WriteDouble(out, tenant.p50_request_micros);
+    serde::WriteDouble(out, tenant.p95_request_micros);
+    serde::WriteDouble(out, tenant.p99_request_micros);
+  }
   return out.str();
+}
+
+std::vector<obs::TenantBreakdown> Server::TenantBreakdowns() const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  std::vector<obs::TenantBreakdown> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, stats] : tenants_) {
+    obs::TenantBreakdown breakdown;
+    breakdown.tenant = name;
+    breakdown.sessions = stats->sessions.Value();
+    breakdown.requests = stats->requests.Value();
+    breakdown.comparisons = stats->comparisons_local.Value();
+    breakdown.matches = stats->matches_local.Value();
+    breakdown.spill_bytes = stats->spill_bytes.Value();
+    const obs::HistogramSnapshot latency = stats->request_micros.Snapshot();
+    breakdown.p50_request_micros = latency.Quantile(0.50);
+    breakdown.p95_request_micros = latency.Quantile(0.95);
+    breakdown.p99_request_micros = latency.Quantile(0.99);
+    out.push_back(std::move(breakdown));
+  }
+  return out;
+}
+
+obs::StatsReport Server::BuildStatsReport() const {
+  obs::StatsReport report;
+  report.metrics = obs::MetricsRegistry::Default().Snapshot();
+  report.tenants = TenantBreakdowns();
+  report.peak_rss_bytes = obs::PeakRssBytes();
+  return report;
+}
+
+Status Server::ExportSnapshots() const {
+  if (!options_.stats_path.empty()) {
+    std::ostringstream json;
+    obs::WriteStatsJson(json, BuildStatsReport());
+    MINOAN_RETURN_IF_ERROR(WriteFileAtomic(options_.stats_path, json.str()));
+  }
+  if (!options_.event_log_path.empty()) {
+    std::ostringstream jsonl;
+    events_.WriteJsonl(jsonl);
+    MINOAN_RETURN_IF_ERROR(
+        WriteFileAtomic(options_.event_log_path, jsonl.str()));
+  }
+  return Status::Ok();
 }
 
 }  // namespace server

@@ -24,7 +24,24 @@
 //
 // Metrics (out-of-band): server.requests.<kind> counters,
 // server.request_micros histogram, server.comparisons counter, and the
-// SessionManager's server.sessions.* family.
+// SessionManager's server.sessions.* family. On top of those process-wide
+// signals sits the live observability plane:
+//
+//   - per-tenant attribution: each tenant gets an obs::ScopedRegistry whose
+//     dual-write handles mirror server.comparisons / server.matches into a
+//     tenant-local shadow, so per-tenant sums reconcile exactly against the
+//     process totals (TenantBreakdowns / the kStats v2 body);
+//   - per-request tracing: every dispatch runs under a PhaseSpan named
+//     "<kind> rid=<request id> sid=<session id>" feeding an optional
+//     bounded TraceRecorder (written as Chrome-trace JSON at shutdown);
+//   - a structured EventLog (slow_request, session_evicted/restored/
+//     closed, checkpoint/restore failures) exported as JSONL;
+//   - a background exporter thread rewriting the stats snapshot every
+//     stats_every_seconds via temp-file + atomic rename, so readers never
+//     observe a torn file.
+//
+// All of it observes and none of it steers: results are byte-identical
+// with the whole plane on or off (ObsParityTest covers the served path).
 
 #ifndef MINOAN_SERVER_SERVER_H_
 #define MINOAN_SERVER_SERVER_H_
@@ -34,12 +51,17 @@
 #include <cstdint>
 #include <functional>
 #include <istream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "server/fair_share.h"
 #include "server/session_manager.h"
 #include "server/wire.h"
@@ -65,6 +87,27 @@ struct ServerOptions {
   /// Comparisons per admitted installment: the fairness quantum. Smaller =
   /// tighter interleaving, more gate traffic.
   uint64_t installment = 2048;
+
+  /// Rolling stats export: when stats_path is set, the final snapshot is
+  /// written at shutdown; with stats_every_seconds > 0 an exporter thread
+  /// also rewrites it on that period (temp file + atomic rename — a reader
+  /// never sees a torn snapshot). minoan-stats-v1 schema with the
+  /// per-tenant breakdown populated.
+  std::string stats_path;
+  double stats_every_seconds = 0;
+  /// Per-request tracing: record every dispatch as a PhaseSpan. Implied by
+  /// a non-empty trace_path (Chrome-trace JSON written at shutdown);
+  /// enable_trace alone keeps the recorder in memory for tests.
+  std::string trace_path;
+  bool enable_trace = false;
+  /// JSONL event log (slow requests, evictions, restores, failures),
+  /// rolled with the stats snapshots and written at shutdown.
+  std::string event_log_path;
+  /// Requests slower than this log a "slow_request" warn event (0 = off).
+  double slow_request_millis = 250;
+  /// Ring bounds for the event log and the per-request trace.
+  size_t max_events = 4096;
+  size_t max_trace_events = 65536;
 };
 
 class Server {
@@ -86,28 +129,58 @@ class Server {
   const ServerOptions& options() const { return options_; }
   SessionManager& sessions() { return sessions_; }
 
+  /// Everything the server observed so far: the registry snapshot, the
+  /// per-tenant breakdown, and peak RSS. The exporter thread, the shutdown
+  /// snapshot, and the kStats v2 body all go through this one builder.
+  obs::StatsReport BuildStatsReport() const;
+  /// Per-tenant attribution, tenant-name sorted.
+  std::vector<obs::TenantBreakdown> TenantBreakdowns() const;
+
+  /// Writes the stats snapshot and event log to their configured paths via
+  /// temp file + atomic rename. No-op for unset paths.
+  Status ExportSnapshots() const;
+
+  /// The per-request trace (null unless tracing is enabled) and the
+  /// structured event log.
+  const obs::TraceRecorder* trace() const { return trace_.get(); }
+  obs::EventLog& events() { return events_; }
+
   /// Blocks until Shutdown() is called (the serve loop's main thread).
   void Wait();
 
  private:
   explicit Server(ServerOptions options);
 
+  /// Everything a handler learns about the request it is serving, used
+  /// after dispatch for span naming, tenant attribution, and slow-request
+  /// events. session_id / tenant stay 0 / empty when not applicable.
+  struct RequestContext {
+    uint64_t request_id = 0;
+    uint64_t session_id = 0;
+    std::string tenant;
+  };
+  struct TenantStats;
+
   void AcceptLoop();
   void SweeperLoop();
+  void ExporterLoop();
   void HandleConnection(int fd);
   /// Decodes one request frame and produces the response body. Never
   /// throws; internal errors become error responses.
   std::string Dispatch(const Frame& frame);
 
-  std::string HandleCreateSession(std::istream& body);
-  std::string HandleStep(std::istream& body, bool online);
-  std::string HandleMatches(std::istream& body);
-  std::string HandleCheckpoint(std::istream& body);
-  std::string HandleClose(std::istream& body);
-  std::string HandleIngest(std::istream& body);
-  std::string HandleQuery(std::istream& body);
-  std::string HandleLinks(std::istream& body);
-  std::string HandleStats();
+  std::string HandleCreateSession(std::istream& body, RequestContext& ctx);
+  std::string HandleStep(std::istream& body, bool online, RequestContext& ctx);
+  std::string HandleMatches(std::istream& body, RequestContext& ctx);
+  std::string HandleCheckpoint(std::istream& body, RequestContext& ctx);
+  std::string HandleClose(std::istream& body, RequestContext& ctx);
+  std::string HandleIngest(std::istream& body, RequestContext& ctx);
+  std::string HandleQuery(std::istream& body, RequestContext& ctx);
+  std::string HandleLinks(std::istream& body, RequestContext& ctx);
+  std::string HandleStats(std::istream& body);
+
+  /// The tenant's scoped-metric bundle, created on first use.
+  TenantStats& TenantFor(const std::string& tenant);
 
   /// Runs `fn` as one fair-share installment on the shared pool, charging
   /// `tenant` the cost fn reports.
@@ -119,11 +192,18 @@ class Server {
   FairShare fair_share_;
   ThreadPool pool_;
 
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  obs::EventLog events_;
+  std::atomic<uint64_t> next_request_id_{1};
+  mutable std::mutex tenants_mu_;
+  std::map<std::string, std::unique_ptr<TenantStats>, std::less<>> tenants_;
+
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::thread sweeper_thread_;
+  std::thread exporter_thread_;
   std::mutex conn_mu_;
   std::vector<std::thread> conn_threads_;
   std::vector<int> conn_fds_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "datagen/lod_generator.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "rdf/turtle.h"
 #include "util/thread_pool.h"
@@ -241,6 +242,22 @@ Status SessionManager::Materialize(Entry& entry) {
 }
 
 Status SessionManager::RestoreEntry(Entry& entry) {
+  const Status status = RestoreEntryImpl(entry);
+  if (event_log_ != nullptr) {
+    if (status.ok()) {
+      event_log_->Log(obs::Severity::kInfo, "session_restored",
+                      {{"tenant", entry.spec.tenant}}, {{"session", entry.id}});
+    } else {
+      event_log_->Log(obs::Severity::kError, "restore_failed",
+                      {{"tenant", entry.spec.tenant},
+                       {"error", std::string(status.message())}},
+                      {{"session", entry.id}});
+    }
+  }
+  return status;
+}
+
+Status SessionManager::RestoreEntryImpl(Entry& entry) {
   std::ifstream in(entry.ckpt_path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot read checkpoint " + entry.ckpt_path);
@@ -268,6 +285,24 @@ Status SessionManager::RestoreEntry(Entry& entry) {
 }
 
 Status SessionManager::EvictEntry(Entry& entry) {
+  uint64_t bytes = 0;
+  const Status status = EvictEntryImpl(entry, bytes);
+  if (event_log_ != nullptr) {
+    if (status.ok()) {
+      event_log_->Log(obs::Severity::kInfo, "session_evicted",
+                      {{"tenant", entry.spec.tenant}},
+                      {{"session", entry.id}, {"checkpoint_bytes", bytes}});
+    } else {
+      event_log_->Log(obs::Severity::kError, "checkpoint_failed",
+                      {{"tenant", entry.spec.tenant},
+                       {"error", std::string(status.message())}},
+                      {{"session", entry.id}});
+    }
+  }
+  return status;
+}
+
+Status SessionManager::EvictEntryImpl(Entry& entry, uint64_t& bytes) {
   std::ofstream out(entry.ckpt_path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return Status::IoError("cannot write checkpoint " + entry.ckpt_path);
@@ -278,7 +313,8 @@ Status SessionManager::EvictEntry(Entry& entry) {
   if (!out) {
     return Status::IoError("short write to checkpoint " + entry.ckpt_path);
   }
-  CheckpointBytes().Record(static_cast<uint64_t>(out.tellp()));
+  bytes = static_cast<uint64_t>(out.tellp());
+  CheckpointBytes().Record(bytes);
   out.close();
   entry.batch.reset();
   entry.online.reset();
@@ -448,6 +484,10 @@ Status SessionManager::Close(uint64_t id) {
   std::error_code ec;
   std::filesystem::remove(entry->ckpt_path, ec);
   ClosedCounter().Increment();
+  if (event_log_ != nullptr) {
+    event_log_->Log(obs::Severity::kInfo, "session_closed",
+                    {{"tenant", entry->spec.tenant}}, {{"session", entry->id}});
+  }
   return Status::Ok();
 }
 

@@ -30,6 +30,10 @@
 //   server.sessions.created / evicted / restored / closed — counters
 //   server.sessions.live                                  — gauge
 //   server.checkpoint_bytes                               — histogram
+//
+// Lifecycle moments (evict, restore, close, checkpoint/restore failures)
+// additionally land in an optional obs::EventLog (set_event_log) as
+// structured JSONL events tagged with tenant and session id.
 
 #ifndef MINOAN_SERVER_SESSION_MANAGER_H_
 #define MINOAN_SERVER_SESSION_MANAGER_H_
@@ -51,6 +55,9 @@
 #include "util/status.h"
 
 namespace minoan {
+namespace obs {
+class EventLog;
+}  // namespace obs
 namespace server {
 
 /// Everything needed to build a session — and to rebuild it after
@@ -137,6 +144,11 @@ class SessionManager {
   size_t num_sessions() const;
   const Options& options() const { return options_; }
 
+  /// Sink for lifecycle events (evict/restore/close and their failures).
+  /// Optional; wire it before traffic starts (the Server does so at
+  /// construction). The log must outlive the manager.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
+
  private:
   using Entry = Lease::Entry;
 
@@ -146,15 +158,20 @@ class SessionManager {
       const std::string& source);
   /// Builds the live engine inside `entry` (fresh create). Entry lock held.
   Status Materialize(Entry& entry);
-  /// Restores `entry` from its checkpoint file. Entry lock held.
+  /// Restores `entry` from its checkpoint file. Entry lock held. The
+  /// outcome (session_restored / restore_failed) lands in the event log.
   Status RestoreEntry(Entry& entry);
-  /// Checkpoints `entry` and frees its live state. Entry lock held.
+  Status RestoreEntryImpl(Entry& entry);
+  /// Checkpoints `entry` and frees its live state. Entry lock held. The
+  /// outcome (session_evicted / checkpoint_failed) lands in the event log.
   Status EvictEntry(Entry& entry);
+  Status EvictEntryImpl(Entry& entry, uint64_t& bytes);
   /// Evicts LRU live sessions until `live_` <= cap. Manager lock held by
   /// caller; takes entry locks (skipping busy entries).
   void EnforceCapLocked();
 
   const Options options_;
+  obs::EventLog* event_log_ = nullptr;
   mutable std::mutex mu_;
   uint64_t next_id_ = 1;
   uint64_t lru_clock_ = 0;

@@ -1,0 +1,79 @@
+// Copyright 2026 The MinoanER Authors.
+// CanonicalizeCheckpoint: shared helper for byte-identity parity tests
+// (obs_test, server_test). A session checkpoint is deterministic except for
+// its wall-clock doubles; zeroing those makes two checkpoints of identical
+// runs compare equal as strings.
+
+#ifndef MINOAN_TESTS_CHECKPOINT_CANON_H_
+#define MINOAN_TESTS_CHECKPOINT_CANON_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/serde.h"
+
+namespace minoan {
+namespace testutil {
+
+/// Rewrites a session checkpoint with every wall-clock double zeroed (phase
+/// millis and the cumulative resolve time). Everything else — including the
+/// similarity doubles inside the resolver state, which are deterministic —
+/// passes through bit-exact, so two checkpoints of identical runs compare
+/// equal as strings.
+inline std::string CanonicalizeCheckpoint(const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::ostringstream out;
+
+  std::string magic;
+  EXPECT_TRUE(serde::ReadString(in, magic));
+  EXPECT_EQ(magic, "MNER-SESS-v1");
+  serde::WriteString(out, magic);
+
+  uint32_t u32 = 0;
+  for (int i = 0; i < 2; ++i) {  // num_entities, num_kbs
+    EXPECT_TRUE(serde::ReadU32(in, u32));
+    serde::WriteU32(out, u32);
+  }
+  uint64_t u64 = 0;
+  // total_triples, options digest, then the six static-phase counters.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(serde::ReadU64(in, u64));
+    serde::WriteU64(out, u64);
+  }
+  double mean_weight = 0;  // deterministic — compared, not zeroed
+  EXPECT_TRUE(serde::ReadDouble(in, mean_weight));
+  serde::WriteDouble(out, mean_weight);
+  for (int i = 0; i < 2; ++i) {  // nominations, distinct_pairs
+    EXPECT_TRUE(serde::ReadU64(in, u64));
+    serde::WriteU64(out, u64);
+  }
+
+  uint64_t num_phases = 0;
+  EXPECT_TRUE(serde::ReadU64(in, num_phases));
+  serde::WriteU64(out, num_phases);
+  for (uint64_t i = 0; i < num_phases; ++i) {
+    std::string name;
+    double millis = 0;
+    uint64_t cardinality = 0;
+    EXPECT_TRUE(serde::ReadString(in, name));
+    EXPECT_TRUE(serde::ReadDouble(in, millis));
+    EXPECT_TRUE(serde::ReadU64(in, cardinality));
+    serde::WriteString(out, name);
+    serde::WriteDouble(out, 0.0);  // wall clock: varies run to run
+    serde::WriteU64(out, cardinality);
+  }
+  double resolve_millis = 0;
+  EXPECT_TRUE(serde::ReadDouble(in, resolve_millis));
+  serde::WriteDouble(out, 0.0);  // wall clock
+
+  // Resolver loop state: fully deterministic, copied verbatim.
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace testutil
+}  // namespace minoan
+
+#endif  // MINOAN_TESTS_CHECKPOINT_CANON_H_

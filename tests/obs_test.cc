@@ -5,21 +5,26 @@
 // parity: every result and checkpoint byte is identical with instrumentation
 // enabled or disabled, at any thread count.
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "checkpoint_canon.h"
 #include "core/minoan_er.h"
 #include "core/session.h"
 #include "datagen/lod_generator.h"
 #include "gtest/gtest.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/report.h"
@@ -139,6 +144,93 @@ TEST(MetricsTest, HistogramBucketBoundaries) {
             obs::kHistogramBuckets - 1);
 }
 
+// ---------------------------------------------------------------------------
+// Quantile summaries from the log2 buckets
+// ---------------------------------------------------------------------------
+
+TEST(QuantileTest, EmptyHistogramIsZero) {
+  const HistogramSnapshot empty;
+  EXPECT_EQ(empty.Quantile(0.0), 0.0);
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+  EXPECT_EQ(empty.Quantile(1.0), 0.0);
+}
+
+TEST(QuantileTest, SingleSampleIsExactAtEveryQuantile) {
+  MetricsRegistry registry;
+  for (uint64_t value : {uint64_t{0}, uint64_t{1}, uint64_t{7},
+                         uint64_t{1000}}) {
+    Histogram& histogram =
+        registry.histogram("q.single." + std::to_string(value));
+    histogram.Record(value);
+    const HistogramSnapshot snapshot = histogram.Snapshot();
+    for (double q : {0.0, 0.01, 0.5, 0.95, 0.99, 1.0}) {
+      EXPECT_EQ(snapshot.Quantile(q), static_cast<double>(value))
+          << "value=" << value << " q=" << q;
+    }
+  }
+}
+
+TEST(QuantileTest, AllEqualSamplesAreExact) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("q.all_equal");
+  for (int i = 0; i < 100; ++i) histogram.Record(9);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  for (double q : {0.01, 0.5, 0.95, 0.99}) {
+    EXPECT_EQ(snapshot.Quantile(q), 9.0) << "q=" << q;
+  }
+}
+
+TEST(QuantileTest, ExactBucketBoundaries) {
+  // One sample per power of two: each lands exactly on its bucket's lower
+  // boundary, so the rank walk and the per-bucket interpolation are both
+  // exercised at the seams.
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("q.boundaries");
+  for (uint64_t value : {uint64_t{1}, uint64_t{2}, uint64_t{4}, uint64_t{8}}) {
+    histogram.Record(value);
+  }
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  // rank 1 owns bucket [1,2): interpolates to its upper edge 2.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.25), 2.0);
+  // rank 2 owns bucket [2,4): upper edge 4.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 4.0);
+  // rank 4 owns bucket [8,16): the [min,max] clamp pins it to max = 8.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 8.0);
+}
+
+TEST(QuantileTest, WithinOneBucketWidthOfSortedOracle) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("q.oracle");
+  std::mt19937_64 rng(20260807);
+  std::vector<uint64_t> samples;
+  samples.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t value = rng() % (uint64_t{1} << 20);
+    samples.push_back(value);
+    histogram.Record(value);
+  }
+  std::sort(samples.begin(), samples.end());
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+
+  double previous = 0.0;
+  for (double q : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    // Nearest-rank oracle with the estimator's own rank convention.
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(q * samples.size())));
+    const uint64_t truth = samples[rank - 1];
+    const double estimate = snapshot.Quantile(q);
+    // The true order statistic and the estimate live in the same log2
+    // bucket, so they differ by less than that bucket's width.
+    const size_t bucket = Histogram::BucketOf(truth);
+    const double width =
+        bucket == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(bucket) - 1);
+    EXPECT_LE(std::abs(estimate - static_cast<double>(truth)), width)
+        << "q=" << q << " truth=" << truth;
+    EXPECT_GE(estimate, previous) << "quantiles must be monotone, q=" << q;
+    previous = estimate;
+  }
+}
+
 TEST(MetricsTest, GaugeSetAddReset) {
   ScopedRegistryEnabled on(true);
   Gauge& gauge = MetricsRegistry::Default().gauge("test.gauge");
@@ -201,6 +293,159 @@ TEST(MetricsTest, SnapshotIsNameSortedAndStable) {
   const StatsSnapshot after = registry.Snapshot();
   ASSERT_EQ(after.counters.size(), 3u);  // names survive a reset
   EXPECT_EQ(after.CounterValue("zebra"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scoped (per-label) metric views
+// ---------------------------------------------------------------------------
+
+TEST(ScopedRegistryTest, DualWriteSumsToProcessTotal) {
+  MetricsRegistry parent;
+  obs::ScopedRegistry acme(&parent, "acme");
+  obs::ScopedRegistry globex(&parent, "globex");
+
+  obs::ScopedCounter acme_comparisons = acme.scoped_counter("comparisons");
+  obs::ScopedCounter globex_comparisons = globex.scoped_counter("comparisons");
+  acme_comparisons.Add(100);
+  acme_comparisons.Increment();
+  globex_comparisons.Add(41);
+
+  // Each label sees only its own traffic; the parent sees the sum — the
+  // invariant validate_obs.py --tenant checks on real servers.
+  EXPECT_EQ(acme.Snapshot().CounterValue("comparisons"), 101u);
+  EXPECT_EQ(globex.Snapshot().CounterValue("comparisons"), 41u);
+  EXPECT_EQ(parent.Snapshot().CounterValue("comparisons"), 142u);
+  EXPECT_EQ(acme.label(), "acme");
+}
+
+TEST(ScopedRegistryTest, ScopedHistogramRecordsInBothDistributions) {
+  MetricsRegistry parent;
+  obs::ScopedRegistry scope(&parent, "acme");
+  obs::ScopedHistogram micros = scope.scoped_histogram("request_micros");
+  micros.Record(10);
+  micros.Record(1000);
+
+  const HistogramSnapshot local =
+      scope.histogram("request_micros").Snapshot();
+  const HistogramSnapshot process =
+      parent.histogram("request_micros").Snapshot();
+  EXPECT_EQ(local.count, 2u);
+  EXPECT_EQ(process.count, 2u);
+  EXPECT_EQ(local.sum, 1010u);
+  EXPECT_EQ(local.min, 10u);
+  EXPECT_EQ(local.max, 1000u);
+}
+
+TEST(ScopedRegistryTest, ParentMasterSwitchGovernsShadows) {
+  MetricsRegistry parent;
+  obs::ScopedRegistry scope(&parent, "acme");
+  obs::ScopedCounter counter = scope.scoped_counter("c");
+
+  parent.set_enabled(false);
+  counter.Add(7);
+  scope.histogram("h").Record(7);
+  EXPECT_EQ(parent.Snapshot().CounterValue("c"), 0u);
+  EXPECT_EQ(scope.Snapshot().CounterValue("c"), 0u);
+  EXPECT_EQ(scope.histogram("h").Snapshot().count, 0u);
+
+  parent.set_enabled(true);
+  counter.Add(7);
+  EXPECT_EQ(parent.Snapshot().CounterValue("c"), 7u);
+  EXPECT_EQ(scope.Snapshot().CounterValue("c"), 7u);
+}
+
+TEST(ScopedRegistryTest, SnapshotIsLocalAndNameSorted) {
+  MetricsRegistry parent;
+  parent.counter("parent.only").Add(1);
+  obs::ScopedRegistry scope(&parent, "acme");
+  scope.counter("zebra").Add(1);
+  scope.counter("apple").Add(2);
+  scope.gauge("depth").Set(-3);
+
+  const StatsSnapshot snapshot = scope.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "apple");
+  EXPECT_EQ(snapshot.counters[1].first, "zebra");
+  EXPECT_EQ(snapshot.CounterValue("parent.only"), 0u);  // not leaked in
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, -3);
+  // Same-name lookups return the same local metric object.
+  EXPECT_EQ(&scope.counter("apple"), &scope.counter("apple"));
+}
+
+// ---------------------------------------------------------------------------
+// Structured event log
+// ---------------------------------------------------------------------------
+
+TEST(EventLogTest, LogStampsAndSnapshots) {
+  obs::EventLog log;
+  log.Log(obs::Severity::kWarn, "slow_request", {{"tenant", "acme"}},
+          {{"micros", 999}});
+  ASSERT_EQ(log.size(), 1u);
+  const std::vector<obs::Event> events = log.snapshot();
+  EXPECT_EQ(events[0].severity, obs::Severity::kWarn);
+  EXPECT_EQ(events[0].kind, "slow_request");
+  ASSERT_EQ(events[0].text.size(), 1u);
+  EXPECT_EQ(events[0].text[0].first, "tenant");
+  EXPECT_EQ(events[0].text[0].second, "acme");
+  ASSERT_EQ(events[0].values.size(), 1u);
+  EXPECT_EQ(events[0].values[0].second, 999u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.filtered(), 0u);
+}
+
+TEST(EventLogTest, RingDropsOldestWhenFull) {
+  obs::EventLog::Options options;
+  options.max_events = 3;
+  obs::EventLog log(options);
+  for (int i = 0; i < 5; ++i) {
+    log.Log(obs::Severity::kInfo, "e" + std::to_string(i));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  const std::vector<obs::Event> events = log.snapshot();
+  EXPECT_EQ(events[0].kind, "e2");  // e0, e1 evicted oldest-first
+  EXPECT_EQ(events[2].kind, "e4");
+}
+
+TEST(EventLogTest, SeverityFilterDiscardsAtAppend) {
+  obs::EventLog::Options options;
+  options.min_severity = obs::Severity::kWarn;
+  obs::EventLog log(options);
+  log.Log(obs::Severity::kInfo, "chatty");
+  log.Log(obs::Severity::kWarn, "warning");
+  log.Log(obs::Severity::kError, "broken");
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.filtered(), 1u);
+  EXPECT_EQ(log.snapshot()[0].kind, "warning");
+}
+
+TEST(EventLogTest, WriteJsonlGolden) {
+  obs::EventLog log;
+  obs::Event slow;
+  slow.ts_us = 123;
+  slow.severity = obs::Severity::kWarn;
+  slow.kind = "slow_request";
+  slow.text = {{"request", "step"}, {"tenant", "acme"}};
+  slow.values = {{"request_id", 7}, {"micros", 400000}};
+  log.Append(slow);
+  obs::Event evicted;
+  evicted.ts_us = 456;
+  evicted.severity = obs::Severity::kInfo;
+  evicted.kind = "session_evicted";
+  evicted.text = {{"tenant", "a \"b\""}};
+  evicted.values = {{"session", 2}};
+  log.Append(evicted);
+
+  std::ostringstream out;
+  log.WriteJsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"ts_us\":123,\"severity\":\"warn\",\"kind\":\"slow_request\","
+            "\"request\":\"step\",\"tenant\":\"acme\","
+            "\"request_id\":7,\"micros\":400000}\n"
+            "{\"ts_us\":456,\"severity\":\"info\","
+            "\"kind\":\"session_evicted\",\"tenant\":\"a \\\"b\\\"\","
+            "\"session\":2}\n");
 }
 
 // ---------------------------------------------------------------------------
@@ -355,7 +600,20 @@ TEST(ReportTest, WriteStatsJsonGolden) {
   histogram.sum = 10;
   histogram.min = 3;
   histogram.max = 7;
+  histogram.buckets[2] = 1;  // the 3, in [2,4)
+  histogram.buckets[3] = 1;  // the 7, in [4,8)
   report.metrics.histograms.emplace_back("spill.runs_per_sink", histogram);
+  obs::TenantBreakdown tenant;
+  tenant.tenant = "acme";
+  tenant.sessions = 2;
+  tenant.requests = 9;
+  tenant.comparisons = 1000;
+  tenant.matches = 10;
+  tenant.spill_bytes = 0;
+  tenant.p50_request_micros = 10.0;
+  tenant.p95_request_micros = 20.0;
+  tenant.p99_request_micros = 30.5;
+  report.tenants.push_back(tenant);
   report.peak_rss_bytes = 1048576;
 
   std::ostringstream out;
@@ -376,7 +634,11 @@ TEST(ReportTest, WriteStatsJsonGolden) {
       "\"counters\":{\"blocking.chunks\":4},"
       "\"gauges\":{\"pool.workers\":2},"
       "\"histograms\":{\"spill.runs_per_sink\":"
-      "{\"count\":2,\"sum\":10,\"min\":3,\"max\":7,\"mean\":5.000}},"
+      "{\"count\":2,\"sum\":10,\"min\":3,\"max\":7,\"mean\":5.000,"
+      "\"p50\":4.000,\"p95\":7.000,\"p99\":7.000}},"
+      "\"tenants\":{\"acme\":{\"sessions\":2,\"requests\":9,"
+      "\"comparisons\":1000,\"matches\":10,\"spill_bytes\":0,"
+      "\"request_micros\":{\"p50\":10.000,\"p95\":20.000,\"p99\":30.500}}},"
       "\"peak_rss_bytes\":1048576}\n");
 }
 
@@ -502,61 +764,7 @@ EntityCollection MakeCloud(uint64_t seed) {
   return std::move(collection).value();
 }
 
-/// Rewrites a session checkpoint with every wall-clock double zeroed (phase
-/// millis and the cumulative resolve time). Everything else — including the
-/// similarity doubles inside the resolver state, which are deterministic —
-/// passes through bit-exact, so two checkpoints of identical runs compare
-/// equal as strings.
-std::string CanonicalizeCheckpoint(const std::string& bytes) {
-  std::istringstream in(bytes);
-  std::ostringstream out;
-
-  std::string magic;
-  EXPECT_TRUE(serde::ReadString(in, magic));
-  EXPECT_EQ(magic, "MNER-SESS-v1");
-  serde::WriteString(out, magic);
-
-  uint32_t u32 = 0;
-  for (int i = 0; i < 2; ++i) {  // num_entities, num_kbs
-    EXPECT_TRUE(serde::ReadU32(in, u32));
-    serde::WriteU32(out, u32);
-  }
-  uint64_t u64 = 0;
-  // total_triples, options digest, then the six static-phase counters.
-  for (int i = 0; i < 8; ++i) {
-    EXPECT_TRUE(serde::ReadU64(in, u64));
-    serde::WriteU64(out, u64);
-  }
-  double mean_weight = 0;  // deterministic — compared, not zeroed
-  EXPECT_TRUE(serde::ReadDouble(in, mean_weight));
-  serde::WriteDouble(out, mean_weight);
-  for (int i = 0; i < 2; ++i) {  // nominations, distinct_pairs
-    EXPECT_TRUE(serde::ReadU64(in, u64));
-    serde::WriteU64(out, u64);
-  }
-
-  uint64_t num_phases = 0;
-  EXPECT_TRUE(serde::ReadU64(in, num_phases));
-  serde::WriteU64(out, num_phases);
-  for (uint64_t i = 0; i < num_phases; ++i) {
-    std::string name;
-    double millis = 0;
-    uint64_t cardinality = 0;
-    EXPECT_TRUE(serde::ReadString(in, name));
-    EXPECT_TRUE(serde::ReadDouble(in, millis));
-    EXPECT_TRUE(serde::ReadU64(in, cardinality));
-    serde::WriteString(out, name);
-    serde::WriteDouble(out, 0.0);  // wall clock: varies run to run
-    serde::WriteU64(out, cardinality);
-  }
-  double resolve_millis = 0;
-  EXPECT_TRUE(serde::ReadDouble(in, resolve_millis));
-  serde::WriteDouble(out, 0.0);  // wall clock
-
-  // Resolver loop state: fully deterministic, copied verbatim.
-  out << in.rdbuf();
-  return out.str();
-}
+using testutil::CanonicalizeCheckpoint;
 
 struct ParityRun {
   ResolutionReport report;

@@ -3,9 +3,12 @@
 // invisible mid-stream, and hostile bytes on the wire must never crash the
 // daemon.
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <random>
 #include <sstream>
 #include <string>
@@ -17,8 +20,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "checkpoint_canon.h"
 #include "core/session.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -434,6 +439,275 @@ TEST(ServerTest, ServerSideErrorsLeaveTheConnectionUsable) {
   EXPECT_TRUE(step.ok()) << step.status().ToString();
   EXPECT_TRUE((*client)->Ping().ok());
   (*server)->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// The live observability plane: kStats v2, per-tenant scoping, exporter,
+// event log — and its out-of-band parity guarantee.
+// ---------------------------------------------------------------------------
+
+TEST(ServerStatsTest, StatsV2TwoTenantBreakdownSumsToProcessTotals) {
+  // The breakdown reconciles against the process registry, so start this
+  // test from zeroed counters (names survive; other tests in this binary
+  // run sequentially).
+  obs::MetricsRegistry::Default().ResetAll();
+
+  const std::string source_a = SyntheticSource(41);
+  const std::string source_b = SyntheticSource(43, 90, 4, 2);
+  ServerOptions options;
+  options.state_dir = FreshStateDir("stats-v2");
+  options.installment = 64;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::thread tenant_a(
+      [&] { DriveTenant((*server)->port(), "alice", source_a, 0.35); });
+  std::thread tenant_b(
+      [&] { DriveTenant((*server)->port(), "bob", source_b, 0.30); });
+  tenant_a.join();
+  tenant_b.join();
+
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  // The v1 reply still works on the same connection as v2. Both tenants
+  // closed their sessions, so the session-store counts read zero — the
+  // tenant breakdown below still remembers their lifetime totals.
+  auto v1 = (*client)->Stats();
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(v1->live_sessions, 0u);
+
+  auto full = (*client)->StatsFull();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->live_sessions, v1->live_sessions);
+  EXPECT_EQ(full->total_sessions, v1->total_sessions);
+  ASSERT_EQ(full->tenants.size(), 2u);
+  EXPECT_EQ(full->tenants[0].tenant, "alice");
+  EXPECT_EQ(full->tenants[1].tenant, "bob");
+
+  uint64_t sum_sessions = 0, sum_comparisons = 0, sum_matches = 0;
+  for (const TenantStatsEntry& tenant : full->tenants) {
+    EXPECT_GT(tenant.sessions, 0u) << tenant.tenant;
+    EXPECT_GT(tenant.requests, 0u) << tenant.tenant;
+    EXPECT_GT(tenant.comparisons, 0u) << tenant.tenant;
+    EXPECT_GT(tenant.matches, 0u) << tenant.tenant;
+    EXPECT_LE(tenant.p50_request_micros, tenant.p95_request_micros)
+        << tenant.tenant;
+    EXPECT_LE(tenant.p95_request_micros, tenant.p99_request_micros)
+        << tenant.tenant;
+    sum_sessions += tenant.sessions;
+    sum_comparisons += tenant.comparisons;
+    sum_matches += tenant.matches;
+  }
+  // The dual-write contract: tenant shadows and process counters are
+  // incremented at the same instrumentation site, so the sums reconcile
+  // exactly — not approximately.
+  EXPECT_EQ(sum_sessions, full->CounterValue("server.sessions.created"));
+  EXPECT_EQ(sum_comparisons, full->CounterValue("server.comparisons"));
+  EXPECT_EQ(sum_matches, full->CounterValue("server.matches"));
+  EXPECT_GT(sum_comparisons, 0u);
+
+  // The registry snapshot came through: request counters and the latency
+  // histogram with monotone quantiles.
+  EXPECT_GT(full->CounterValue("server.requests.create"), 0u);
+  bool saw_request_micros = false;
+  for (const auto& [name, histogram] : full->histograms) {
+    if (name != "server.request_micros") continue;
+    saw_request_micros = true;
+    EXPECT_GT(histogram.count, 0u);
+    EXPECT_LE(histogram.p50, histogram.p95);
+    EXPECT_LE(histogram.p95, histogram.p99);
+    EXPECT_GE(histogram.p50, static_cast<double>(histogram.min));
+    EXPECT_LE(histogram.p99, static_cast<double>(histogram.max));
+  }
+  EXPECT_TRUE(saw_request_micros);
+  (*server)->Shutdown();
+}
+
+TEST(ServerStatsTest, LegacyStatsWireReplyIsUnchanged) {
+  ServerOptions options;
+  options.state_dir = FreshStateDir("stats-v1-wire");
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // An old client sends kStats with an empty body and must get exactly the
+  // legacy reply: ok status (u8 0 + empty-string u64 length) + two u64
+  // session counts = 25 body bytes, framed as 4 (length) + 1 (version) +
+  // 2 (id) ahead of it.
+  RawConnection conn((*server)->port());
+  ASSERT_TRUE(conn.connected());
+  conn.Send(FrameBytes(static_cast<uint16_t>(MessageId::kStats), ""));
+  const std::string reply = conn.DrainToEof();
+  ASSERT_EQ(reply.size(), 32u);
+  std::istringstream in(reply);
+  uint32_t frame_len = 0;
+  ASSERT_TRUE(serde::ReadU32(in, frame_len));
+  EXPECT_EQ(frame_len, 28u);
+
+  // An unknown stats-body discriminator is an error reply, not a crash.
+  RawConnection bad((*server)->port());
+  bad.Send(FrameBytes(static_cast<uint16_t>(MessageId::kStats), "\x09"));
+  EXPECT_GE(bad.DrainToEof().size(), 8u);
+
+  auto probe = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE((*probe)->Ping().ok());
+  (*server)->Shutdown();
+}
+
+TEST(ServerStatsTest, ExporterWritesRollingSnapshotsAndEventLog) {
+  const std::string dir = FreshStateDir("exporter");
+  ServerOptions options;
+  options.state_dir = dir;
+  options.stats_path = dir + "/stats.json";
+  options.stats_every_seconds = 0.02;
+  options.event_log_path = dir + "/events.jsonl";
+  options.slow_request_millis = 0.001;  // 1us: every request is "slow"
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto session = (*client)->CreateSession("frank", SessionKind::kBatch,
+                                          SyntheticSource(13, 200), 0.35);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto first = (*client)->Step(*session, 40);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE((*server)->sessions().Evict(*session).ok());
+  auto second = (*client)->Step(*session, 0);  // transparent restore
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  // The rolling exporter must produce a complete, never-torn snapshot
+  // while the server keeps running.
+  std::string rolling;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::ifstream in(options.stats_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    rolling = buf.str();
+    if (!rolling.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_FALSE(rolling.empty()) << "exporter never wrote " << options.stats_path;
+  EXPECT_NE(rolling.find("\"schema\":\"minoan-stats-v1\""), std::string::npos);
+  EXPECT_NE(rolling.find("\"tenants\":{\"frank\":"), std::string::npos);
+  EXPECT_EQ(rolling.back(), '\n');  // complete file, not a torn prefix
+
+  (*server)->Shutdown();  // writes the final authoritative snapshots
+
+  std::ifstream events_in(options.event_log_path, std::ios::binary);
+  std::ostringstream events_buf;
+  events_buf << events_in.rdbuf();
+  const std::string events = events_buf.str();
+  EXPECT_NE(events.find("\"kind\":\"session_evicted\""), std::string::npos);
+  EXPECT_NE(events.find("\"kind\":\"session_restored\""), std::string::npos);
+  EXPECT_NE(events.find("\"kind\":\"slow_request\""), std::string::npos);
+  EXPECT_NE(events.find("\"tenant\":\"frank\""), std::string::npos);
+  // Every line is one self-contained JSON object.
+  std::istringstream lines(events);
+  std::string line;
+  size_t num_lines = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++num_lines;
+  }
+  EXPECT_GT(num_lines, 0u);
+}
+
+/// One served run of two tenants with uneven step budgets, returning every
+/// tenant-visible byte: the match stream, the rendered links document, and
+/// the (canonicalized) checkpoint file.
+struct ServedArtifacts {
+  std::map<std::string, std::vector<MatchEvent>> matches;
+  std::map<std::string, std::string> links;
+  std::map<std::string, std::string> checkpoints;
+};
+
+ServedArtifacts RunServed(uint32_t num_threads, bool observed) {
+  ServerOptions options;
+  options.state_dir =
+      FreshStateDir(observed ? "parity-observed" : "parity-plain");
+  options.num_threads = num_threads;
+  options.installment = 64;
+  if (observed) {
+    options.stats_path = options.state_dir + "/stats.json";
+    options.stats_every_seconds = 0.01;  // exporter races the requests
+    options.enable_trace = true;
+    options.event_log_path = options.state_dir + "/events.jsonl";
+    options.slow_request_millis = 0.001;  // event log fires constantly
+  }
+  auto server = Server::Start(options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+
+  ServedArtifacts artifacts;
+  std::mutex mu;
+  const auto drive = [&](const std::string& tenant, uint64_t seed,
+                         double threshold) {
+    auto client = Client::Connect("127.0.0.1", (*server)->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    auto session = (*client)->CreateSession(
+        tenant, SessionKind::kBatch, SyntheticSource(seed, 150), threshold);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    for (const uint64_t budget : {uint64_t{53}, uint64_t{700}, uint64_t{0}}) {
+      auto step = (*client)->Step(*session, budget);
+      EXPECT_TRUE(step.ok()) << step.status().ToString();
+      if (step.ok() && step->finished) break;
+    }
+    auto matches = (*client)->Matches(*session);
+    EXPECT_TRUE(matches.ok()) << matches.status().ToString();
+    auto links = (*client)->Links(*session);
+    EXPECT_TRUE(links.ok()) << links.status().ToString();
+    auto bytes = (*client)->Checkpoint(*session);
+    EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+    std::ifstream ckpt_in(
+        options.state_dir + "/session-" + std::to_string(*session) + ".ckpt",
+        std::ios::binary);
+    std::ostringstream ckpt;
+    ckpt << ckpt_in.rdbuf();
+
+    std::lock_guard<std::mutex> lock(mu);
+    artifacts.matches[tenant] = matches.ok() ? *matches
+                                             : std::vector<MatchEvent>{};
+    artifacts.links[tenant] = links.ok() ? *links : "";
+    artifacts.checkpoints[tenant] =
+        testutil::CanonicalizeCheckpoint(ckpt.str());
+  };
+  std::thread tenant_a([&] { drive("alice", 61, 0.35); });
+  std::thread tenant_b([&] { drive("bob", 67, 0.30); });
+  tenant_a.join();
+  tenant_b.join();
+
+  if (observed) {
+    // Guard against silently comparing two unobserved runs: the plane must
+    // actually have recorded traffic.
+    EXPECT_GT((*server)->TenantBreakdowns().size(), 0u);
+    EXPECT_GT((*server)->events().size(), 0u);
+    EXPECT_NE((*server)->trace(), nullptr);
+  }
+  (*server)->Shutdown();
+  return artifacts;
+}
+
+void RunServedParity(uint32_t num_threads) {
+  SCOPED_TRACE("num_threads=" + std::to_string(num_threads));
+  const ServedArtifacts plain = RunServed(num_threads, /*observed=*/false);
+  const ServedArtifacts observed = RunServed(num_threads, /*observed=*/true);
+  for (const std::string tenant : {"alice", "bob"}) {
+    SCOPED_TRACE(tenant);
+    ExpectSameMatches(observed.matches.at(tenant), plain.matches.at(tenant));
+    EXPECT_EQ(observed.links.at(tenant), plain.links.at(tenant));
+    ASSERT_FALSE(plain.checkpoints.at(tenant).empty());
+    EXPECT_EQ(observed.checkpoints.at(tenant), plain.checkpoints.at(tenant));
+  }
+}
+
+TEST(ObsParityTest, ServedResultsUnaffectedByObservabilityPlane1Thread) {
+  RunServedParity(1);
+}
+
+TEST(ObsParityTest, ServedResultsUnaffectedByObservabilityPlane4Threads) {
+  RunServedParity(4);
 }
 
 TEST(FairShareTest, ChargesAndAdmitsByVirtualTime) {

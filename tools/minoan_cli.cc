@@ -47,6 +47,28 @@
 //       core/online_session.h for the grammar). Without --script, every
 //       source is ingested, the queue is fully resolved, and stats print.
 //
+//   minoan serve [--listen HOST:PORT] [--max-sessions N]
+//                [--evict-after SECONDS] [--state-dir DIR] [--threads N]
+//                [--installment N] [--metrics-out FILE]
+//                [--stats-every SECS] [--trace-out FILE] [--event-log FILE]
+//                [--slow-request-millis MS]
+//       Runs the resolution service (multi-tenant session server). The
+//       observability plane is out-of-band — served results are identical
+//       with or without it. --metrics-out writes the stats JSON (process
+//       counters plus the per-tenant breakdown under "tenants");
+//       --stats-every N re-exports a rolling snapshot every N seconds via
+//       atomic rename, so a scraper never reads a torn file; --trace-out
+//       records each request as a Chrome-trace span tagged with request and
+//       session id; --event-log writes a JSONL ring of slow requests,
+//       evictions, and restores; --slow-request-millis sets the slowness
+//       threshold (default 250).
+//
+//   minoan connect --port N [--host H] [--script FILE]
+//       Interactive (or scripted) client for a running server. The `stats`
+//       command prints the legacy live/total session counts; `stats --full`
+//       fetches the v2 body and renders the whole registry snapshot plus
+//       the per-tenant table.
+//
 // All subcommands are deterministic for a fixed seed.
 
 #include <unistd.h>
@@ -565,7 +587,8 @@ void HandleShutdownSignal(int) {
 int CmdServe(const Flags& flags) {
   if (!CheckFlags("serve", flags,
                   {"listen", "max-sessions", "evict-after", "state-dir",
-                   "threads", "installment", "metrics-out"})) {
+                   "threads", "installment", "metrics-out", "stats-every",
+                   "trace-out", "event-log", "slow-request-millis"})) {
     return 2;
   }
   server::ServerOptions options;
@@ -600,6 +623,20 @@ int CmdServe(const Flags& flags) {
   }
   options.num_threads = static_cast<uint32_t>(threads);
   options.installment = flags.GetInt("installment", 2048);
+  // The observability plane: the server owns every export (rolling +
+  // shutdown snapshots, trace, event log), so the files carry the
+  // per-tenant breakdown the CLI could not reconstruct on its own.
+  options.stats_path = flags.Get("metrics-out", "");
+  options.stats_every_seconds = flags.GetDouble("stats-every", 0);
+  options.trace_path = flags.Get("trace-out", "");
+  options.event_log_path = flags.Get("event-log", "");
+  options.slow_request_millis = flags.GetDouble("slow-request-millis", 250);
+  if (options.stats_every_seconds > 0 && options.stats_path.empty() &&
+      options.event_log_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --stats-every needs --metrics-out or --event-log\n");
+    return 2;
+  }
 
   auto server = server::Server::Start(options);
   if (!server.ok()) return Fail(server.status());
@@ -622,17 +659,16 @@ int CmdServe(const Flags& flags) {
   while (read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
   std::printf("shutting down\n");
+  // Shutdown writes the final stats/trace/event-log installments itself.
   (*server)->Shutdown();
-
-  const std::string metrics_path = flags.Get("metrics-out", "");
-  if (!metrics_path.empty()) {
-    obs::StatsReport report;
-    report.metrics = obs::MetricsRegistry::Default().Snapshot();
-    report.peak_rss_bytes = obs::PeakRssBytes();
-    std::ofstream out(metrics_path);
-    if (!out) return Fail(Status::IoError("cannot write " + metrics_path));
-    obs::WriteStatsJson(out, report);
-    std::printf("wrote server stats to %s\n", metrics_path.c_str());
+  if (!options.stats_path.empty()) {
+    std::printf("wrote server stats to %s\n", options.stats_path.c_str());
+  }
+  if (!options.trace_path.empty()) {
+    std::printf("wrote server trace to %s\n", options.trace_path.c_str());
+  }
+  if (!options.event_log_path.empty()) {
+    std::printf("wrote server events to %s\n", options.event_log_path.c_str());
   }
   return 0;
 }
@@ -798,11 +834,52 @@ int RunConnectCommand(server::Client& client,
     return 0;
   }
   if (cmd == "stats") {
-    auto stats = client.Stats();
+    // stats [--full]: --full asks for the kStats v2 body (whole registry +
+    // per-tenant breakdown); bare stats stays the legacy two-number reply.
+    const bool full =
+        tokens.size() > 1 && (tokens[1] == "--full" || tokens[1] == "full");
+    if (!full) {
+      auto stats = client.Stats();
+      if (!stats.ok()) return Fail(stats.status());
+      std::printf("sessions: %llu live / %llu total\n",
+                  static_cast<unsigned long long>(stats->live_sessions),
+                  static_cast<unsigned long long>(stats->total_sessions));
+      return 0;
+    }
+    auto stats = client.StatsFull();
     if (!stats.ok()) return Fail(stats.status());
     std::printf("sessions: %llu live / %llu total\n",
                 static_cast<unsigned long long>(stats->live_sessions),
                 static_cast<unsigned long long>(stats->total_sessions));
+    for (const auto& [name, value] : stats->counters) {
+      std::printf("counter %s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+    for (const auto& [name, value] : stats->gauges) {
+      std::printf("gauge %s = %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    }
+    for (const auto& [name, h] : stats->histograms) {
+      std::printf(
+          "histogram %s count=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f\n",
+          name.c_str(), static_cast<unsigned long long>(h.count),
+          h.count > 0 ? static_cast<double>(h.sum) /
+                            static_cast<double>(h.count)
+                      : 0.0,
+          h.p50, h.p95, h.p99);
+    }
+    for (const auto& t : stats->tenants) {
+      std::printf(
+          "tenant %s: sessions=%llu requests=%llu comparisons=%llu "
+          "matches=%llu spill_bytes=%llu request_micros p50=%.1f p95=%.1f "
+          "p99=%.1f\n",
+          t.tenant.c_str(), static_cast<unsigned long long>(t.sessions),
+          static_cast<unsigned long long>(t.requests),
+          static_cast<unsigned long long>(t.comparisons),
+          static_cast<unsigned long long>(t.matches),
+          static_cast<unsigned long long>(t.spill_bytes),
+          t.p50_request_micros, t.p95_request_micros, t.p99_request_micros);
+    }
     return 0;
   }
   if (cmd == "ping") {
@@ -876,8 +953,10 @@ void Usage() {
                "quantity|attr|coverage|relationship]\n"
                "  serve [--listen HOST:PORT --max-sessions N "
                "--evict-after SECONDS --state-dir DIR --threads N "
-               "--installment N --metrics-out FILE]\n"
-               "  connect --port N [--host H --script FILE]\n");
+               "--installment N --metrics-out FILE --stats-every SECS "
+               "--trace-out FILE --event-log FILE --slow-request-millis MS]\n"
+               "  connect --port N [--host H --script FILE] "
+               "(stats --full prints the per-tenant breakdown)\n");
 }
 
 }  // namespace

@@ -18,6 +18,17 @@ pipeline-phase/pool/trace requirements are dropped (a daemon has no static
 pipeline of its own) and the server.* request/session counters plus the
 request-latency and checkpoint-size histograms must show real traffic.
 
+With --tenant the per-tenant breakdown the server embeds under "tenants"
+is validated: every field a non-negative integer, request-latency
+quantiles monotone (p50 <= p95 <= p99), every histogram's quantiles
+inside its [min, max] envelope, and the tenant sums of comparisons /
+matches / sessions no larger than the matching process-wide server.*
+counters (they are dual-written at the same instrumentation site, so a
+sum exceeding its total means scoping is broken). --tenant composes with
+--server for the shutdown file and stands alone (with --no-trace) for
+mid-run rolling snapshots, where the traffic counters may not have
+settled yet.
+
 The trace check enforces the Chrome Trace Event format contract every
 viewer relies on: a "traceEvents" array of complete ("ph":"X") events,
 each with name / integer ts / non-negative dur / pid / tid, so the file is
@@ -203,6 +214,80 @@ def check_server_stats(stats, problems):
         problems.append("stats: peak_rss_bytes missing or zero")
 
 
+def check_tenants(stats, problems):
+    tenants = stats.get("tenants")
+    if not isinstance(tenants, dict):
+        problems.append("stats: 'tenants' missing or not an object — was "
+                        "the file written by a server with per-tenant "
+                        "scoping?")
+        return
+    int_fields = ("sessions", "requests", "comparisons", "matches",
+                  "spill_bytes")
+    sums = {field: 0 for field in int_fields}
+    for name, tenant in sorted(tenants.items()):
+        where = f"stats: tenant {name!r}"
+        if not isinstance(tenant, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in int_fields:
+            value = tenant.get(field)
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"{where}: {field} must be a non-negative integer"
+                )
+            else:
+                sums[field] += value
+        micros = tenant.get("request_micros")
+        if not isinstance(micros, dict):
+            problems.append(f"{where}: request_micros missing")
+            continue
+        quantiles = [micros.get(q) for q in ("p50", "p95", "p99")]
+        if not all(isinstance(q, (int, float)) and q >= 0
+                   for q in quantiles):
+            problems.append(f"{where}: request_micros quantiles malformed")
+        elif not quantiles[0] <= quantiles[1] <= quantiles[2]:
+            problems.append(
+                f"{where}: request_micros quantiles not monotone "
+                f"(p50={quantiles[0]} p95={quantiles[1]} "
+                f"p99={quantiles[2]})"
+            )
+    # The per-tenant counters are dual-written at the same site as the
+    # process totals, so the tenant sums can never exceed them. (Equality
+    # is not required here: the process counter may also count traffic
+    # from before a tenant map reset, and spill attribution is sampled.)
+    counters = stats.get("counters", {})
+    for field, total_name in (
+        ("comparisons", "server.comparisons"),
+        ("matches", "server.matches"),
+        ("sessions", "server.sessions.created"),
+    ):
+        total = counters.get(total_name, 0)
+        if sums[field] > total:
+            problems.append(
+                f"stats: tenant {field} sum {sums[field]} exceeds "
+                f"process counter {total_name!r} = {total}"
+            )
+    # Quantiles of every histogram must sit inside the [min, max]
+    # envelope and be monotone in q.
+    for name, hist in sorted(stats.get("histograms", {}).items()):
+        if not isinstance(hist, dict) or hist.get("count", 0) <= 0:
+            continue
+        quantiles = [hist.get(q) for q in ("p50", "p95", "p99")]
+        if not all(isinstance(q, (int, float)) for q in quantiles):
+            problems.append(f"stats: histogram {name!r} lacks quantiles")
+            continue
+        if not quantiles[0] <= quantiles[1] <= quantiles[2]:
+            problems.append(
+                f"stats: histogram {name!r} quantiles not monotone"
+            )
+        if quantiles[0] < hist.get("min", 0) or \
+                quantiles[2] > hist.get("max", 0):
+            problems.append(
+                f"stats: histogram {name!r} quantiles escape the "
+                "[min, max] envelope"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", required=True,
@@ -221,6 +306,11 @@ def main():
                         help="validate the stats file alone (runs that "
                              "did not pass --trace-out, e.g. the "
                              "out-of-core stress job)")
+    parser.add_argument("--tenant", action="store_true",
+                        help="validate the per-tenant breakdown and "
+                             "histogram quantiles (server stats files; "
+                             "composes with --server, or stands alone "
+                             "for mid-run rolling snapshots)")
     args = parser.parse_args()
     if not args.server and not args.trace and not args.no_trace:
         parser.error("--trace is required unless --server or --no-trace")
@@ -231,9 +321,11 @@ def main():
     if stats is not None:
         if args.server:
             check_server_stats(stats, problems)
-        else:
+        elif not args.tenant:
             check_stats(stats, problems, args.expect_spill,
                         args.expect_progress)
+        if args.tenant:
+            check_tenants(stats, problems)
     if trace is not None:
         check_trace(trace, problems)
 
